@@ -1,0 +1,61 @@
+//! T1 sequential rows: the trace-driven cache simulator running the
+//! instrumented executions (classical blocked and fast recursive).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmm_core::catalog;
+use fmm_memsim::cache::Policy;
+use fmm_memsim::seq;
+use std::hint::black_box;
+
+fn blocked_classical_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_sim_blocked");
+    group.sample_size(20);
+    for n in [16usize, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, &n| {
+            bch.iter(|| {
+                let (_, stats) = seq::measure(n, 192, Policy::Lru, |mem, a, b| {
+                    seq::classical_blocked(mem, a, b, seq::natural_tile(192))
+                });
+                black_box(stats.io())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fast_recursive_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_sim_fast");
+    group.sample_size(20);
+    let alg = catalog::strassen();
+    for n in [16usize, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, &n| {
+            bch.iter(|| {
+                let (_, stats) = seq::measure(n, 192, Policy::Lru, |mem, a, b| {
+                    seq::fast_recursive(mem, &alg, a, b, seq::natural_tile(192))
+                });
+                black_box(stats.io())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn policy_ablation(c: &mut Criterion) {
+    // Ablation: LRU vs FIFO replacement under the same schedule.
+    let mut group = c.benchmark_group("policy_ablation");
+    group.sample_size(20);
+    for (name, policy) in [("lru", Policy::Lru), ("fifo", Policy::Fifo)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |bch, &p| {
+            bch.iter(|| {
+                let (_, stats) = seq::measure(32, 96, p, |mem, a, b| {
+                    seq::classical_blocked(mem, a, b, seq::natural_tile(96))
+                });
+                black_box(stats.io())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, blocked_classical_sim, fast_recursive_sim, policy_ablation);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! F1 support: scaling of the recursive CDAG generator (Θ(n^{log₂7})
+//! vertices) and of the structural audits over it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmm_cdag::census::{census, level_profile};
+use fmm_cdag::RecursiveCdag;
+use fmm_core::catalog;
+use std::hint::black_box;
+
+fn build_hn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_hn");
+    let base = catalog::strassen().to_base();
+    for n in [4usize, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, &n| {
+            bch.iter(|| black_box(RecursiveCdag::build(&base, n).graph.len()))
+        });
+    }
+    group.finish();
+}
+
+fn audits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cdag_audits");
+    let h = RecursiveCdag::build(&catalog::strassen().to_base(), 16);
+    group.bench_function("census_h16", |bch| {
+        bch.iter(|| black_box(census(&h.graph).vertices))
+    });
+    group.bench_function("level_profile_h16", |bch| {
+        bch.iter(|| black_box(level_profile(&h.graph).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, build_hn, audits);
+criterion_main!(benches);

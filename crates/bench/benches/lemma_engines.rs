@@ -1,0 +1,48 @@
+//! F2/F3/X1 support: throughput of the combinatorial engines the lemma
+//! checks rest on — exhaustive Lemma 3.1 matching, min-dominator flow, and
+//! disjoint-path counting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmm_cdag::flow::{max_vertex_disjoint_paths, min_dominator_size};
+use fmm_cdag::RecursiveCdag;
+use fmm_core::{catalog, lemmas};
+use std::hint::black_box;
+
+fn lemma_3_1_exhaustive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma_3_1");
+    for alg in catalog::all_fast() {
+        let enc = alg.to_base().encoder_bipartite_a();
+        group.bench_with_input(BenchmarkId::from_parameter(&alg.name), &enc, |bch, enc| {
+            bch.iter(|| black_box(lemmas::check_lemma_3_1(enc, "bench").holds))
+        });
+    }
+    group.finish();
+}
+
+fn min_dominator_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("min_dominator");
+    for n in [2usize, 4] {
+        let h = RecursiveCdag::build(&catalog::strassen().to_base(), n);
+        let z = h.sub_output_vertices(1.min(n.trailing_zeros() as usize));
+        group.bench_with_input(BenchmarkId::new("strassen_h", n), &h, |bch, h| {
+            bch.iter(|| black_box(min_dominator_size(&h.graph, &z)))
+        });
+    }
+    group.finish();
+}
+
+fn disjoint_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disjoint_paths");
+    for n in [2usize, 4, 8] {
+        let h = RecursiveCdag::build(&catalog::strassen().to_base(), n);
+        let inputs = h.graph.inputs();
+        let outputs = h.outputs.clone();
+        group.bench_with_input(BenchmarkId::new("inputs_to_outputs", n), &h, |bch, h| {
+            bch.iter(|| black_box(max_vertex_disjoint_paths(&h.graph, &inputs, &outputs, &[])))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, lemma_3_1_exhaustive, min_dominator_flow, disjoint_paths);
+criterion_main!(benches);

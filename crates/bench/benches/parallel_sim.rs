@@ -1,0 +1,53 @@
+//! T1 parallel rows: the distributed simulators (Cannon 2D, 3D, BFS-CAPS)
+//! — real data movement, per-processor word accounting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmm_bench::bench_matrix;
+use fmm_core::catalog;
+use fmm_memsim::par;
+use std::hint::black_box;
+
+fn cannon_2d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cannon_2d");
+    group.sample_size(20);
+    let a = bench_matrix(64, 1);
+    let b = bench_matrix(64, 2);
+    for p in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(p * p), &p, |bch, &p| {
+            bch.iter(|| black_box(par::cannon(&a, &b, p).1.max_per_proc()))
+        });
+    }
+    group.finish();
+}
+
+fn three_d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("three_d");
+    group.sample_size(20);
+    let a = bench_matrix(64, 3);
+    let b = bench_matrix(64, 4);
+    for p in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(p * p * p), &p, |bch, &p| {
+            bch.iter(|| black_box(par::replicated_3d(&a, &b, p).1.max_per_proc()))
+        });
+    }
+    group.finish();
+}
+
+fn caps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("caps_strassen");
+    group.sample_size(20);
+    let alg = catalog::strassen();
+    let a = bench_matrix(64, 5);
+    let b = bench_matrix(64, 6);
+    for levels in [1usize, 2, 3] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(7usize.pow(levels as u32)),
+            &levels,
+            |bch, &l| bch.iter(|| black_box(par::caps_strassen(&alg, &a, &b, l).1.max_per_proc())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, cannon_2d, three_d, caps);
+criterion_main!(benches);

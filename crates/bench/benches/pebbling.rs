@@ -1,0 +1,65 @@
+//! X2 support: pebbling machinery — schedule generation + validation on
+//! matmul CDAGs and DP grids, and the exact optimal search on tiny graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmm_cdag::RecursiveCdag;
+use fmm_core::catalog;
+use fmm_pebbling::families;
+use fmm_pebbling::game::{run_schedule, CostModel};
+use fmm_pebbling::optimal::optimal_pebbling;
+use fmm_pebbling::players::{belady_schedule, creation_order, demand_schedule, EvictionMode};
+use std::hint::black_box;
+
+fn belady_on_strassen_cdag(c: &mut Criterion) {
+    let mut group = c.benchmark_group("belady_strassen");
+    for n in [4usize, 8] {
+        let h = RecursiveCdag::build(&catalog::strassen().to_base(), n);
+        let order = creation_order(&h.graph);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &h, |bch, h| {
+            bch.iter(|| {
+                let moves = belady_schedule(&h.graph, &order, 16);
+                black_box(run_schedule(&h.graph, &moves, 16, false).expect("legal").io())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn demand_players(c: &mut Criterion) {
+    let mut group = c.benchmark_group("demand_players");
+    let h = RecursiveCdag::build(&catalog::strassen().to_base(), 4);
+    for (name, mode) in [
+        ("store_reload", EvictionMode::StoreReload),
+        ("recompute", EvictionMode::Recompute),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &h, |bch, h| {
+            bch.iter(|| black_box(demand_schedule(&h.graph, 16, mode).expect("schedulable").len()))
+        });
+    }
+    group.finish();
+}
+
+fn optimal_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimal_search");
+    group.sample_size(10);
+    let cases = [
+        ("chain6", families::chain(6), 2usize),
+        ("tree4", families::binary_tree(4), 3),
+        ("grid3x3", families::dp_grid(3, 3), 4),
+    ];
+    for (name, g, m) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |bch, g| {
+            bch.iter(|| {
+                black_box(
+                    optimal_pebbling(g, m, true, CostModel::SYMMETRIC, 3_000_000)
+                        .expect("solved")
+                        .cost,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, belady_on_strassen_cdag, demand_players, optimal_search);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Graphviz DOT export, used to regenerate the paper's Figures 1 and 2.
+
+use crate::graph::{Cdag, VertexKind};
+use std::fmt::Write;
+
+/// Render the CDAG in DOT format. Inputs are drawn as boxes, outputs as
+/// double circles, internal vertices as plain circles; vertex labels come
+/// from the construction-time debug labels.
+pub fn to_dot(g: &Cdag, graph_name: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{graph_name}\" {{");
+    let _ = writeln!(s, "  rankdir=BT;");
+    for v in g.vertices() {
+        let shape = match g.kind(v) {
+            VertexKind::Input => "box",
+            VertexKind::Internal => "circle",
+            VertexKind::Output => "doublecircle",
+        };
+        let _ = writeln!(
+            s,
+            "  v{} [label=\"{}\", shape={shape}];",
+            v.0,
+            g.label(v).replace('"', "'")
+        );
+    }
+    for v in g.vertices() {
+        for &t in g.succs(v) {
+            let _ = writeln!(s, "  v{} -> v{};", v.0, t.0);
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::VertexKind;
+
+    #[test]
+    fn dot_contains_all_vertices_and_edges() {
+        let mut g = Cdag::new();
+        let a = g.add_vertex(VertexKind::Input, "a");
+        let b = g.add_vertex(VertexKind::Output, "a+b");
+        g.add_edge(a, b);
+        let dot = to_dot(&g, "test");
+        assert!(dot.contains("digraph \"test\""));
+        assert!(dot.contains("v0 [label=\"a\", shape=box]"));
+        assert!(dot.contains("shape=doublecircle"));
+        assert!(dot.contains("v0 -> v1;"));
+    }
+
+    #[test]
+    fn quotes_escaped() {
+        let mut g = Cdag::new();
+        g.add_vertex(VertexKind::Input, "x\"y");
+        let dot = to_dot(&g, "q");
+        assert!(dot.contains("x'y"));
+    }
+}

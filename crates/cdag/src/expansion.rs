@@ -1,0 +1,244 @@
+//! Edge expansion of CDAGs.
+//!
+//! The *without recomputation* column of Table I (Ballard–Demmel–Holtz–
+//! Schwartz \[8\]) bounds I/O through the **edge expansion** of the
+//! computation graph: `h(S) = |∂S| / |S|` for vertex sets `S`, where `∂S`
+//! is the set of edges with exactly one endpoint in `S`. The recomputation-
+//! robust technique of \[10\] and this paper replaces expansion with
+//! dominators + Grigoriev flow; this module lets the two quantities be
+//! *compared* on the same generated CDAGs:
+//!
+//! * [`edge_boundary`] / [`expansion`] — exact, for any vertex set;
+//! * [`subproblem_cones`] — the canonical sets of the recursive analysis:
+//!   the vertex cone of each `SUB_H^{r×r}` instance;
+//! * [`sampled_min_expansion`] — randomized search for poorly-expanding
+//!   sets (an upper bound on the size-constrained expansion constant).
+
+use crate::generator::RecursiveCdag;
+use crate::graph::{Cdag, VertexId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Number of edges with exactly one endpoint in `set` (direction ignored).
+pub fn edge_boundary(g: &Cdag, set: &[VertexId]) -> usize {
+    let mut inset = vec![false; g.len()];
+    for &v in set {
+        inset[v.idx()] = true;
+    }
+    let mut boundary = 0;
+    for v in g.vertices() {
+        for &s in g.succs(v) {
+            if inset[v.idx()] != inset[s.idx()] {
+                boundary += 1;
+            }
+        }
+    }
+    boundary
+}
+
+/// Edge expansion `h(S) = |∂S| / |S|`.
+///
+/// # Panics
+/// Panics on an empty set.
+pub fn expansion(g: &Cdag, set: &[VertexId]) -> f64 {
+    assert!(!set.is_empty(), "expansion of the empty set");
+    edge_boundary(g, set) as f64 / set.len() as f64
+}
+
+/// The vertex cone of each size-`2^j` sub-problem: all vertices lying on a
+/// path from the sub-problem's inputs to its outputs. These are the sets
+/// whose boundaries the recursive I/O analyses charge.
+pub fn subproblem_cones(h: &RecursiveCdag, j: usize) -> Vec<Vec<VertexId>> {
+    use crate::topo::{ancestors_of, reachable_from};
+    (0..h.sub_outputs[j].len())
+        .map(|i| {
+            let fwd = reachable_from(&h.graph, &h.sub_inputs[j][i]);
+            let bwd = ancestors_of(&h.graph, &h.sub_outputs[j][i]);
+            h.graph
+                .vertices()
+                .filter(|v| fwd[v.idx()] && bwd[v.idx()])
+                .collect()
+        })
+        .collect()
+}
+
+/// Randomized lower-quality witness search: grow `samples` random
+/// BFS-connected sets of the given size and return the minimum expansion
+/// found (an upper bound on the size-`size` expansion constant of `g`).
+pub fn sampled_min_expansion(
+    g: &Cdag,
+    size: usize,
+    samples: usize,
+    rng: &mut impl Rng,
+) -> f64 {
+    assert!(size >= 1 && size <= g.len(), "set size out of range");
+    let all: Vec<VertexId> = g.vertices().collect();
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        // BFS-grow from a random seed, expanding via random neighbours.
+        let seed = *all.choose(rng).expect("nonempty graph");
+        let mut inset = vec![false; g.len()];
+        let mut set = vec![seed];
+        inset[seed.idx()] = true;
+        let mut frontier = vec![seed];
+        while set.len() < size && !frontier.is_empty() {
+            let idx = rng.gen_range(0..frontier.len());
+            let v = frontier.swap_remove(idx);
+            let mut nbrs: Vec<VertexId> = g
+                .succs(v)
+                .iter()
+                .chain(g.preds(v))
+                .copied()
+                .filter(|u| !inset[u.idx()])
+                .collect();
+            nbrs.shuffle(rng);
+            for u in nbrs {
+                if set.len() >= size {
+                    break;
+                }
+                if !inset[u.idx()] {
+                    inset[u.idx()] = true;
+                    set.push(u);
+                    frontier.push(u);
+                }
+            }
+        }
+        if set.len() == size {
+            best = best.min(expansion(g, &set));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::Base2x2;
+    use crate::graph::VertexKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn strassen() -> Base2x2 {
+        Base2x2 {
+            name: "strassen".into(),
+            u: vec![
+                [1, 0, 0, 1],
+                [0, 0, 1, 1],
+                [1, 0, 0, 0],
+                [0, 0, 0, 1],
+                [1, 1, 0, 0],
+                [-1, 0, 1, 0],
+                [0, 1, 0, -1],
+            ],
+            v: vec![
+                [1, 0, 0, 1],
+                [1, 0, 0, 0],
+                [0, 1, 0, -1],
+                [-1, 0, 1, 0],
+                [0, 0, 0, 1],
+                [1, 1, 0, 0],
+                [0, 0, 1, 1],
+            ],
+            w: [
+                vec![1, 0, 0, 1, -1, 0, 1],
+                vec![0, 0, 1, 0, 1, 0, 0],
+                vec![0, 1, 0, 1, 0, 0, 0],
+                vec![1, -1, 1, 0, 0, 1, 0],
+            ],
+        }
+    }
+
+    /// Path a → b → c → d.
+    fn path4() -> (Cdag, Vec<VertexId>) {
+        let mut g = Cdag::new();
+        let a = g.add_vertex(VertexKind::Input, "a");
+        let b = g.add_vertex(VertexKind::Internal, "b");
+        let c = g.add_vertex(VertexKind::Internal, "c");
+        let d = g.add_vertex(VertexKind::Output, "d");
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        g.add_edge(c, d);
+        (g, vec![a, b, c, d])
+    }
+
+    #[test]
+    fn boundary_of_path_segments() {
+        let (g, v) = path4();
+        assert_eq!(edge_boundary(&g, &[v[0]]), 1);
+        assert_eq!(edge_boundary(&g, &[v[1]]), 2);
+        assert_eq!(edge_boundary(&g, &[v[1], v[2]]), 2);
+        assert_eq!(edge_boundary(&g, &v), 0); // whole graph
+    }
+
+    #[test]
+    fn expansion_values() {
+        let (g, v) = path4();
+        assert_eq!(expansion(&g, &[v[1]]), 2.0);
+        assert_eq!(expansion(&g, &[v[1], v[2]]), 1.0);
+        assert_eq!(expansion(&g, &v), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty set")]
+    fn empty_set_rejected() {
+        let (g, _) = path4();
+        let _ = expansion(&g, &[]);
+    }
+
+    #[test]
+    fn subproblem_cones_structure() {
+        let h = RecursiveCdag::build(&strassen(), 4);
+        let cones = subproblem_cones(&h, 1);
+        assert_eq!(cones.len(), 7); // 7 sub-problems of size 2
+        for cone in &cones {
+            // Each cone contains its 8 inputs and 4 outputs at least.
+            assert!(cone.len() >= 12);
+            // Cones have a nonempty boundary (they connect to the rest).
+            assert!(edge_boundary(&h.graph, cone) > 0);
+        }
+    }
+
+    #[test]
+    fn subproblem_cone_expansion_shrinks_with_size() {
+        // The recursive structure is a poor expander at scale: bigger
+        // sub-problem cones expand less — the qualitative fact behind the
+        // (n/√M)^{log₂7} bound of [8].
+        let h = RecursiveCdag::build(&strassen(), 8);
+        let avg = |j: usize| {
+            let cones = subproblem_cones(&h, j);
+            cones.iter().map(|c| expansion(&h.graph, c)).sum::<f64>() / cones.len() as f64
+        };
+        let small = avg(1);
+        let large = avg(2);
+        assert!(
+            large < small,
+            "size-4 cones must expand less than size-2 cones: {large} vs {small}"
+        );
+    }
+
+    #[test]
+    fn sampled_expansion_bounded_by_max_degree() {
+        let h = RecursiveCdag::build(&strassen(), 4);
+        let mut rng = StdRng::seed_from_u64(88);
+        let e = sampled_min_expansion(&h.graph, 8, 20, &mut rng);
+        // Expansion can never exceed the max total degree.
+        let max_deg = h
+            .graph
+            .vertices()
+            .map(|v| h.graph.in_degree(v) + h.graph.out_degree(v))
+            .max()
+            .unwrap() as f64;
+        assert!(e <= max_deg);
+        assert!(e > 0.0);
+    }
+
+    #[test]
+    fn sampled_expansion_monotone_sanity() {
+        // Larger random sets in the Strassen CDAG tend to expand less.
+        let h = RecursiveCdag::build(&strassen(), 8);
+        let mut rng = StdRng::seed_from_u64(99);
+        let small = sampled_min_expansion(&h.graph, 4, 30, &mut rng);
+        let large = sampled_min_expansion(&h.graph, 64, 30, &mut rng);
+        assert!(large < small, "min-expansion witness: {large} vs {small}");
+    }
+}

@@ -1,0 +1,186 @@
+//! Topological ordering and reachability.
+
+use crate::graph::{Cdag, VertexId};
+use std::collections::VecDeque;
+
+/// Kahn topological sort.
+///
+/// Returns a vertex order in which every vertex appears after all of its
+/// predecessors, or `None` if the graph contains a cycle (which would make
+/// it not a CDAG at all).
+pub fn toposort(g: &Cdag) -> Option<Vec<VertexId>> {
+    let mut indeg: Vec<usize> = g.vertices().map(|v| g.in_degree(v)).collect();
+    let mut queue: VecDeque<VertexId> =
+        g.vertices().filter(|&v| indeg[v.idx()] == 0).collect();
+    let mut order = Vec::with_capacity(g.len());
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &s in g.succs(v) {
+            indeg[s.idx()] -= 1;
+            if indeg[s.idx()] == 0 {
+                queue.push_back(s);
+            }
+        }
+    }
+    (order.len() == g.len()).then_some(order)
+}
+
+/// `true` iff the graph is acyclic.
+pub fn is_acyclic(g: &Cdag) -> bool {
+    toposort(g).is_some()
+}
+
+/// Forward reachability: all vertices reachable from `sources` along edge
+/// direction (including the sources themselves), as a membership bitmap.
+pub fn reachable_from(g: &Cdag, sources: &[VertexId]) -> Vec<bool> {
+    let mut seen = vec![false; g.len()];
+    let mut stack: Vec<VertexId> = Vec::with_capacity(sources.len());
+    for &s in sources {
+        if !seen[s.idx()] {
+            seen[s.idx()] = true;
+            stack.push(s);
+        }
+    }
+    while let Some(v) = stack.pop() {
+        for &s in g.succs(v) {
+            if !seen[s.idx()] {
+                seen[s.idx()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    seen
+}
+
+/// Backward reachability: all vertices from which some vertex in `targets`
+/// is reachable (including the targets), as a membership bitmap. These are
+/// exactly the ancestors that can influence `targets`.
+pub fn ancestors_of(g: &Cdag, targets: &[VertexId]) -> Vec<bool> {
+    let mut seen = vec![false; g.len()];
+    let mut stack: Vec<VertexId> = Vec::with_capacity(targets.len());
+    for &t in targets {
+        if !seen[t.idx()] {
+            seen[t.idx()] = true;
+            stack.push(t);
+        }
+    }
+    while let Some(v) = stack.pop() {
+        for &p in g.preds(v) {
+            if !seen[p.idx()] {
+                seen[p.idx()] = true;
+                stack.push(p);
+            }
+        }
+    }
+    seen
+}
+
+/// Forward reachability that is forbidden from entering `blocked` vertices.
+///
+/// Sources inside `blocked` are not expanded. This is the primitive behind
+/// dominator-set checking: `Γ` dominates `Z` iff no vertex of `Z \ Γ` is
+/// reachable from `V_inp \ Γ` when `Γ` is blocked.
+pub fn reachable_avoiding(g: &Cdag, sources: &[VertexId], blocked: &[bool]) -> Vec<bool> {
+    debug_assert_eq!(blocked.len(), g.len());
+    let mut seen = vec![false; g.len()];
+    let mut stack: Vec<VertexId> = Vec::new();
+    for &s in sources {
+        if !blocked[s.idx()] && !seen[s.idx()] {
+            seen[s.idx()] = true;
+            stack.push(s);
+        }
+    }
+    while let Some(v) = stack.pop() {
+        for &s in g.succs(v) {
+            if !blocked[s.idx()] && !seen[s.idx()] {
+                seen[s.idx()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::VertexKind;
+
+    /// Diamond: i → a, i → b, a → o, b → o.
+    fn diamond() -> (Cdag, [VertexId; 4]) {
+        let mut g = Cdag::new();
+        let i = g.add_vertex(VertexKind::Input, "i");
+        let a = g.add_vertex(VertexKind::Internal, "a");
+        let b = g.add_vertex(VertexKind::Internal, "b");
+        let o = g.add_vertex(VertexKind::Output, "o");
+        g.add_edge(i, a);
+        g.add_edge(i, b);
+        g.add_edge(a, o);
+        g.add_edge(b, o);
+        (g, [i, a, b, o])
+    }
+
+    #[test]
+    fn toposort_respects_edges() {
+        let (g, _) = diamond();
+        let order = toposort(&g).expect("acyclic");
+        let pos: Vec<usize> = {
+            let mut p = vec![0; g.len()];
+            for (i, v) in order.iter().enumerate() {
+                p[v.idx()] = i;
+            }
+            p
+        };
+        for v in g.vertices() {
+            for &s in g.succs(v) {
+                assert!(pos[v.idx()] < pos[s.idx()]);
+            }
+        }
+    }
+
+    #[test]
+    fn acyclic_detection() {
+        let (g, _) = diamond();
+        assert!(is_acyclic(&g));
+    }
+
+    #[test]
+    fn reachability_forward() {
+        let (g, [i, a, b, o]) = diamond();
+        let r = reachable_from(&g, &[a]);
+        assert!(r[a.idx()] && r[o.idx()]);
+        assert!(!r[i.idx()] && !r[b.idx()]);
+    }
+
+    #[test]
+    fn reachability_backward() {
+        let (g, [i, a, b, o]) = diamond();
+        let r = ancestors_of(&g, &[a]);
+        assert!(r[a.idx()] && r[i.idx()]);
+        assert!(!r[b.idx()] && !r[o.idx()]);
+    }
+
+    #[test]
+    fn avoiding_blocks_paths() {
+        let (g, [i, a, b, o]) = diamond();
+        // Block only a: o still reachable via b.
+        let mut blocked = vec![false; g.len()];
+        blocked[a.idx()] = true;
+        assert!(reachable_avoiding(&g, &[i], &blocked)[o.idx()]);
+        // Block both middle vertices: o unreachable.
+        blocked[b.idx()] = true;
+        assert!(!reachable_avoiding(&g, &[i], &blocked)[o.idx()]);
+        // Blocking the source prevents everything.
+        let mut blocked2 = vec![false; g.len()];
+        blocked2[i.idx()] = true;
+        let r = reachable_avoiding(&g, &[i], &blocked2);
+        assert!(r.iter().all(|&x| !x));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Cdag::new();
+        assert_eq!(toposort(&g), Some(vec![]));
+        assert!(is_acyclic(&g));
+    }
+}

@@ -1,0 +1,183 @@
+//! Property-based tests for the combinatorial engines: the flow-based
+//! exact computations must agree with brute force on random DAGs, and the
+//! structural invariants of generated CDAGs must hold for random base
+//! cases.
+
+use fmm_cdag::flow::{
+    is_dominator, max_vertex_disjoint_paths, min_dominator_brute, min_dominator_size,
+    min_vertex_cut,
+};
+use fmm_cdag::graph::{Cdag, VertexId, VertexKind};
+use fmm_cdag::topo::{is_acyclic, reachable_from, toposort};
+use proptest::prelude::*;
+
+/// Random small layered DAG with explicit inputs/outputs.
+fn layered_dag() -> impl Strategy<Value = Cdag> {
+    (
+        2usize..4,                                            // layers after inputs
+        1usize..4,                                            // width
+        proptest::collection::vec(0usize..1000, 40),          // edge picks
+    )
+        .prop_map(|(layers, width, picks)| {
+            let mut g = Cdag::new();
+            let mut prev: Vec<VertexId> = (0..width)
+                .map(|i| g.add_vertex(VertexKind::Input, format!("i{i}")))
+                .collect();
+            let mut all = prev.clone();
+            let mut pick = picks.into_iter().cycle();
+            for layer in 0..layers {
+                let kind = if layer + 1 == layers { VertexKind::Output } else { VertexKind::Internal };
+                let mut this = Vec::new();
+                for w in 0..width {
+                    let v = g.add_vertex(kind, format!("v{layer}_{w}"));
+                    // 1–2 predecessors from anything earlier.
+                    let p1 = all[pick.next().unwrap() % all.len()];
+                    g.add_edge(p1, v);
+                    let p2 = all[pick.next().unwrap() % all.len()];
+                    if p2 != p1 {
+                        g.add_edge(p2, v);
+                    }
+                    this.push(v);
+                }
+                all.extend(this.iter().copied());
+                prev = this;
+            }
+            let _ = prev;
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn layered_dags_are_acyclic(g in layered_dag()) {
+        prop_assert!(is_acyclic(&g));
+        prop_assert!(toposort(&g).is_some());
+    }
+
+    #[test]
+    fn flow_min_dominator_matches_brute_force(g in layered_dag()) {
+        let outputs = g.outputs();
+        prop_assume!(!outputs.is_empty());
+        let flow = min_dominator_size(&g, &outputs);
+        let brute = min_dominator_brute(&g, &outputs);
+        prop_assert_eq!(flow, brute);
+    }
+
+    #[test]
+    fn min_cut_is_a_dominator_and_minimal(g in layered_dag()) {
+        let outputs = g.outputs();
+        prop_assume!(!outputs.is_empty());
+        let cut = min_vertex_cut(&g, &g.inputs(), &outputs);
+        prop_assert!(is_dominator(&g, &cut, &outputs));
+        // Removing any cut vertex breaks domination (minimality).
+        for i in 0..cut.len() {
+            let mut smaller = cut.clone();
+            smaller.remove(i);
+            prop_assert!(!is_dominator(&g, &smaller, &outputs));
+        }
+    }
+
+    #[test]
+    fn menger_duality(g in layered_dag()) {
+        // max #vertex-disjoint paths == min vertex cut (Menger).
+        let outputs = g.outputs();
+        prop_assume!(!outputs.is_empty());
+        let paths = max_vertex_disjoint_paths(&g, &g.inputs(), &outputs, &[]);
+        let cut = min_vertex_cut(&g, &g.inputs(), &outputs).len();
+        prop_assert_eq!(paths, cut);
+    }
+
+    #[test]
+    fn forbidding_vertices_never_increases_paths(g in layered_dag()) {
+        let outputs = g.outputs();
+        prop_assume!(!outputs.is_empty());
+        let internals = g.internals();
+        prop_assume!(!internals.is_empty());
+        let base = max_vertex_disjoint_paths(&g, &g.inputs(), &outputs, &[]);
+        let restricted =
+            max_vertex_disjoint_paths(&g, &g.inputs(), &outputs, &internals[..1]);
+        prop_assert!(restricted <= base);
+    }
+
+    #[test]
+    fn outputs_reachable_from_inputs(g in layered_dag()) {
+        let reach = reachable_from(&g, &g.inputs());
+        for o in g.outputs() {
+            prop_assert!(reach[o.idx()]);
+        }
+    }
+
+    #[test]
+    fn dominator_check_consistent_with_blocking(g in layered_dag()) {
+        // Inputs always dominate everything; the empty set dominates only
+        // unreachable targets.
+        let outputs = g.outputs();
+        prop_assume!(!outputs.is_empty());
+        prop_assert!(is_dominator(&g, &g.inputs(), &outputs));
+        let reach = reachable_from(&g, &g.inputs());
+        let any_reachable = outputs.iter().any(|o| reach[o.idx()]);
+        prop_assert_eq!(!is_dominator(&g, &[], &outputs), any_reachable);
+    }
+}
+
+/// Random valid-looking base cases: mutate Strassen's support patterns with
+/// sign flips (stays Brent-valid only for genuine sign symmetries, but the
+/// *generator* must produce a structurally sound CDAG for any well-formed
+/// coefficient triple).
+mod generator_props {
+    use super::*;
+    use fmm_cdag::census::census;
+    use fmm_cdag::{Base2x2, RecursiveCdag};
+
+    fn random_base() -> impl Strategy<Value = Base2x2> {
+        // Random nonzero rows over {-1,0,1} with at least one nonzero.
+        let row = proptest::collection::vec(-1i64..=1, 4).prop_filter_map(
+            "nonzero row",
+            |v| {
+                if v.iter().any(|&c| c != 0) {
+                    Some([v[0], v[1], v[2], v[3]])
+                } else {
+                    None
+                }
+            },
+        );
+        let wrow = proptest::collection::vec(-1i64..=1, 7).prop_filter(
+            "nonzero row",
+            |v| v.iter().any(|&c| c != 0),
+        );
+        (
+            proptest::collection::vec(row.clone(), 7),
+            proptest::collection::vec(row, 7),
+            proptest::collection::vec(wrow, 4),
+        )
+            .prop_map(|(u, v, w)| Base2x2 {
+                name: "random".into(),
+                u,
+                v,
+                w: [w[0].clone(), w[1].clone(), w[2].clone(), w[3].clone()],
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn generator_structural_invariants(base in random_base(), k in 0usize..3) {
+            let n = 1usize << k;
+            let h = RecursiveCdag::build(&base, n);
+            // Acyclic, right input/output counts, Lemma 2.2 census.
+            prop_assert!(is_acyclic(&h.graph));
+            let c = census(&h.graph);
+            prop_assert_eq!(c.inputs, 2 * n * n);
+            prop_assert_eq!(c.outputs, n * n);
+            prop_assert!(fmm_cdag::census::lemma_2_2_violation(&h, 7).is_none());
+            // Every output depends on at least one input.
+            let reach = reachable_from(&h.graph, &h.graph.inputs());
+            for &o in &h.outputs {
+                prop_assert!(reach[o.idx()]);
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Operator sugar: `&a + &b`, `&a - &b`, `-&a`, `&a * &b` for matrices.
+//!
+//! Operators take references (matrices are heavyweight); `Mul` uses the
+//! cache-friendly ikj classical kernel. Fast algorithms are an explicit
+//! choice via `fmm-core` — an innocuous-looking `*` should not silently
+//! pick a recursion with different numerical behaviour.
+
+use crate::dense::Matrix;
+use crate::multiply::multiply_ikj;
+use crate::ops;
+use crate::scalar::Scalar;
+use std::ops::{Add, Mul, Neg, Sub};
+
+impl<T: Scalar> Add for &Matrix<T> {
+    type Output = Matrix<T>;
+    fn add(self, rhs: &Matrix<T>) -> Matrix<T> {
+        ops::add(self, rhs)
+    }
+}
+
+impl<T: Scalar> Sub for &Matrix<T> {
+    type Output = Matrix<T>;
+    fn sub(self, rhs: &Matrix<T>) -> Matrix<T> {
+        ops::sub(self, rhs)
+    }
+}
+
+impl<T: Scalar> Neg for &Matrix<T> {
+    type Output = Matrix<T>;
+    fn neg(self) -> Matrix<T> {
+        self.map(|v| -v)
+    }
+}
+
+impl<T: Scalar> Mul for &Matrix<T> {
+    type Output = Matrix<T>;
+    fn mul(self, rhs: &Matrix<T>) -> Matrix<T> {
+        multiply_ikj(self, rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn operator_sugar_matches_functions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Matrix::<i64>::random_small(4, 4, &mut rng);
+        let b = Matrix::<i64>::random_small(4, 4, &mut rng);
+        assert_eq!(&a + &b, ops::add(&a, &b));
+        assert_eq!(&a - &b, ops::sub(&a, &b));
+        assert_eq!(&a * &b, crate::multiply::multiply_naive(&a, &b));
+        assert_eq!(-(&a), a.map(|v| -v));
+    }
+
+    #[test]
+    fn ring_identities_via_operators() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Matrix::<i64>::random_small(3, 3, &mut rng);
+        let b = Matrix::<i64>::random_small(3, 3, &mut rng);
+        let c = Matrix::<i64>::random_small(3, 3, &mut rng);
+        // (a + b)·c = a·c + b·c
+        assert_eq!(&(&a + &b) * &c, &(&a * &c) + &(&b * &c));
+        // a − a = 0
+        assert_eq!(&a - &a, Matrix::zeros(3, 3));
+        // −(−a) = a
+        assert_eq!(-(&-(&a)), a);
+    }
+
+    #[test]
+    fn rectangular_operator_multiply() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Matrix::<i64>::random_small(2, 5, &mut rng);
+        let b = Matrix::<i64>::random_small(5, 3, &mut rng);
+        let c = &a * &b;
+        assert_eq!((c.rows(), c.cols()), (2, 3));
+    }
+}

@@ -1,0 +1,145 @@
+//! The [`Scalar`] trait: the ring elements matrices are made of.
+//!
+//! The I/O lower bounds of the paper hold over any ring, so every algorithm
+//! in the workspace is generic over this trait. Exact instances
+//! ([`crate::Rational`], [`crate::Zp`], `i64`, `i128`) make symbolic
+//! validation possible; floating instances are used for throughput
+//! benchmarks.
+
+use std::fmt::Debug;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A ring element usable as a matrix entry.
+///
+/// The bound set is deliberately minimal: addition, subtraction,
+/// multiplication, negation, and the two distinguished constants. Division is
+/// *not* required — bilinear matrix-multiplication algorithms with ±1
+/// coefficients (Strassen, Winograd, Karstadt–Schwartz) never divide.
+pub trait Scalar:
+    Copy
+    + Debug
+    + PartialEq
+    + Send
+    + Sync
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + 'static
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Embed a small signed integer into the ring.
+    ///
+    /// This is how the ±1 (and occasionally ±2) coefficients of bilinear
+    /// algorithms act on arbitrary scalars.
+    fn from_i64(v: i64) -> Self;
+    /// `true` if `self` equals the additive identity.
+    fn is_zero(&self) -> bool {
+        *self == Self::zero()
+    }
+    /// Approximate equality; exact types override with exact equality.
+    fn approx_eq(&self, other: &Self, _tol: f64) -> bool {
+        self == other
+    }
+}
+
+impl Scalar for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn from_i64(v: i64) -> Self {
+        v as f64
+    }
+    fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        let scale = self.abs().max(other.abs()).max(1.0);
+        (self - other).abs() <= tol * scale
+    }
+}
+
+impl Scalar for f32 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn from_i64(v: i64) -> Self {
+        v as f32
+    }
+    fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        let scale = self.abs().max(other.abs()).max(1.0);
+        (self - other).abs() <= (tol as f32) * scale
+    }
+}
+
+impl Scalar for i64 {
+    fn zero() -> Self {
+        0
+    }
+    fn one() -> Self {
+        1
+    }
+    fn from_i64(v: i64) -> Self {
+        v
+    }
+}
+
+impl Scalar for i128 {
+    fn zero() -> Self {
+        0
+    }
+    fn one() -> Self {
+        1
+    }
+    fn from_i64(v: i64) -> Self {
+        v as i128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_identities() {
+        assert_eq!(<f64 as Scalar>::zero() + 1.0, 1.0);
+        assert_eq!(<f64 as Scalar>::one() * 3.5, 3.5);
+        assert!(<f64 as Scalar>::zero().is_zero());
+        assert!(!<f64 as Scalar>::one().is_zero());
+    }
+
+    #[test]
+    fn f64_approx_eq_relative() {
+        let a = 1.0e9_f64;
+        let b = a + 1.0;
+        assert!(a.approx_eq(&b, 1e-6));
+        assert!(!a.approx_eq(&(a * 2.0), 1e-6));
+    }
+
+    #[test]
+    fn from_i64_embedding() {
+        assert_eq!(<f64 as Scalar>::from_i64(-3), -3.0);
+        assert_eq!(<i64 as Scalar>::from_i64(7), 7);
+        assert_eq!(<i128 as Scalar>::from_i64(-1), -1i128);
+        assert_eq!(<f32 as Scalar>::from_i64(2), 2.0f32);
+    }
+
+    #[test]
+    fn integer_ring_ops() {
+        let a = <i64 as Scalar>::from_i64(5);
+        let b = <i64 as Scalar>::from_i64(-2);
+        assert_eq!(a + b, 3);
+        assert_eq!(a - b, 7);
+        assert_eq!(a * b, -10);
+        assert_eq!(-a, -5);
+    }
+}

@@ -1,0 +1,248 @@
+//! Strided, non-owning views into a [`Matrix`].
+//!
+//! The 2×2 recursion of Strassen-family algorithms works on quadrants; views
+//! let kernels address a quadrant without copying it, which matters both for
+//! performance and for the I/O-instrumented executors in `fmm-memsim` (a
+//! view preserves the *identity* of the underlying words, so cache
+//! simulation sees the true reuse pattern).
+
+use crate::dense::Matrix;
+use crate::scalar::Scalar;
+
+/// Immutable rectangular window into a matrix.
+#[derive(Clone, Copy)]
+pub struct MatrixView<'a, T> {
+    data: &'a [T],
+    /// Offset of element (0,0) of the view within `data`.
+    offset: usize,
+    /// Row stride of the underlying matrix.
+    stride: usize,
+    rows: usize,
+    cols: usize,
+}
+
+impl<'a, T: Scalar> MatrixView<'a, T> {
+    /// View of the whole matrix.
+    pub fn full(m: &'a Matrix<T>) -> Self {
+        MatrixView {
+            data: m.as_slice(),
+            offset: 0,
+            stride: m.cols(),
+            rows: m.rows(),
+            cols: m.cols(),
+        }
+    }
+
+    /// Sub-window at `(r0, c0)` of shape `rows × cols`.
+    ///
+    /// # Panics
+    /// Panics if the window exceeds the view bounds.
+    pub fn window(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> MatrixView<'a, T> {
+        assert!(r0 + rows <= self.rows && c0 + cols <= self.cols, "window out of bounds");
+        MatrixView {
+            data: self.data,
+            offset: self.offset + r0 * self.stride + c0,
+            stride: self.stride,
+            rows,
+            cols,
+        }
+    }
+
+    /// The four quadrants of a square even-order view, in row-major order
+    /// `[Q11, Q12, Q21, Q22]`.
+    pub fn quadrants(&self) -> [MatrixView<'a, T>; 4] {
+        assert!(self.rows == self.cols && self.rows.is_multiple_of(2), "need square even view");
+        let h = self.rows / 2;
+        [
+            self.window(0, 0, h, h),
+            self.window(0, h, h, h),
+            self.window(h, 0, h, h),
+            self.window(h, h, h, h),
+        ]
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[self.offset + i * self.stride + j]
+    }
+
+    /// Materialize the view as an owned matrix.
+    pub fn to_matrix(&self) -> Matrix<T> {
+        Matrix::from_fn(self.rows, self.cols, |i, j| self.get(i, j))
+    }
+}
+
+/// Mutable rectangular window into a matrix.
+pub struct MatrixViewMut<'a, T> {
+    data: &'a mut [T],
+    offset: usize,
+    stride: usize,
+    rows: usize,
+    cols: usize,
+}
+
+impl<'a, T: Scalar> MatrixViewMut<'a, T> {
+    /// Mutable view of the whole matrix.
+    pub fn full(m: &'a mut Matrix<T>) -> Self {
+        let (rows, cols) = (m.rows(), m.cols());
+        MatrixViewMut {
+            data: m.as_mut_slice(),
+            offset: 0,
+            stride: cols,
+            rows,
+            cols,
+        }
+    }
+
+    /// Re-borrow a sub-window at `(r0, c0)` of shape `rows × cols`.
+    pub fn window_mut(&mut self, r0: usize, c0: usize, rows: usize, cols: usize) -> MatrixViewMut<'_, T> {
+        assert!(r0 + rows <= self.rows && c0 + cols <= self.cols, "window out of bounds");
+        MatrixViewMut {
+            data: self.data,
+            offset: self.offset + r0 * self.stride + c0,
+            stride: self.stride,
+            rows,
+            cols,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[self.offset + i * self.stride + j]
+    }
+
+    /// Write element at `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[self.offset + i * self.stride + j] = v;
+    }
+
+    /// Add `v` into element `(i, j)`.
+    #[inline]
+    pub fn add_assign_at(&mut self, i: usize, j: usize, v: T) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[self.offset + i * self.stride + j] += v;
+    }
+
+    /// Copy `src` into this view (shapes must match).
+    pub fn copy_from(&mut self, src: &MatrixView<'_, T>) {
+        assert_eq!((self.rows, self.cols), (src.rows(), src.cols()));
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                self.set(i, j, src.get(i, j));
+            }
+        }
+    }
+
+    /// Immutable re-borrow.
+    pub fn as_view(&self) -> MatrixView<'_, T> {
+        MatrixView {
+            data: self.data,
+            offset: self.offset,
+            stride: self.stride,
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix<i64> {
+        Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as i64)
+    }
+
+    #[test]
+    fn full_view_round_trip() {
+        let m = sample();
+        let v = MatrixView::full(&m);
+        assert_eq!(v.to_matrix(), m);
+    }
+
+    #[test]
+    fn quadrants_address_correct_elements() {
+        let m = sample();
+        let v = MatrixView::full(&m);
+        let [q11, q12, q21, q22] = v.quadrants();
+        assert_eq!(q11.get(0, 0), 0);
+        assert_eq!(q12.get(0, 0), 2);
+        assert_eq!(q21.get(0, 0), 8);
+        assert_eq!(q22.get(1, 1), 15);
+    }
+
+    #[test]
+    fn nested_windows_compose() {
+        let m = sample();
+        let v = MatrixView::full(&m);
+        let w = v.window(1, 1, 3, 3).window(1, 1, 2, 2);
+        assert_eq!(w.get(0, 0), m[(2, 2)]);
+        assert_eq!(w.get(1, 1), m[(3, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn window_oob_panics() {
+        let m = sample();
+        let v = MatrixView::full(&m);
+        let _ = v.window(2, 2, 3, 3);
+    }
+
+    #[test]
+    fn mut_view_writes_through() {
+        let mut m = sample();
+        {
+            let mut v = MatrixViewMut::full(&mut m);
+            let mut q22 = v.window_mut(2, 2, 2, 2);
+            q22.set(0, 0, 100);
+            q22.add_assign_at(1, 1, 1);
+        }
+        assert_eq!(m[(2, 2)], 100);
+        assert_eq!(m[(3, 3)], 16);
+    }
+
+    #[test]
+    fn copy_from_view() {
+        let src = sample();
+        let mut dst: Matrix<i64> = Matrix::zeros(2, 2);
+        let sv = MatrixView::full(&src).window(1, 1, 2, 2);
+        MatrixViewMut::full(&mut dst).copy_from(&sv);
+        assert_eq!(dst[(0, 0)], src[(1, 1)]);
+        assert_eq!(dst[(1, 1)], src[(2, 2)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn copy_from_shape_mismatch_panics() {
+        let src = sample();
+        let mut dst: Matrix<i64> = Matrix::zeros(2, 3);
+        let sv = MatrixView::full(&src).window(0, 0, 2, 2);
+        MatrixViewMut::full(&mut dst).copy_from(&sv);
+    }
+}

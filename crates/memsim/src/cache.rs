@@ -1,0 +1,273 @@
+//! Trace-driven fast-memory simulator.
+//!
+//! Word-granular (one matrix element = one word), fully associative, with
+//! LRU or FIFO replacement and dirty-writeback accounting. A read miss
+//! costs one load; evicting a dirty word costs one store; [`Cache::flush`]
+//! writes back all remaining dirty words (the end-of-algorithm state where
+//! outputs must reside in slow memory).
+
+use std::collections::{HashMap, VecDeque};
+
+/// Replacement policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Policy {
+    /// Least-recently-used.
+    Lru,
+    /// First-in-first-out.
+    Fifo,
+}
+
+/// I/O counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Loads from slow memory (read misses and write-allocate misses).
+    pub loads: u64,
+    /// Stores to slow memory (dirty evictions + flush writebacks).
+    pub stores: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Total accesses.
+    pub accesses: u64,
+}
+
+impl CacheStats {
+    /// Total I/O (loads + stores) — the quantity the lower bounds speak of.
+    pub fn io(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+struct Line {
+    dirty: bool,
+    /// LRU timestamp (unused under FIFO).
+    touched: u64,
+}
+
+/// A fully associative cache of `capacity` words.
+pub struct Cache {
+    capacity: usize,
+    policy: Policy,
+    lines: HashMap<u64, Line>,
+    /// FIFO order (also insertion order for diagnostics).
+    fifo: VecDeque<u64>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// New empty cache.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize, policy: Policy) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Cache {
+            capacity,
+            policy,
+            lines: HashMap::with_capacity(capacity * 2),
+            fifo: VecDeque::new(),
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Capacity in words.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of resident words.
+    pub fn resident(&self) -> usize {
+        self.lines.len()
+    }
+
+    fn evict_one(&mut self) {
+        let victim = match self.policy {
+            Policy::Fifo => loop {
+                let v = self.fifo.pop_front().expect("eviction from empty cache");
+                if self.lines.contains_key(&v) {
+                    break v;
+                }
+            },
+            Policy::Lru => {
+                let (&addr, _) = self
+                    .lines
+                    .iter()
+                    .min_by_key(|(_, l)| l.touched)
+                    .expect("eviction from empty cache");
+                addr
+            }
+        };
+        let line = self.lines.remove(&victim).expect("victim resident");
+        if line.dirty {
+            self.stats.stores += 1;
+        }
+    }
+
+    fn insert(&mut self, addr: u64, dirty: bool) {
+        while self.lines.len() >= self.capacity {
+            self.evict_one();
+        }
+        self.clock += 1;
+        self.lines.insert(addr, Line { dirty, touched: self.clock });
+        if self.policy == Policy::Fifo {
+            self.fifo.push_back(addr);
+        }
+    }
+
+    /// Read word `addr` (miss → load).
+    pub fn read(&mut self, addr: u64) {
+        self.stats.accesses += 1;
+        self.clock += 1;
+        if let Some(line) = self.lines.get_mut(&addr) {
+            line.touched = self.clock;
+            self.stats.hits += 1;
+        } else {
+            self.stats.loads += 1;
+            self.insert(addr, false);
+        }
+    }
+
+    /// Write word `addr` (write-allocate: miss loads first).
+    pub fn write(&mut self, addr: u64) {
+        self.stats.accesses += 1;
+        self.clock += 1;
+        if let Some(line) = self.lines.get_mut(&addr) {
+            line.touched = self.clock;
+            line.dirty = true;
+            self.stats.hits += 1;
+        } else {
+            // Write-allocate without fetch: freshly produced values need no
+            // load from slow memory.
+            self.insert(addr, true);
+        }
+    }
+
+    /// Write back all dirty lines and empty the cache.
+    pub fn flush(&mut self) {
+        for (_, line) in self.lines.drain() {
+            if line.dirty {
+                self.stats.stores += 1;
+            }
+        }
+        self.fifo.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_and_misses_counted() {
+        let mut c = Cache::new(2, Policy::Lru);
+        c.read(1);
+        c.read(1);
+        c.read(2);
+        assert_eq!(c.stats().loads, 2);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().accesses, 3);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = Cache::new(2, Policy::Lru);
+        c.read(1);
+        c.read(2);
+        c.read(1); // 2 is now LRU
+        c.read(3); // evicts 2
+        c.read(1); // hit
+        assert_eq!(c.stats().hits, 2);
+        c.read(2); // miss again
+        assert_eq!(c.stats().loads, 4);
+    }
+
+    #[test]
+    fn fifo_evicts_first_in() {
+        let mut c = Cache::new(2, Policy::Fifo);
+        c.read(1);
+        c.read(2);
+        c.read(1); // touch does not rescue FIFO order
+        c.read(3); // evicts 1
+        c.read(2); // hit
+        assert_eq!(c.stats().hits, 2);
+        c.read(1); // miss
+        assert_eq!(c.stats().loads, 4);
+    }
+
+    #[test]
+    fn dirty_eviction_stores() {
+        let mut c = Cache::new(1, Policy::Lru);
+        c.write(1);
+        c.read(2); // evicts dirty 1 → store
+        assert_eq!(c.stats().stores, 1);
+        assert_eq!(c.stats().loads, 1); // only the read of 2
+    }
+
+    #[test]
+    fn clean_eviction_free() {
+        let mut c = Cache::new(1, Policy::Lru);
+        c.read(1);
+        c.read(2);
+        assert_eq!(c.stats().stores, 0);
+    }
+
+    #[test]
+    fn write_allocate_no_fetch() {
+        let mut c = Cache::new(4, Policy::Lru);
+        c.write(7);
+        assert_eq!(c.stats().loads, 0);
+        c.flush();
+        assert_eq!(c.stats().stores, 1);
+    }
+
+    #[test]
+    fn flush_writes_all_dirty() {
+        let mut c = Cache::new(4, Policy::Lru);
+        c.write(1);
+        c.write(2);
+        c.read(3);
+        c.flush();
+        assert_eq!(c.stats().stores, 2);
+        assert_eq!(c.resident(), 0);
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut c = Cache::new(3, Policy::Lru);
+        for a in 0..10 {
+            c.read(a);
+            assert!(c.resident() <= 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Cache::new(0, Policy::Lru);
+    }
+
+    #[test]
+    fn streaming_scan_all_misses() {
+        let mut c = Cache::new(8, Policy::Lru);
+        for a in 0..100 {
+            c.read(a);
+        }
+        assert_eq!(c.stats().loads, 100);
+        assert_eq!(c.stats().hits, 0);
+    }
+}

@@ -1,0 +1,441 @@
+//! Instrumented sequential executions: real algorithms, every element
+//! access routed through the [`crate::cache`] simulator.
+//!
+//! The executors below actually compute the product (results are checked
+//! against the classical kernel in tests) while the cache counts the I/O a
+//! two-level machine with `M` words of fast memory would perform. This is
+//! the measured side of the Table I comparison:
+//!
+//! * [`classical_naive`] — the textbook triple loop (pathological reuse);
+//! * [`classical_blocked`] — tiled with `b ≈ √(M/3)`, the Hong–Kung-optimal
+//!   classical schedule, `Θ(n³/√M)` I/O;
+//! * [`fast_recursive`] — any catalog algorithm, recursing until the
+//!   sub-problem fits in cache, `Θ((n/√M)^{log₂7}·M)` I/O.
+
+use crate::cache::{Cache, CacheStats, Policy};
+use crate::trace::Access;
+use fmm_core::bilinear::Bilinear2x2;
+use fmm_matrix::Matrix;
+
+/// A matrix whose elements live at simulated addresses.
+pub struct TMat {
+    base: u64,
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl TMat {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Copy out as an ordinary matrix (no I/O charged — diagnostic only).
+    pub fn to_matrix(&self) -> Matrix<f64> {
+        Matrix::from_vec(self.rows, self.cols, self.data.clone())
+    }
+}
+
+/// The simulated memory: a bump allocator of addresses plus the cache.
+pub struct Mem {
+    cache: Cache,
+    next: u64,
+    trace: Option<Vec<Access>>,
+}
+
+impl Mem {
+    /// Memory with a fast level of `m` words.
+    pub fn new(m: usize, policy: Policy) -> Self {
+        Mem { cache: Cache::new(m, policy), next: 0, trace: None }
+    }
+
+    /// As [`Mem::new`], additionally recording the full access trace so it
+    /// can be replayed under the offline-optimal policy
+    /// ([`crate::trace::opt_stats`]).
+    pub fn new_recording(m: usize, policy: Policy) -> Self {
+        Mem { cache: Cache::new(m, policy), next: 0, trace: Some(Vec::new()) }
+    }
+
+    /// The recorded trace, if recording was enabled.
+    pub fn take_trace(&mut self) -> Option<Vec<Access>> {
+        self.trace.take()
+    }
+
+    /// Allocate an uninitialized (zero) matrix in slow memory.
+    pub fn alloc(&mut self, rows: usize, cols: usize) -> TMat {
+        let base = self.next;
+        self.next += (rows * cols) as u64;
+        TMat { base, rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Allocate and fill from an ordinary matrix (initial placement in slow
+    /// memory; no I/O charged, matching the model where inputs start in
+    /// slow memory).
+    pub fn alloc_from(&mut self, m: &Matrix<f64>) -> TMat {
+        let mut t = self.alloc(m.rows(), m.cols());
+        t.data.copy_from_slice(m.as_slice());
+        t
+    }
+
+    #[inline]
+    fn read(&mut self, m: &TMat, i: usize, j: usize) -> f64 {
+        let addr = m.base + (i * m.cols + j) as u64;
+        self.cache.read(addr);
+        if let Some(t) = &mut self.trace {
+            t.push(Access { addr, write: false });
+        }
+        m.data[i * m.cols + j]
+    }
+
+    #[inline]
+    fn write(&mut self, m: &mut TMat, i: usize, j: usize, v: f64) {
+        let addr = m.base + (i * m.cols + j) as u64;
+        self.cache.write(addr);
+        if let Some(t) = &mut self.trace {
+            t.push(Access { addr, write: true });
+        }
+        m.data[i * m.cols + j] = v;
+    }
+
+    /// Flush dirty state and return the accumulated statistics.
+    pub fn finish(mut self) -> CacheStats {
+        self.cache.flush();
+        self.cache.stats()
+    }
+
+    /// Statistics so far (without flushing).
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+/// Textbook i-j-k multiplication through the cache.
+pub fn classical_naive(mem: &mut Mem, a: &TMat, b: &TMat) -> TMat {
+    assert_eq!(a.cols, b.rows, "inner dimension mismatch");
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+    let mut c = mem.alloc(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for l in 0..k {
+                acc += mem.read(a, i, l) * mem.read(b, l, j);
+            }
+            mem.write(&mut c, i, j, acc);
+        }
+    }
+    c
+}
+
+/// Tiled multiplication with square tiles of side `tile`.
+pub fn classical_blocked(mem: &mut Mem, a: &TMat, b: &TMat, tile: usize) -> TMat {
+    assert!(tile > 0, "tile must be positive");
+    assert_eq!(a.cols, b.rows, "inner dimension mismatch");
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+    let mut c = mem.alloc(m, n);
+    for i0 in (0..m).step_by(tile) {
+        for j0 in (0..n).step_by(tile) {
+            for l0 in (0..k).step_by(tile) {
+                for i in i0..(i0 + tile).min(m) {
+                    for l in l0..(l0 + tile).min(k) {
+                        let av = mem.read(a, i, l);
+                        for j in j0..(j0 + tile).min(n) {
+                            // First accumulation initializes C without
+                            // reading it (the value starts in a register).
+                            let prev = if l == 0 { 0.0 } else { mem.read(&c, i, j) };
+                            let bv = mem.read(b, l, j);
+                            mem.write(&mut c, i, j, prev + av * bv);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    c
+}
+
+/// The tile side `b = ⌊√(M/3)⌋` that fits three tiles in cache.
+pub fn natural_tile(m_words: usize) -> usize {
+    (((m_words / 3) as f64).sqrt() as usize).max(1)
+}
+
+fn quadrant_of(mem: &mut Mem, src: &TMat, qi: usize, qj: usize) -> TMat {
+    let h = src.rows / 2;
+    let mut dst = mem.alloc(h, h);
+    for i in 0..h {
+        for j in 0..h {
+            let v = mem.read(src, qi * h + i, qj * h + j);
+            mem.write(&mut dst, i, j, v);
+        }
+    }
+    dst
+}
+
+fn combine(mem: &mut Mem, c1: i64, x: &TMat, c2: i64, y: &TMat) -> TMat {
+    let mut out = mem.alloc(x.rows, x.cols);
+    for i in 0..x.rows {
+        for j in 0..x.cols {
+            let v = c1 as f64 * mem.read(x, i, j) + c2 as f64 * mem.read(y, i, j);
+            mem.write(&mut out, i, j, v);
+        }
+    }
+    out
+}
+
+/// Unary scaling/copy `c·x` through the cache.
+fn combine_one(mem: &mut Mem, c: i64, x: &TMat) -> TMat {
+    let mut out = mem.alloc(x.rows, x.cols);
+    for i in 0..x.rows {
+        for j in 0..x.cols {
+            let v = c as f64 * mem.read(x, i, j);
+            mem.write(&mut out, i, j, v);
+        }
+    }
+    out
+}
+
+fn fast_rec(mem: &mut Mem, alg: &Bilinear2x2, a: &TMat, b: &TMat, cutoff: usize) -> TMat {
+    let n = a.rows;
+    if n <= cutoff || n == 1 {
+        return classical_blocked(mem, a, b, n);
+    }
+    let h = n / 2;
+    let aq: Vec<TMat> = (0..4).map(|q| quadrant_of(mem, a, q / 2, q % 2)).collect();
+    let bq: Vec<TMat> = (0..4).map(|q| quadrant_of(mem, b, q / 2, q % 2)).collect();
+
+    // Evaluate an SLP over tracked blocks: the register file owns every
+    // block; pass-through outputs simply reference their register.
+    fn eval_slp(mem: &mut Mem, slp: &fmm_core::Slp, inputs: Vec<TMat>) -> Vec<TMat> {
+        let mut regs = inputs;
+        for op in &slp.ops {
+            let t = if op.c2 == 0 {
+                let x = &regs[op.r1];
+                combine_one(mem, op.c1, x)
+            } else {
+                
+                {
+                    let x = &regs[op.r1];
+                    let y = &regs[op.r2];
+                    combine(mem, op.c1, x, op.c2, y)
+                }
+            };
+            regs.push(t);
+        }
+        regs
+    }
+
+    let aregs = eval_slp(mem, &alg.enc_a, aq);
+    let bregs = eval_slp(mem, &alg.enc_b, bq);
+    let products: Vec<TMat> = alg
+        .enc_a
+        .outputs
+        .iter()
+        .zip(&alg.enc_b.outputs)
+        .map(|(&l, &r)| fast_rec(mem, alg, &aregs[l], &bregs[r], cutoff))
+        .collect();
+    let dregs = eval_slp(mem, &alg.dec, products);
+
+    let mut c = mem.alloc(n, n);
+    for (qo, &oreg) in alg.dec.outputs.iter().enumerate() {
+        let block = &dregs[oreg];
+        let (qi, qj) = (qo / 2, qo % 2);
+        for i in 0..h {
+            for j in 0..h {
+                let v = mem.read(block, i, j);
+                mem.write(&mut c, qi * h + i, qj * h + j, v);
+            }
+        }
+    }
+    c
+}
+
+/// Recursive fast multiplication through the cache, recursing until the
+/// sub-problem side is at most `cutoff` (choose `cutoff ≈ √(M/3)` so the
+/// base case runs in-cache).
+///
+/// # Panics
+/// Panics unless both operands are square of equal power-of-two order.
+pub fn fast_recursive(mem: &mut Mem, alg: &Bilinear2x2, a: &TMat, b: &TMat, cutoff: usize) -> TMat {
+    assert!(a.rows == a.cols && b.rows == b.cols && a.rows == b.rows, "need equal squares");
+    assert!(a.rows.is_power_of_two(), "order must be a power of two");
+    fast_rec(mem, alg, a, b, cutoff.max(1))
+}
+
+/// Measured I/O of one full run: build inputs, run `f`, flush.
+///
+/// ```
+/// use fmm_memsim::{cache::Policy, seq};
+/// let (product, stats) = seq::measure(8, 48, Policy::Lru, |mem, a, b| {
+///     seq::classical_blocked(mem, a, b, 4)
+/// });
+/// assert_eq!(product.rows(), 8);
+/// assert!(stats.io() > 0);
+/// ```
+pub fn measure<F>(n: usize, m_words: usize, policy: Policy, f: F) -> (Matrix<f64>, CacheStats)
+where
+    F: FnOnce(&mut Mem, &TMat, &TMat) -> TMat,
+{
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    let a = Matrix::<f64>::random_small(n, n, &mut rng);
+    let b = Matrix::<f64>::random_small(n, n, &mut rng);
+    let mut mem = Mem::new(m_words, policy);
+    let ta = mem.alloc_from(&a);
+    let tb = mem.alloc_from(&b);
+    let c = f(&mut mem, &ta, &tb);
+    let result = c.to_matrix();
+    let stats = mem.finish();
+    (result, stats)
+}
+
+/// As [`measure`], additionally returning the access trace (for replay
+/// under other policies, e.g. offline-optimal).
+pub fn measure_traced<F>(
+    n: usize,
+    m_words: usize,
+    policy: Policy,
+    f: F,
+) -> (CacheStats, Vec<Access>)
+where
+    F: FnOnce(&mut Mem, &TMat, &TMat) -> TMat,
+{
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    let a = Matrix::<f64>::random_small(n, n, &mut rng);
+    let b = Matrix::<f64>::random_small(n, n, &mut rng);
+    let mut mem = Mem::new_recording(m_words, policy);
+    let ta = mem.alloc_from(&a);
+    let tb = mem.alloc_from(&b);
+    let _ = f(&mut mem, &ta, &tb);
+    let trace = mem.take_trace().expect("recording enabled");
+    let stats = mem.finish();
+    (stats, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmm_core::catalog;
+    use fmm_matrix::multiply::multiply_naive;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn reference(n: usize) -> (Matrix<f64>, Matrix<f64>, Matrix<f64>) {
+        let mut rng = StdRng::seed_from_u64(0xF00D);
+        let a = Matrix::<f64>::random_small(n, n, &mut rng);
+        let b = Matrix::<f64>::random_small(n, n, &mut rng);
+        let c = multiply_naive(&a, &b);
+        (a, b, c)
+    }
+
+    #[test]
+    fn naive_computes_correctly() {
+        let (_, _, expect) = reference(8);
+        let (got, stats) = measure(8, 64, Policy::Lru, classical_naive);
+        assert!(got.approx_eq(&expect, 1e-9));
+        assert!(stats.io() > 0);
+    }
+
+    #[test]
+    fn blocked_computes_correctly() {
+        let (_, _, expect) = reference(16);
+        let (got, _) = measure(16, 192, Policy::Lru, |m, a, b| classical_blocked(m, a, b, 8));
+        assert!(got.approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn fast_recursive_computes_correctly() {
+        let (_, _, expect) = reference(16);
+        for alg in [catalog::strassen(), catalog::winograd()] {
+            let (got, _) = measure(16, 256, Policy::Lru, |m, a, b| {
+                fast_recursive(m, &alg, a, b, 4)
+            });
+            assert!(got.approx_eq(&expect, 1e-9), "{}", alg.name);
+        }
+    }
+
+    #[test]
+    fn blocking_reduces_io() {
+        let n = 32;
+        let m_words = 3 * 8 * 8; // fits three 8×8 tiles
+        let (_, naive) = measure(n, m_words, Policy::Lru, classical_naive);
+        let (_, blocked) =
+            measure(n, m_words, Policy::Lru, |m, a, b| classical_blocked(m, a, b, 8));
+        assert!(
+            blocked.io() < naive.io() / 2,
+            "blocked {} vs naive {}",
+            blocked.io(),
+            naive.io()
+        );
+    }
+
+    #[test]
+    fn natural_tile_sane() {
+        assert_eq!(natural_tile(3 * 64), 8);
+        assert_eq!(natural_tile(1), 1);
+        assert_eq!(natural_tile(12), 2);
+    }
+
+    #[test]
+    fn bigger_cache_less_io() {
+        let n = 32;
+        let (_, small) = measure(n, 96, Policy::Lru, |m, a, b| {
+            let t = natural_tile(96);
+            classical_blocked(m, a, b, t)
+        });
+        let (_, big) = measure(n, 3 * n * n, Policy::Lru, |m, a, b| {
+            classical_blocked(m, a, b, n)
+        });
+        assert!(big.io() < small.io());
+        // With everything in cache: read 2n², write n².
+        assert_eq!(big.io(), (3 * n * n) as u64);
+    }
+
+    #[test]
+    fn fast_io_above_lower_bound() {
+        // Measured Strassen I/O must sit above the Theorem 1.1 bound.
+        let n = 32;
+        let m_words = 128;
+        let alg = catalog::strassen();
+        let cutoff = natural_tile(m_words);
+        let (_, stats) = measure(n, m_words, Policy::Lru, |m, a, b| {
+            fast_recursive(m, &alg, a, b, cutoff)
+        });
+        let bound = fmm_core::bounds::sequential(n, m_words, fmm_core::bounds::OMEGA_FAST);
+        assert!(
+            (stats.io() as f64) >= bound,
+            "measured {} below bound {bound}",
+            stats.io()
+        );
+        // …but within a moderate constant (schedule is near-optimal).
+        assert!((stats.io() as f64) < 60.0 * bound);
+    }
+
+    #[test]
+    fn lru_vs_fifo_both_work() {
+        let (_, _, expect) = reference(8);
+        for policy in [Policy::Lru, Policy::Fifo] {
+            let (got, _) = measure(8, 48, policy, |m, a, b| classical_blocked(m, a, b, 4));
+            assert!(got.approx_eq(&expect, 1e-9));
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_and_flush() {
+        let mut mem = Mem::new(4, Policy::Lru);
+        let a = Matrix::<f64>::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let ta = mem.alloc_from(&a);
+        let tb = mem.alloc_from(&a);
+        let _ = classical_naive(&mut mem, &ta, &tb);
+        let s = mem.finish();
+        assert!(s.loads > 0);
+        assert!(s.stores >= 4); // the 2×2 result must reach slow memory
+    }
+}

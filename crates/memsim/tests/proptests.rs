@@ -1,0 +1,122 @@
+//! Property tests for the memory simulators: the online cache against a
+//! naive reference model, OPT as a universal floor, and structural
+//! invariants of the distributed runs.
+
+use fmm_memsim::cache::{Cache, CacheStats, Policy};
+use fmm_memsim::trace::{opt_stats, replay, Access};
+use proptest::prelude::*;
+
+/// A deliberately naive reference implementation of the LRU
+/// write-allocate/write-back cache, kept as different in structure from the
+/// production one as possible (vectors + linear scans).
+fn reference_lru(trace: &[Access], capacity: usize) -> CacheStats {
+    let mut stats = CacheStats::default();
+    // (addr, dirty, last_touch)
+    let mut lines: Vec<(u64, bool, u64)> = Vec::new();
+    let mut clock = 0u64;
+    for a in trace {
+        stats.accesses += 1;
+        clock += 1;
+        if let Some(line) = lines.iter_mut().find(|l| l.0 == a.addr) {
+            line.1 |= a.write;
+            line.2 = clock;
+            stats.hits += 1;
+            continue;
+        }
+        if !a.write {
+            stats.loads += 1;
+        }
+        if lines.len() >= capacity {
+            let (idx, _) = lines
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.2)
+                .expect("nonempty");
+            let victim = lines.swap_remove(idx);
+            if victim.1 {
+                stats.stores += 1;
+            }
+        }
+        lines.push((a.addr, a.write, clock));
+    }
+    for line in lines {
+        if line.1 {
+            stats.stores += 1;
+        }
+    }
+    stats
+}
+
+fn trace_strategy() -> impl Strategy<Value = Vec<Access>> {
+    proptest::collection::vec(
+        (0u64..24, proptest::bool::ANY).prop_map(|(addr, write)| Access { addr, write }),
+        0..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn production_lru_matches_reference(trace in trace_strategy(), cap in 1usize..12) {
+        let mut cache = Cache::new(cap, Policy::Lru);
+        for a in &trace {
+            if a.write {
+                cache.write(a.addr);
+            } else {
+                cache.read(a.addr);
+            }
+        }
+        cache.flush();
+        prop_assert_eq!(cache.stats(), reference_lru(&trace, cap));
+    }
+
+    #[test]
+    fn opt_floors_every_online_policy(trace in trace_strategy(), cap in 1usize..12) {
+        let opt = opt_stats(&trace, cap);
+        for policy in [Policy::Lru, Policy::Fifo] {
+            let online = replay(&trace, cap, policy);
+            prop_assert!(
+                opt.io() <= online.io(),
+                "cap={cap} policy={policy:?}: OPT {} > online {}",
+                opt.io(),
+                online.io()
+            );
+        }
+    }
+
+    #[test]
+    fn bigger_cache_never_more_opt_io(trace in trace_strategy(), cap in 1usize..8) {
+        // OPT is monotone in capacity (stack property analogue).
+        let small = opt_stats(&trace, cap);
+        let big = opt_stats(&trace, cap + 4);
+        prop_assert!(big.io() <= small.io());
+    }
+
+    #[test]
+    fn stats_internally_consistent(trace in trace_strategy(), cap in 1usize..12) {
+        let s = replay(&trace, cap, Policy::Lru);
+        prop_assert_eq!(s.accesses as usize, trace.len());
+        prop_assert!(s.hits <= s.accesses);
+        // Every load corresponds to a read miss: loads ≤ reads in trace.
+        let reads = trace.iter().filter(|a| !a.write).count() as u64;
+        prop_assert!(s.loads <= reads);
+        // Stores never exceed distinct dirty addresses × evictions bound.
+        let writes = trace.iter().filter(|a| a.write).count() as u64;
+        prop_assert!(s.stores <= writes);
+    }
+
+    #[test]
+    fn threaded_cannon_matches_naive_product(seed in 0u64..500, p in 1usize..4) {
+        use fmm_matrix::multiply::multiply_naive;
+        use fmm_matrix::Matrix;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let n = p * 3;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::<i64>::random_small(n, n, &mut rng);
+        let b = Matrix::<i64>::random_small(n, n, &mut rng);
+        let run = fmm_memsim::par_threads::cannon_threaded(&a, &b, p);
+        prop_assert_eq!(run.product, multiply_naive(&a, &b));
+    }
+}

@@ -1,0 +1,231 @@
+//! Classic CDAG families for pebbling experiments.
+//!
+//! These are the contrast workloads of the paper's discussion: matmul CDAGs
+//! (built by `fmm-cdag`) resist recomputation savings, while DP grids under
+//! write-expensive cost models benefit from it (Section V, citing Blelloch
+//! et al.), and FFT butterflies are the subject of the companion result
+//! \[13\] in Table I.
+
+use fmm_cdag::{Cdag, VertexId, VertexKind};
+
+/// A path `x → v₁ → … → v_{len} ` ending in an output.
+pub fn chain(len: usize) -> Cdag {
+    assert!(len >= 1, "chain needs at least one internal vertex");
+    let mut g = Cdag::new();
+    let mut prev = g.add_vertex(VertexKind::Input, "x");
+    for i in 0..len {
+        let kind = if i + 1 == len { VertexKind::Output } else { VertexKind::Internal };
+        let v = g.add_vertex(kind, format!("v{i}"));
+        g.add_edge(prev, v);
+        prev = v;
+    }
+    g
+}
+
+/// A complete binary reduction tree over `leaves` inputs (one output root).
+///
+/// # Panics
+/// Panics unless `leaves` is a power of two ≥ 2.
+pub fn binary_tree(leaves: usize) -> Cdag {
+    assert!(leaves.is_power_of_two() && leaves >= 2, "leaves must be a power of two ≥ 2");
+    let mut g = Cdag::new();
+    let mut level: Vec<VertexId> = (0..leaves)
+        .map(|i| g.add_vertex(VertexKind::Input, format!("x{i}")))
+        .collect();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len() / 2);
+        for pair in level.chunks(2) {
+            let kind = if level.len() == 2 { VertexKind::Output } else { VertexKind::Internal };
+            let v = g.add_vertex(kind, "+");
+            g.add_edge(pair[0], v);
+            g.add_edge(pair[1], v);
+            next.push(v);
+        }
+        level = next;
+    }
+    g
+}
+
+/// The dynamic-programming grid of edit distance / LCS: vertex `(i,j)`
+/// depends on `(i−1,j)`, `(i,j−1)` and `(i−1,j−1)`. Row 0 and column 0 are
+/// inputs; the last row is the output frontier.
+#[allow(clippy::needless_range_loop)] // grid adjacency reads clearest with indices
+pub fn dp_grid(rows: usize, cols: usize) -> Cdag {
+    assert!(rows >= 2 && cols >= 2, "grid needs at least 2×2");
+    let mut g = Cdag::new();
+    let mut id = vec![vec![VertexId(0); cols]; rows];
+    for i in 0..rows {
+        for j in 0..cols {
+            let kind = if i == 0 || j == 0 {
+                VertexKind::Input
+            } else if i == rows - 1 {
+                VertexKind::Output
+            } else {
+                VertexKind::Internal
+            };
+            id[i][j] = g.add_vertex(kind, format!("d{i}_{j}"));
+        }
+    }
+    for i in 1..rows {
+        for j in 1..cols {
+            g.add_edge(id[i - 1][j], id[i][j]);
+            g.add_edge(id[i][j - 1], id[i][j]);
+            g.add_edge(id[i - 1][j - 1], id[i][j]);
+        }
+    }
+    g
+}
+
+/// The FFT butterfly CDAG on `n = 2^k` inputs: `k` levels, each vertex
+/// depending on two vertices of the previous level (indices `i` and
+/// `i XOR 2^level`). Final level vertices are outputs.
+///
+/// # Panics
+/// Panics unless `n` is a power of two ≥ 2.
+pub fn butterfly(n: usize) -> Cdag {
+    assert!(n.is_power_of_two() && n >= 2, "n must be a power of two ≥ 2");
+    let k = n.trailing_zeros() as usize;
+    let mut g = Cdag::new();
+    let mut level: Vec<VertexId> = (0..n)
+        .map(|i| g.add_vertex(VertexKind::Input, format!("x{i}")))
+        .collect();
+    for l in 0..k {
+        let kind = if l + 1 == k { VertexKind::Output } else { VertexKind::Internal };
+        let next: Vec<VertexId> = (0..n)
+            .map(|i| {
+                let v = g.add_vertex(kind, format!("b{l}_{i}"));
+                g.add_edge(level[i], v);
+                g.add_edge(level[i ^ (1 << l)], v);
+                v
+            })
+            .collect();
+        level = next;
+    }
+    g
+}
+
+/// A "shared-core, many consumers" gadget: one expensive chain of length
+/// `core_len` feeding `consumers` independent outputs, each also reading a
+/// private input. The core's value is reused far apart in time — the shape
+/// where the store/recompute trade-off is starkest.
+pub fn shared_core(core_len: usize, consumers: usize) -> Cdag {
+    assert!(core_len >= 1 && consumers >= 1);
+    let mut g = Cdag::new();
+    let x = g.add_vertex(VertexKind::Input, "x");
+    let mut prev = x;
+    for i in 0..core_len {
+        let v = g.add_vertex(VertexKind::Internal, format!("c{i}"));
+        g.add_edge(prev, v);
+        prev = v;
+    }
+    for j in 0..consumers {
+        let y = g.add_vertex(VertexKind::Input, format!("y{j}"));
+        let o = g.add_vertex(VertexKind::Output, format!("o{j}"));
+        g.add_edge(prev, o);
+        g.add_edge(y, o);
+    }
+    g
+}
+
+/// As [`shared_core`], but each consumer first combines **two** private
+/// inputs (`w_j = h(y_j, z_j)`) before reading the core tip
+/// (`o_j = f(tip, w_j)`). Computing `w_j` needs three red pebbles of its
+/// own, so with capacity 3 the shared tip is necessarily evicted between
+/// consumers — the configuration where store-reload and recompute policies
+/// genuinely diverge.
+pub fn shared_core_wide(core_len: usize, consumers: usize) -> Cdag {
+    assert!(core_len >= 1 && consumers >= 1);
+    let mut g = Cdag::new();
+    let x = g.add_vertex(VertexKind::Input, "x");
+    let mut prev = x;
+    for i in 0..core_len {
+        let v = g.add_vertex(VertexKind::Internal, format!("c{i}"));
+        g.add_edge(prev, v);
+        prev = v;
+    }
+    for j in 0..consumers {
+        let y = g.add_vertex(VertexKind::Input, format!("y{j}"));
+        let z = g.add_vertex(VertexKind::Input, format!("z{j}"));
+        let w = g.add_vertex(VertexKind::Internal, format!("w{j}"));
+        g.add_edge(y, w);
+        g.add_edge(z, w);
+        let o = g.add_vertex(VertexKind::Output, format!("o{j}"));
+        g.add_edge(prev, o);
+        g.add_edge(w, o);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmm_cdag::topo::is_acyclic;
+
+    #[test]
+    fn chain_shape() {
+        let g = chain(5);
+        assert_eq!(g.len(), 6);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.inputs().len(), 1);
+        assert_eq!(g.outputs().len(), 1);
+        assert!(is_acyclic(&g));
+    }
+
+    #[test]
+    fn tree_shape() {
+        let g = binary_tree(8);
+        assert_eq!(g.inputs().len(), 8);
+        assert_eq!(g.outputs().len(), 1);
+        assert_eq!(g.len(), 15); // 8 + 4 + 2 + 1
+        assert!(is_acyclic(&g));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = dp_grid(4, 5);
+        assert_eq!(g.len(), 20);
+        // Inputs: row 0 (5) + column 0 of rows 1.. (3).
+        assert_eq!(g.inputs().len(), 8);
+        // Outputs: last row minus the column-0 input: 4.
+        assert_eq!(g.outputs().len(), 4);
+        assert!(is_acyclic(&g));
+        // Interior in-degree 3.
+        let interior = g
+            .vertices()
+            .filter(|&v| g.in_degree(v) > 0)
+            .collect::<Vec<_>>();
+        assert!(interior.iter().all(|&v| g.in_degree(v) == 3));
+    }
+
+    #[test]
+    fn butterfly_shape() {
+        let g = butterfly(8);
+        // 4 levels of 8 vertices (inputs + 3 butterfly stages).
+        assert_eq!(g.len(), 32);
+        assert_eq!(g.inputs().len(), 8);
+        assert_eq!(g.outputs().len(), 8);
+        assert!(is_acyclic(&g));
+        // Every non-input has exactly 2 predecessors.
+        for v in g.vertices() {
+            if g.in_degree(v) > 0 {
+                assert_eq!(g.in_degree(v), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_core_shape() {
+        let g = shared_core(3, 4);
+        assert_eq!(g.inputs().len(), 5); // x + 4 private
+        assert_eq!(g.outputs().len(), 4);
+        // The core tip fans out to all consumers.
+        let tip = g.vertices().find(|&v| g.out_degree(v) == 4).expect("tip");
+        assert_eq!(g.label(tip), "c2");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn butterfly_rejects_odd() {
+        let _ = butterfly(6);
+    }
+}

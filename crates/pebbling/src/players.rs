@@ -1,0 +1,433 @@
+//! Schedule generators ("players") for the red–blue pebble game.
+//!
+//! * [`belady_schedule`] — computes every vertex exactly once, following a
+//!   caller-supplied topological order, with farthest-next-use (Belady/MIN)
+//!   eviction and store-on-evict for still-needed values. This is the
+//!   canonical *no-recomputation* schedule whose I/O the lower bounds are
+//!   compared against.
+//! * [`demand_schedule`] — demand-driven evaluation of the outputs with an
+//!   LRU red cache, in one of two eviction modes:
+//!   [`EvictionMode::StoreReload`] writes evicted live values back;
+//!   [`EvictionMode::Recompute`] silently drops them and **recomputes** on
+//!   demand. Comparing the two on the same CDAG and capacity is the
+//!   experimental probe of the paper's central question.
+//!
+//! Every player emits a move list that is then *validated* by
+//! [`crate::game::run_schedule`]; players cannot cheat the rules.
+
+use crate::game::Move;
+use fmm_cdag::{Cdag, VertexId, VertexKind};
+use std::collections::VecDeque;
+
+/// Failure of a schedule generator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlayerError {
+    /// The red capacity cannot hold the operands pinned by in-flight
+    /// (re)computations; raise the capacity (recompute mode may need up to
+    /// about twice the maximum in-degree on deeply chained CDAGs).
+    CapacityTooTight,
+}
+
+impl std::fmt::Display for PlayerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for PlayerError {}
+
+/// Eviction behaviour of the demand player.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvictionMode {
+    /// Write back evicted live values (classical caching).
+    StoreReload,
+    /// Drop evicted values and recompute them when next needed.
+    Recompute,
+}
+
+/// Generate a no-recompute schedule that computes the vertices of `order`
+/// (which must be topological and cover all non-inputs) with Belady
+/// eviction under red capacity `capacity`.
+///
+/// # Panics
+/// Panics if `capacity < max in-degree + 1` (the game would be unwinnable)
+/// or if `order` is not a valid computation order.
+pub fn belady_schedule(g: &Cdag, order: &[VertexId], capacity: usize) -> Vec<Move> {
+    let max_indeg = g.vertices().map(|v| g.in_degree(v)).max().unwrap_or(0);
+    assert!(capacity > max_indeg, "capacity {capacity} < in-degree {max_indeg} + 1");
+
+    // use_positions[v] = ordered positions in `order` where v is consumed;
+    // unstored outputs get a sentinel "use at the end".
+    let end_pos = order.len();
+    let mut use_positions: Vec<VecDeque<usize>> = vec![VecDeque::new(); g.len()];
+    for (pos, &v) in order.iter().enumerate() {
+        assert!(g.kind(v) != VertexKind::Input, "order contains input {v:?}");
+        for &p in g.preds(v) {
+            use_positions[p.idx()].push_back(pos);
+        }
+    }
+    for v in g.outputs() {
+        use_positions[v.idx()].push_back(end_pos);
+    }
+
+    let mut moves = Vec::new();
+    let mut red = vec![false; g.len()];
+    let mut blue = vec![false; g.len()];
+    let mut red_set: Vec<VertexId> = Vec::new();
+    for v in g.inputs() {
+        blue[v.idx()] = true;
+    }
+
+    // Evict (storing if live) until a free slot exists; `pinned` may not be
+    // evicted.
+    #[allow(clippy::too_many_arguments)] // internal helper over the scheduler's full state
+    fn make_room(
+        g: &Cdag,
+        capacity: usize,
+        red: &mut [bool],
+        blue: &mut [bool],
+        red_set: &mut Vec<VertexId>,
+        use_positions: &[VecDeque<usize>],
+        pinned: &[VertexId],
+        moves: &mut Vec<Move>,
+    ) {
+        while red_set.len() >= capacity {
+            // Farthest next use among unpinned; dead values (no next use)
+            // are evicted first.
+            let (i, &victim) = red_set
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| !pinned.contains(v))
+                .max_by_key(|(_, v)| {
+                    use_positions[v.idx()].front().copied().unwrap_or(usize::MAX)
+                })
+                .expect("capacity exceeded with everything pinned");
+            let live = !use_positions[victim.idx()].is_empty();
+            if live && !blue[victim.idx()] {
+                moves.push(Move::Store(victim));
+                blue[victim.idx()] = true;
+            }
+            moves.push(Move::Delete(victim));
+            red[victim.idx()] = false;
+            red_set.swap_remove(i);
+            let _ = g;
+        }
+    }
+
+    for (pos, &v) in order.iter().enumerate() {
+        // Bring operands in.
+        let preds: Vec<VertexId> = g.preds(v).to_vec();
+        for &p in &preds {
+            if red[p.idx()] {
+                continue;
+            }
+            assert!(blue[p.idx()], "operand {p:?} neither red nor blue: bad order");
+            make_room(g, capacity, &mut red, &mut blue, &mut red_set, &use_positions, &preds, &mut moves);
+            moves.push(Move::Load(p));
+            red[p.idx()] = true;
+            red_set.push(p);
+        }
+        make_room(g, capacity, &mut red, &mut blue, &mut red_set, &use_positions, &preds, &mut moves);
+        moves.push(Move::Compute(v));
+        red[v.idx()] = true;
+        red_set.push(v);
+
+        // Consume this use of each operand; eagerly drop dead values.
+        for &p in &preds {
+            let q = &mut use_positions[p.idx()];
+            if q.front() == Some(&pos) {
+                q.pop_front();
+            }
+            if q.is_empty() && red[p.idx()] {
+                moves.push(Move::Delete(p));
+                red[p.idx()] = false;
+                red_set.retain(|&r| r != p);
+            }
+        }
+    }
+
+    // Store all outputs that are still unstored.
+    for v in g.outputs() {
+        if !blue[v.idx()] {
+            assert!(red[v.idx()], "output {v:?} lost before being stored");
+            moves.push(Move::Store(v));
+            blue[v.idx()] = true;
+        }
+    }
+    moves
+}
+
+/// Creation-order schedule: vertices in id order restricted to non-inputs.
+/// For CDAGs built by `fmm_cdag::generator` this is the depth-first
+/// recursive schedule (sub-problem by sub-problem), the natural
+/// cache-friendly order.
+pub fn creation_order(g: &Cdag) -> Vec<VertexId> {
+    g.vertices().filter(|&v| g.kind(v) != VertexKind::Input).collect()
+}
+
+/// Demand-driven schedule: evaluate each output, caching values in a red
+/// LRU of the given capacity, with the chosen eviction mode.
+///
+/// Returns [`PlayerError::CapacityTooTight`] when in-flight pins exhaust
+/// the capacity (possible in recompute mode on deeply chained CDAGs with
+/// capacity near the minimum).
+///
+/// # Panics
+/// Panics if `capacity < max in-degree + 1` (no schedule exists at all).
+pub fn demand_schedule(
+    g: &Cdag,
+    capacity: usize,
+    mode: EvictionMode,
+) -> Result<Vec<Move>, PlayerError> {
+    let max_indeg = g.vertices().map(|v| g.in_degree(v)).max().unwrap_or(0);
+    assert!(capacity > max_indeg, "capacity {capacity} < in-degree {max_indeg} + 1");
+
+    struct St<'g> {
+        g: &'g Cdag,
+        capacity: usize,
+        mode: EvictionMode,
+        red: Vec<bool>,
+        blue: Vec<bool>,
+        /// LRU clock per red vertex.
+        last_touch: Vec<u64>,
+        clock: u64,
+        red_set: Vec<VertexId>,
+        pinned: Vec<bool>,
+        moves: Vec<Move>,
+    }
+
+    impl St<'_> {
+        fn touch(&mut self, v: VertexId) {
+            self.clock += 1;
+            self.last_touch[v.idx()] = self.clock;
+        }
+
+        fn make_room(&mut self) -> Result<(), PlayerError> {
+            while self.red_set.len() >= self.capacity {
+                let Some((i, &victim)) = self
+                    .red_set
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| !self.pinned[v.idx()])
+                    .min_by_key(|(_, v)| self.last_touch[v.idx()])
+                else {
+                    return Err(PlayerError::CapacityTooTight);
+                };
+                let is_output = self.g.kind(victim) == VertexKind::Output;
+                let must_keep = !self.blue[victim.idx()]
+                    && (is_output || self.mode == EvictionMode::StoreReload)
+                    && self.g.kind(victim) != VertexKind::Input;
+                if must_keep {
+                    self.moves.push(Move::Store(victim));
+                    self.blue[victim.idx()] = true;
+                }
+                self.moves.push(Move::Delete(victim));
+                self.red[victim.idx()] = false;
+                self.red_set.swap_remove(i);
+            }
+            Ok(())
+        }
+
+        /// Make `v` red (loading or (re)computing as needed).
+        ///
+        /// Predecessors are materialized in two passes: a *pin-free* pass
+        /// that evaluates each operand subtree (siblings may evict each
+        /// other freely — in store-reload mode evictees are written back),
+        /// then a *gather* pass that re-ensures each operand while pinning
+        /// it. Pins therefore never span a subtree evaluation, so capacity
+        /// `max-in-degree + 1` never deadlocks in store-reload mode.
+        fn ensure(&mut self, v: VertexId) -> Result<(), PlayerError> {
+            if self.red[v.idx()] {
+                self.touch(v);
+                return Ok(());
+            }
+            if self.blue[v.idx()] {
+                self.make_room()?;
+                self.moves.push(Move::Load(v));
+                self.red[v.idx()] = true;
+                self.red_set.push(v);
+                self.touch(v);
+                return Ok(());
+            }
+            // Compute (possibly a recomputation).
+            let preds: Vec<VertexId> = self.g.preds(v).to_vec();
+            // Pass 1: evaluate operand subtrees without pinning.
+            for &p in &preds {
+                self.ensure(p)?;
+            }
+            // Pass 2: gather operands, pinning progressively — in reverse,
+            // so the most recently materialized operand (very likely still
+            // red) is pinned first and earlier operands are rematerialized
+            // under that pin rather than the other way around.
+            let mut newly_pinned = Vec::new();
+            let result = (|| {
+                for &p in preds.iter().rev() {
+                    self.ensure(p)?;
+                    if !self.pinned[p.idx()] {
+                        self.pinned[p.idx()] = true;
+                        newly_pinned.push(p);
+                    }
+                }
+                Ok(())
+            })();
+            // Unpin regardless of failure, then propagate.
+            let gathered = match result {
+                Ok(()) => self.make_room(),
+                Err(e) => Err(e),
+            };
+            if let Err(e) = gathered {
+                for p in newly_pinned {
+                    self.pinned[p.idx()] = false;
+                }
+                return Err(e);
+            }
+            self.moves.push(Move::Compute(v));
+            self.red[v.idx()] = true;
+            self.red_set.push(v);
+            self.touch(v);
+            for p in newly_pinned {
+                self.pinned[p.idx()] = false;
+            }
+            Ok(())
+        }
+    }
+
+    let mut st = St {
+        g,
+        capacity,
+        mode,
+        red: vec![false; g.len()],
+        blue: {
+            let mut b = vec![false; g.len()];
+            for v in g.inputs() {
+                b[v.idx()] = true;
+            }
+            b
+        },
+        last_touch: vec![0; g.len()],
+        clock: 0,
+        red_set: Vec::new(),
+        pinned: vec![false; g.len()],
+        moves: Vec::new(),
+    };
+
+    for o in g.outputs() {
+        st.ensure(o)?;
+        if !st.blue[o.idx()] {
+            st.moves.push(Move::Store(o));
+            st.blue[o.idx()] = true;
+        }
+    }
+    Ok(st.moves)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::{binary_tree, chain, dp_grid, shared_core_wide};
+    use crate::game::run_schedule;
+
+    #[test]
+    fn belady_on_chain_minimal_io() {
+        let g = chain(10);
+        let moves = belady_schedule(&g, &creation_order(&g), 2);
+        let r = run_schedule(&g, &moves, 2, false).expect("legal");
+        // Optimal chain pebbling: load input, stream through, store output.
+        assert_eq!(r.loads, 1);
+        assert_eq!(r.stores, 1);
+        assert_eq!(r.recomputes, 0);
+    }
+
+    #[test]
+    fn belady_on_tree_tight_cache() {
+        let g = binary_tree(8);
+        let moves = belady_schedule(&g, &creation_order(&g), 3);
+        let r = run_schedule(&g, &moves, 3, false).expect("legal");
+        // 8 leaves must be loaded; output stored once.
+        assert!(r.loads >= 8);
+        assert!(r.stores >= 1);
+    }
+
+    #[test]
+    fn belady_respects_capacity_exactly() {
+        let g = dp_grid(4, 4);
+        for capacity in [4usize, 6, 16] {
+            let moves = belady_schedule(&g, &creation_order(&g), capacity);
+            let r = run_schedule(&g, &moves, capacity, false).expect("legal");
+            assert!(r.max_red <= capacity);
+        }
+    }
+
+    #[test]
+    fn bigger_cache_never_hurts_belady() {
+        let g = dp_grid(5, 5);
+        let mut prev = u64::MAX;
+        for capacity in [4usize, 8, 25] {
+            let moves = belady_schedule(&g, &creation_order(&g), capacity);
+            let r = run_schedule(&g, &moves, capacity, false).expect("legal");
+            assert!(r.io() <= prev, "capacity {capacity}: {} > {prev}", r.io());
+            prev = r.io();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn belady_rejects_unwinnable_capacity() {
+        let g = dp_grid(3, 3); // in-degree 3 → needs capacity ≥ 4
+        let _ = belady_schedule(&g, &creation_order(&g), 3);
+    }
+
+    #[test]
+    fn demand_store_reload_is_legal_no_recompute() {
+        let g = binary_tree(8);
+        let moves = demand_schedule(&g, 3, EvictionMode::StoreReload).expect("schedulable");
+        let r = run_schedule(&g, &moves, 3, false).expect("no recomputation used");
+        assert_eq!(r.recomputes, 0);
+    }
+
+    #[test]
+    fn demand_recompute_recomputes_on_shared_core() {
+        let g = shared_core_wide(4, 3);
+        // Capacity 3: computing each consumer's private combination needs
+        // all three red pebbles, so the core tip is evicted in between.
+        let sr = demand_schedule(&g, 3, EvictionMode::StoreReload).expect("schedulable");
+        let rc = demand_schedule(&g, 3, EvictionMode::Recompute).expect("schedulable");
+        let r_sr = run_schedule(&g, &sr, 3, false).expect("legal");
+        let r_rc = run_schedule(&g, &rc, 3, true).expect("legal");
+        assert!(r_rc.recomputes > 0, "recompute mode must actually recompute");
+        // Recompute mode writes strictly less (only the outputs)…
+        assert!(r_rc.stores < r_sr.stores);
+        // …but reads at least as much.
+        assert!(r_rc.loads >= r_sr.loads);
+    }
+
+    #[test]
+    fn demand_modes_agree_with_large_cache() {
+        // With capacity ≥ |V| nothing is evicted; both modes coincide.
+        let g = binary_tree(4);
+        let a = demand_schedule(&g, g.len(), EvictionMode::StoreReload).expect("schedulable");
+        let b = demand_schedule(&g, g.len(), EvictionMode::Recompute).expect("schedulable");
+        let ra = run_schedule(&g, &a, g.len(), false).expect("legal");
+        let rb = run_schedule(&g, &b, g.len(), true).expect("legal");
+        assert_eq!(ra, rb);
+        assert_eq!(ra.loads, 4);
+        assert_eq!(ra.stores, 1);
+    }
+
+    #[test]
+    fn creation_order_is_topological() {
+        let g = dp_grid(4, 4);
+        let order = creation_order(&g);
+        let mut pos = vec![usize::MAX; g.len()];
+        for (i, &v) in order.iter().enumerate() {
+            pos[v.idx()] = i;
+        }
+        for &v in &order {
+            for &p in g.preds(v) {
+                if pos[p.idx()] != usize::MAX {
+                    assert!(pos[p.idx()] < pos[v.idx()]);
+                }
+            }
+        }
+    }
+}

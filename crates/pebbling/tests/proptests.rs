@@ -1,0 +1,88 @@
+//! Property tests for the pebble game: the exact optimal pebbler is a
+//! true lower envelope of every heuristic player, and all generated
+//! schedules validate.
+
+use fmm_cdag::{Cdag, VertexId, VertexKind};
+use fmm_pebbling::game::{run_schedule, CostModel};
+use fmm_pebbling::optimal::optimal_pebbling;
+use fmm_pebbling::players::{belady_schedule, creation_order, demand_schedule, EvictionMode};
+use proptest::prelude::*;
+
+/// Tiny random layered DAG (≤ 12 vertices) for the exact search.
+fn tiny_dag() -> impl Strategy<Value = Cdag> {
+    (2usize..4, 1usize..3, proptest::collection::vec(0usize..100, 20)).prop_map(
+        |(layers, width, picks)| {
+            let mut g = Cdag::new();
+            let mut all: Vec<VertexId> = (0..width)
+                .map(|i| g.add_vertex(VertexKind::Input, format!("i{i}")))
+                .collect();
+            let mut pick = picks.into_iter().cycle();
+            for layer in 0..layers {
+                let kind = if layer + 1 == layers { VertexKind::Output } else { VertexKind::Internal };
+                let mut this = Vec::new();
+                for w in 0..width {
+                    let v = g.add_vertex(kind, format!("v{layer}_{w}"));
+                    let p1 = all[pick.next().unwrap() % all.len()];
+                    g.add_edge(p1, v);
+                    let p2 = all[pick.next().unwrap() % all.len()];
+                    if p2 != p1 {
+                        g.add_edge(p2, v);
+                    }
+                    this.push(v);
+                }
+                all.extend(this);
+            }
+            g
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn optimal_is_a_floor_for_belady(g in tiny_dag(), extra in 0usize..3) {
+        let max_indeg = g.vertices().map(|v| g.in_degree(v)).max().unwrap_or(0);
+        let capacity = max_indeg + 1 + extra;
+        prop_assume!(g.len() <= 12);
+        let moves = belady_schedule(&g, &creation_order(&g), capacity);
+        let heuristic = run_schedule(&g, &moves, capacity, false).expect("legal").io();
+        let opt = optimal_pebbling(&g, capacity, false, CostModel::SYMMETRIC, 3_000_000)
+            .expect("solvable");
+        prop_assert!(opt.cost <= heuristic, "optimal {} > belady {}", opt.cost, heuristic);
+    }
+
+    #[test]
+    fn recompute_optimal_never_exceeds_no_recompute(g in tiny_dag(), extra in 0usize..3) {
+        let max_indeg = g.vertices().map(|v| g.in_degree(v)).max().unwrap_or(0);
+        let capacity = max_indeg + 1 + extra;
+        prop_assume!(g.len() <= 12);
+        let a = optimal_pebbling(&g, capacity, false, CostModel::SYMMETRIC, 3_000_000)
+            .expect("solvable");
+        let b = optimal_pebbling(&g, capacity, true, CostModel::SYMMETRIC, 3_000_000)
+            .expect("solvable");
+        prop_assert!(b.cost <= a.cost);
+    }
+
+    #[test]
+    fn every_output_needs_at_least_one_store(g in tiny_dag()) {
+        let max_indeg = g.vertices().map(|v| g.in_degree(v)).max().unwrap_or(0);
+        let capacity = max_indeg + 2;
+        prop_assume!(g.len() <= 12);
+        let opt = optimal_pebbling(&g, capacity, true, CostModel::SYMMETRIC, 3_000_000)
+            .expect("solvable");
+        prop_assert!(opt.stores as usize >= g.outputs().len());
+    }
+
+    #[test]
+    fn demand_players_emit_valid_schedules(g in tiny_dag(), extra in 1usize..4) {
+        let max_indeg = g.vertices().map(|v| g.in_degree(v)).max().unwrap_or(0);
+        let capacity = max_indeg + 1 + extra;
+        if let Ok(moves) = demand_schedule(&g, capacity, EvictionMode::StoreReload) {
+            prop_assert!(run_schedule(&g, &moves, capacity, false).is_ok());
+        }
+        if let Ok(moves) = demand_schedule(&g, capacity, EvictionMode::Recompute) {
+            prop_assert!(run_schedule(&g, &moves, capacity, true).is_ok());
+        }
+    }
+}

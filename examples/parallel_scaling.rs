@@ -1,0 +1,78 @@
+//! Parallel communication scaling (Table I, parallel rows): strong-scale
+//! the distributed simulators and compare the measured per-processor
+//! communication against the memory-independent lower bounds —
+//! `Ω(n²/P^{2/3})` classical vs `Ω(n²/P^{2/log₂7})` fast.
+//!
+//! ```text
+//! cargo run --release --example parallel_scaling
+//! ```
+
+use fastmm::core::{bounds, catalog};
+use fastmm::matrix::Matrix;
+use fastmm::memsim::par;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 64;
+    let mut rng = StdRng::seed_from_u64(7);
+    let a = Matrix::<i64>::random_small(n, n, &mut rng);
+    let b = Matrix::<i64>::random_small(n, n, &mut rng);
+
+    println!("Strong scaling at n = {n}: measured max per-processor words\n");
+    println!("{:<12} {:>6} {:>14} {:>16} {:>7}", "schedule", "P", "measured", "MI lower bound", "ratio");
+
+    for p in [2usize, 4, 8] {
+        let (_, net) = par::cannon(&a, &b, p);
+        let procs = p * p;
+        let lb = bounds::parallel_memory_independent(n, procs, bounds::OMEGA_CLASSICAL);
+        println!(
+            "{:<12} {procs:>6} {:>14} {:>16.0} {:>7.2}",
+            "cannon-2d",
+            net.max_per_proc(),
+            lb,
+            net.max_per_proc() as f64 / lb
+        );
+    }
+    for p in [2usize, 4] {
+        let (_, net) = par::replicated_3d(&a, &b, p);
+        let procs = p * p * p;
+        let lb = bounds::parallel_memory_independent(n, procs, bounds::OMEGA_CLASSICAL);
+        println!(
+            "{:<12} {procs:>6} {:>14} {:>16.0} {:>7.2}",
+            "3d",
+            net.max_per_proc(),
+            lb,
+            net.max_per_proc() as f64 / lb
+        );
+    }
+    let alg = catalog::strassen();
+    for levels in [1usize, 2, 3] {
+        let (_, net) = par::caps_strassen(&alg, &a, &b, levels);
+        let procs = 7usize.pow(levels as u32);
+        let lb = bounds::parallel_memory_independent(n, procs, bounds::OMEGA_FAST);
+        println!(
+            "{:<12} {procs:>6} {:>14} {:>16.0} {:>7.2}",
+            "caps",
+            net.max_per_proc(),
+            lb,
+            net.max_per_proc() as f64 / lb
+        );
+    }
+
+    println!("\nStrong-scaling exponents (per-proc words ~ P^{{-e}}):");
+    println!("  classical bound: e = 2/3 ≈ 0.667");
+    println!(
+        "  fast bound:      e = 2/log₂7 ≈ {:.3}  — fast algorithms scale *better*",
+        2.0 / bounds::OMEGA_FAST
+    );
+
+    println!("\nCrossover cache size M* where the memory-dependent bound hands over");
+    println!("to the memory-independent one (fast algorithms):");
+    for (nn, p) in [(1usize << 12, 49usize), (1 << 14, 343)] {
+        println!(
+            "  n = {nn:>6}, P = {p:>4}:  M* = {:.3e}",
+            bounds::parallel_crossover_m(nn, p, bounds::OMEGA_FAST)
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Quickstart: multiply matrices with every algorithm in the catalog,
+//! verify against the classical kernel, and see the paper's headline
+//! numbers (operation counts, leading coefficients, I/O lower bounds).
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fastmm::core::altbasis::{karstadt_schwartz, multiply_alt_counted};
+use fastmm::core::exec::{leading_coefficient, multiply_fast_counted};
+use fastmm::core::{bounds, catalog};
+use fastmm::matrix::multiply::multiply_naive;
+use fastmm::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 64;
+    let mut rng = StdRng::seed_from_u64(42);
+    let a = Matrix::<i64>::random_small(n, n, &mut rng);
+    let b = Matrix::<i64>::random_small(n, n, &mut rng);
+    let reference = multiply_naive(&a, &b);
+
+    println!("Multiplying two random {n}×{n} matrices with every algorithm:\n");
+    println!(
+        "{:<20} {:>8} {:>10} {:>10} {:>8} {:>8}",
+        "algorithm", "t", "mults", "adds", "c_lead", "correct"
+    );
+
+    for alg in catalog::all() {
+        let (c, counts) = multiply_fast_counted(&alg, &a, &b, 1);
+        println!(
+            "{:<20} {:>8} {:>10} {:>10} {:>8} {:>8}",
+            alg.name,
+            alg.t(),
+            counts.scalar_mults,
+            counts.scalar_adds,
+            leading_coefficient(alg.t() as u64, alg.additions_per_step() as u64),
+            c == reference
+        );
+    }
+
+    let ks = karstadt_schwartz();
+    let levels = n.trailing_zeros() as usize;
+    let (c, core, transform) = multiply_alt_counted(&ks, &a, &b, levels);
+    println!(
+        "{:<20} {:>8} {:>10} {:>10} {:>8} {:>8}",
+        ks.name,
+        ks.core.t(),
+        core.scalar_mults,
+        core.scalar_adds + transform.scalar_adds,
+        leading_coefficient(7, ks.core_additions() as u64),
+        c == reference
+    );
+
+    println!("\nTheorem 1.1 — I/O lower bounds (hold even with recomputation):");
+    for m in [256usize, 4096] {
+        println!(
+            "  n = {n}, M = {m:>5}:  sequential Ω ≈ {:>10.0}   (classical would need ≥ {:>10.0})",
+            bounds::sequential(n, m, bounds::OMEGA_FAST),
+            bounds::sequential(n, m, bounds::OMEGA_CLASSICAL),
+        );
+    }
+    println!("\nParallel (P = 49): max(memory-dependent, memory-independent):");
+    for m in [256usize, 4096] {
+        println!(
+            "  M = {m:>5}:  Ω ≈ {:>10.0}",
+            bounds::parallel(n, m, 49, bounds::OMEGA_FAST)
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Watch the proof of Theorem 1.1 work: the segment-partition argument
+//! (Lemma 3.6) applied to real pebbling schedules of the Strassen CDAG —
+//! including a schedule that *recomputes*.
+//!
+//! The proof partitions any schedule into segments containing `r²`
+//! first-time computations of `V_out(SUB_H^{r×r})` (with `r ≈ 2√M`) and
+//! shows each segment must perform at least `r²/2 − M` I/O. Multiplying by
+//! the number of segments (Lemma 2.2) gives the bound. Here the partition
+//! is computed on actual move lists and the per-segment floors are checked.
+//!
+//! ```text
+//! cargo run --release --example segment_audit
+//! ```
+
+use fastmm::cdag::RecursiveCdag;
+use fastmm::core::{bounds, catalog};
+use fastmm::pebbling::game::run_schedule;
+use fastmm::pebbling::players::{belady_schedule, creation_order, demand_schedule, EvictionMode};
+use fastmm::pebbling::segments::theorem_audit;
+
+fn main() {
+    let h = RecursiveCdag::build(&catalog::strassen().to_base(), 8);
+    let subs: Vec<_> = (0..h.sub_outputs.len()).map(|j| h.sub_output_vertices(j)).collect();
+
+    println!("No-recompute (Belady) schedules on H^{{8×8}}:\n");
+    println!(
+        "{:>3} {:>3} {:>10} {:>12} {:>9} {:>12} {:>12}",
+        "M", "r", "segments", "min seg I/O", "floor", "total I/O", "Ω bound"
+    );
+    for m in [4usize, 8, 16] {
+        let moves = belady_schedule(&h.graph, &creation_order(&h.graph), m);
+        let stats = run_schedule(&h.graph, &moves, m, false).expect("legal");
+        let (r, floor, segs) = theorem_audit(&h.graph, &moves, &subs, m);
+        let full: Vec<_> = segs.iter().filter(|s| s.outputs_computed == r * r).collect();
+        let min_io = full.iter().map(|s| s.io()).min().unwrap_or(0);
+        println!(
+            "{m:>3} {r:>3} {:>10} {min_io:>12} {:>9} {:>12} {:>12.0}",
+            full.len(),
+            floor.max(0),
+            stats.io(),
+            bounds::sequential(8, m, bounds::OMEGA_FAST)
+        );
+    }
+
+    println!("\nA *recomputing* schedule (demand player, recompute eviction) on");
+    println!("H^{{4×4}} with M = 16 — the regime prior techniques could not handle:\n");
+    let h4 = RecursiveCdag::build(&catalog::strassen().to_base(), 4);
+    let subs4: Vec<_> = (0..h4.sub_outputs.len()).map(|j| h4.sub_output_vertices(j)).collect();
+    let m = 16;
+    let moves = demand_schedule(&h4.graph, m, EvictionMode::Recompute).expect("schedulable");
+    let stats = run_schedule(&h4.graph, &moves, m, true).expect("legal");
+    let (r, floor, segs) = theorem_audit(&h4.graph, &moves, &subs4, m);
+    println!("  recomputations performed: {}", stats.recomputes);
+    println!("  segment size r² = {}, floor r²/2 − M = {}", r * r, floor.max(0));
+    for (i, s) in segs.iter().enumerate() {
+        let tag = if s.outputs_computed == r * r { "full" } else { "tail" };
+        println!(
+            "  segment {i} ({tag}): {} first-time sub-outputs, {} loads + {} stores = {} I/O",
+            s.outputs_computed,
+            s.loads,
+            s.stores,
+            s.io()
+        );
+    }
+    println!("\nOnly *first-time* computations advance the segment counter — exactly");
+    println!("the proof's device for neutralizing recomputation. Every full segment");
+    println!("clears the floor, so the bound binds this recomputing schedule too.");
+}

@@ -1,0 +1,82 @@
+//! General base cases via tensor products (Table I's "general base case"
+//! and "rectangular" rows): build `⟨4,4,4;49⟩` and rectangular
+//! `⟨2,4,4;28⟩` algorithms mechanically, validate them exactly, and run
+//! them.
+//!
+//! ```text
+//! cargo run --release --example tensor_products
+//! ```
+
+use fastmm::core::catalog;
+use fastmm::core::rectangular::{multiply_rect, rect_catalog, tensor, BilinearRect};
+use fastmm::matrix::multiply::multiply_naive;
+use fastmm::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("Tensor-product algebra of bilinear algorithms:\n");
+    println!(
+        "{:<28} {:>10} {:>6} {:>8} {:>8}",
+        "algorithm", "base", "t", "ω₀", "nnz"
+    );
+
+    let algs: Vec<BilinearRect> = vec![
+        BilinearRect::from_2x2(&catalog::strassen()),
+        BilinearRect::from_2x2(&catalog::winograd()),
+        BilinearRect::classical(2, 2, 2),
+        BilinearRect::classical(1, 2, 2),
+        rect_catalog::strassen_squared(),
+        rect_catalog::strassen_winograd(),
+        rect_catalog::rect_1_2_2_x_strassen(),
+        tensor(
+            &BilinearRect::classical(2, 2, 2),
+            &BilinearRect::from_2x2(&catalog::strassen()),
+        ),
+    ];
+    for alg in &algs {
+        println!(
+            "{:<28} {:>10} {:>6} {:>8.4} {:>8}",
+            alg.name,
+            format!("⟨{},{},{}⟩", alg.m, alg.k, alg.n),
+            alg.t(),
+            alg.omega(),
+            alg.nnz()
+        );
+    }
+
+    println!("\nEvery algorithm above passed the generalized Brent equations at");
+    println!("construction — a mistyped coefficient cannot survive.\n");
+
+    // Run the rectangular algorithm end to end.
+    let alg = rect_catalog::rect_1_2_2_x_strassen();
+    let mut rng = StdRng::seed_from_u64(5);
+    let a = Matrix::<i64>::random_small(4, 16, &mut rng);
+    let b = Matrix::<i64>::random_small(16, 16, &mut rng);
+    let c = multiply_rect(&alg, &a, &b, 2);
+    println!(
+        "⟨2,4,4;28⟩ at depth 2 multiplies a 4×16 by a 16×16 matrix: correct = {}",
+        c == multiply_naive(&a, &b)
+    );
+
+    // The tensor square of Strassen is *the same computation* as two
+    // Strassen levels — one recursion level of ⟨4,4,4;49⟩ versus two of
+    // ⟨2,2,2;7⟩.
+    let s2 = rect_catalog::strassen_squared();
+    let a = Matrix::<i64>::random_small(16, 16, &mut rng);
+    let b = Matrix::<i64>::random_small(16, 16, &mut rng);
+    let via_tensor = multiply_rect(&s2, &a, &b, 2);
+    let via_strassen = fastmm::core::exec::multiply_fast(&catalog::strassen(), &a, &b, 1);
+    println!(
+        "Strassen⊗Strassen ≡ two Strassen levels on 16×16: agree = {}",
+        via_tensor == via_strassen
+    );
+    println!(
+        "\nExponent is preserved under tensoring: ω(S⊗S) = {:.6} = log₂7 = {:.6}",
+        s2.omega(),
+        7f64.log2()
+    );
+    println!("The paper's Theorem 1.1 covers the 2×2 base case; the general-base");
+    println!("rows of Table I (cited as open for recomputation) are exactly the");
+    println!("algorithms this module generates.");
+}

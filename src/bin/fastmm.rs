@@ -1,0 +1,236 @@
+//! `fastmm` — command-line driver for the workspace.
+//!
+//! ```text
+//! fastmm multiply --alg winograd --n 256 [--cutoff 16]
+//! fastmm bounds   --n 4096 --m 1024 [--p 49]
+//! fastmm verify   [--n 4]
+//! fastmm io       --alg strassen --n 32 --m 96
+//! fastmm pebble   --family tree --m 3 [--optimal]
+//! fastmm dot      --alg strassen --n 2 --out h2.dot
+//! ```
+
+use fastmm::cdag::dot::to_dot;
+use fastmm::cdag::RecursiveCdag;
+use fastmm::core::altbasis::{karstadt_schwartz, multiply_alt_counted};
+use fastmm::core::exec::multiply_fast_counted;
+use fastmm::core::{bounds, catalog, lemmas, Bilinear2x2};
+use fastmm::matrix::multiply::multiply_naive;
+use fastmm::matrix::Matrix;
+use fastmm::memsim::cache::Policy;
+use fastmm::memsim::seq;
+use fastmm::pebbling::families;
+use fastmm::pebbling::game::run_schedule;
+use fastmm::pebbling::optimal::recompute_gap;
+use fastmm::pebbling::players::{belady_schedule, creation_order};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().expect("peeked").clone(),
+                _ => "true".to_string(),
+            };
+            flags.insert(name.to_string(), value);
+        }
+    }
+    flags
+}
+
+fn get_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> usize {
+    flags
+        .get(key)
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number, got '{v}'")))
+        .unwrap_or(default)
+}
+
+fn algorithm(flags: &HashMap<String, String>) -> Bilinear2x2 {
+    match flags.get("alg").map(String::as_str).unwrap_or("strassen") {
+        "strassen" => catalog::strassen(),
+        "winograd" => catalog::winograd(),
+        "classical" => catalog::classical(),
+        other => {
+            eprintln!("unknown algorithm '{other}' (strassen|winograd|classical|ks)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cmd_multiply(flags: &HashMap<String, String>) {
+    let n = get_usize(flags, "n", 128);
+    let cutoff = get_usize(flags, "cutoff", 16);
+    let mut rng = StdRng::seed_from_u64(get_usize(flags, "seed", 42) as u64);
+    let a = Matrix::<i64>::random_small(n, n, &mut rng);
+    let b = Matrix::<i64>::random_small(n, n, &mut rng);
+    let reference = multiply_naive(&a, &b);
+
+    if flags.get("alg").map(String::as_str) == Some("ks") {
+        let ks = karstadt_schwartz();
+        let levels = (n.trailing_zeros() as usize)
+            .saturating_sub(cutoff.max(1).trailing_zeros() as usize);
+        let start = std::time::Instant::now();
+        let (c, core, transform) = multiply_alt_counted(&ks, &a, &b, levels);
+        let dt = start.elapsed();
+        println!("karstadt-schwartz, n = {n}, levels = {levels}");
+        println!("  correct:        {}", c == reference);
+        println!("  core ops:       {} mults, {} adds", core.scalar_mults, core.scalar_adds);
+        println!("  transform ops:  {}", transform.total());
+        println!("  wall time:      {dt:?}");
+        return;
+    }
+    let alg = algorithm(flags);
+    let start = std::time::Instant::now();
+    let (c, counts) = multiply_fast_counted(&alg, &a, &b, cutoff);
+    let dt = start.elapsed();
+    println!("{}, n = {n}, cutoff = {cutoff}", alg.name);
+    println!("  correct:    {}", c == reference);
+    println!("  ops:        {} mults, {} adds", counts.scalar_mults, counts.scalar_adds);
+    println!("  wall time:  {dt:?}");
+}
+
+fn cmd_bounds(flags: &HashMap<String, String>) {
+    let n = get_usize(flags, "n", 4096);
+    let m = get_usize(flags, "m", 1024);
+    let p = get_usize(flags, "p", 1);
+    println!("I/O lower bounds at n = {n}, M = {m}, P = {p}:");
+    println!(
+        "  classical sequential:   Ω ≈ {:.3e}",
+        bounds::sequential(n, m, bounds::OMEGA_CLASSICAL)
+    );
+    println!(
+        "  fast (2×2) sequential:  Ω ≈ {:.3e}   [holds with recomputation]",
+        bounds::sequential(n, m, bounds::OMEGA_FAST)
+    );
+    if p > 1 {
+        println!(
+            "  fast parallel (max):    Ω ≈ {:.3e}",
+            bounds::parallel(n, m, p, bounds::OMEGA_FAST)
+        );
+        println!(
+            "    memory-dependent:     Ω ≈ {:.3e}",
+            bounds::parallel_memory_dependent(n, m, p, bounds::OMEGA_FAST)
+        );
+        println!(
+            "    memory-independent:   Ω ≈ {:.3e}",
+            bounds::parallel_memory_independent(n, p, bounds::OMEGA_FAST)
+        );
+        println!(
+            "    crossover M*:         {:.3e}",
+            bounds::parallel_crossover_m(n, p, bounds::OMEGA_FAST)
+        );
+    }
+}
+
+fn cmd_verify(flags: &HashMap<String, String>) -> ExitCode {
+    let n = get_usize(flags, "n", 4);
+    let mut rng = StdRng::seed_from_u64(2019);
+    let mut all_ok = true;
+    for alg in catalog::all_fast() {
+        println!("{}:", alg.name);
+        for report in lemmas::full_battery(&alg, n, &mut rng) {
+            println!(
+                "  Lemma {:<8} {}  {}",
+                report.lemma,
+                if report.holds { "HOLDS" } else { "FAILS" },
+                report.detail
+            );
+            all_ok &= report.holds;
+        }
+    }
+    if all_ok {
+        println!("\nall checks passed");
+        ExitCode::SUCCESS
+    } else {
+        println!("\nSOME CHECKS FAILED");
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_io(flags: &HashMap<String, String>) {
+    let n = get_usize(flags, "n", 32);
+    let m = get_usize(flags, "m", 96);
+    let alg = algorithm(flags);
+    let tile = seq::natural_tile(m);
+    let (_, stats) = if alg.name == "classical" {
+        seq::measure(n, m, Policy::Lru, |mem, a, b| seq::classical_blocked(mem, a, b, tile))
+    } else {
+        seq::measure(n, m, Policy::Lru, |mem, a, b| seq::fast_recursive(mem, &alg, a, b, tile))
+    };
+    let omega = if alg.name == "classical" { bounds::OMEGA_CLASSICAL } else { bounds::OMEGA_FAST };
+    let lb = bounds::sequential(n, m, omega);
+    println!("{} at n = {n}, M = {m} (LRU, tile {tile}):", alg.name);
+    println!("  measured I/O:  {} ({} loads, {} stores)", stats.io(), stats.loads, stats.stores);
+    println!("  lower bound:   {lb:.0}");
+    println!("  ratio:         {:.2}", stats.io() as f64 / lb);
+}
+
+fn cmd_pebble(flags: &HashMap<String, String>) {
+    let m = get_usize(flags, "m", 4);
+    let fam = flags.get("family").map(String::as_str).unwrap_or("tree");
+    let g = match fam {
+        "chain" => families::chain(get_usize(flags, "len", 6)),
+        "tree" => families::binary_tree(get_usize(flags, "leaves", 4)),
+        "grid" => families::dp_grid(get_usize(flags, "rows", 3), get_usize(flags, "cols", 3)),
+        "butterfly" => families::butterfly(get_usize(flags, "n", 8)),
+        "strassen" => RecursiveCdag::build(&catalog::strassen().to_base(), get_usize(flags, "n", 4)).graph,
+        other => {
+            eprintln!("unknown family '{other}' (chain|tree|grid|butterfly|strassen)");
+            std::process::exit(2);
+        }
+    };
+    println!("{fam}: {} vertices, {} edges", g.len(), g.edge_count());
+    let moves = belady_schedule(&g, &creation_order(&g), m);
+    let r = run_schedule(&g, &moves, m, false).expect("legal schedule");
+    println!("  Belady (no recompute) at M = {m}: {} I/O ({} loads, {} stores)", r.io(), r.loads, r.stores);
+    if flags.contains_key("optimal") {
+        match recompute_gap(&g, m, 3_000_000) {
+            Ok((without, with)) => {
+                println!("  exact optimal without recompute: {}", without.cost);
+                println!("  exact optimal with recompute:    {}", with.cost);
+                println!("  recomputation gap:               {}", without.cost - with.cost);
+            }
+            Err(e) => println!("  exact search unavailable: {e:?}"),
+        }
+    }
+}
+
+fn cmd_dot(flags: &HashMap<String, String>) {
+    let n = get_usize(flags, "n", 2);
+    let alg = algorithm(flags);
+    let h = RecursiveCdag::build(&alg.to_base(), n);
+    let dot = to_dot(&h.graph, &format!("{}_H{n}", alg.name));
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, dot).expect("write DOT file");
+            println!("wrote {path}");
+        }
+        None => print!("{dot}"),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("usage: fastmm <multiply|bounds|verify|io|pebble|dot> [flags]");
+        return ExitCode::from(2);
+    };
+    let flags = parse_flags(&args[1..]);
+    match cmd.as_str() {
+        "multiply" => cmd_multiply(&flags),
+        "bounds" => cmd_bounds(&flags),
+        "verify" => return cmd_verify(&flags),
+        "io" => cmd_io(&flags),
+        "pebble" => cmd_pebble(&flags),
+        "dot" => cmd_dot(&flags),
+        other => {
+            eprintln!("unknown command '{other}'");
+            return ExitCode::from(2);
+        }
+    }
+    ExitCode::SUCCESS
+}

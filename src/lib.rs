@@ -1,0 +1,11 @@
+//! # fastmm — umbrella crate
+//!
+//! Re-exports the whole workspace: the reproduction of *"Revisiting the
+//! I/O-Complexity of Fast Matrix Multiplication with Recomputations"*
+//! (Nissim & Schwartz, IPDPS 2019). See the README for a map.
+
+pub use fmm_cdag as cdag;
+pub use fmm_core as core;
+pub use fmm_matrix as matrix;
+pub use fmm_memsim as memsim;
+pub use fmm_pebbling as pebbling;

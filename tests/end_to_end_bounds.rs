@@ -1,0 +1,136 @@
+//! Integration: measured I/O and communication of executable schedules sit
+//! above the paper's lower bounds with bounded constants and the right
+//! exponents — the end-to-end content of Table I.
+
+use fastmm::core::{bounds, catalog};
+use fastmm::matrix::Matrix;
+use fastmm::memsim::cache::Policy;
+use fastmm::memsim::{model, par, seq};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn sequential_measured_io_respects_bounds() {
+    for (n, m) in [(16usize, 96usize), (32, 96), (32, 384)] {
+        let tile = seq::natural_tile(m);
+        // Classical.
+        let (_, s) = seq::measure(n, m, Policy::Lru, |mem, a, b| {
+            seq::classical_blocked(mem, a, b, tile)
+        });
+        let lb = bounds::sequential(n, m, bounds::OMEGA_CLASSICAL);
+        assert!(s.io() as f64 >= lb, "classical n={n} M={m}: {} < {lb}", s.io());
+        assert!((s.io() as f64) < 40.0 * lb, "classical constant blew up");
+        // Fast.
+        for alg in catalog::all_fast() {
+            let (_, s) = seq::measure(n, m, Policy::Lru, |mem, a, b| {
+                seq::fast_recursive(mem, &alg, a, b, tile)
+            });
+            let lb = bounds::sequential(n, m, bounds::OMEGA_FAST);
+            assert!(s.io() as f64 >= lb, "{} n={n} M={m}", alg.name);
+            assert!((s.io() as f64) < 120.0 * lb, "{} constant blew up", alg.name);
+        }
+    }
+}
+
+#[test]
+fn measured_exponent_separates_classical_from_fast() {
+    // At fixed M, the doubling ratio IO(2n)/IO(n) converges to 8 for the
+    // classical schedule and 7 for the fast one; by n = 64 → 128 the
+    // measured ratios have separated (classical ≈ 7.9 from below, fast
+    // ≈ 7.35 from above).
+    let m = 96;
+    let tile = seq::natural_tile(m);
+    let io_classical = |n: usize| {
+        let (_, s) = seq::measure(n, m, Policy::Lru, |mem, a, b| {
+            seq::classical_blocked(mem, a, b, tile)
+        });
+        s.io() as f64
+    };
+    let alg = catalog::strassen();
+    let io_fast = |n: usize| {
+        let (_, s) = seq::measure(n, m, Policy::Lru, |mem, a, b| {
+            seq::fast_recursive(mem, &alg, a, b, tile)
+        });
+        s.io() as f64
+    };
+    let rc = io_classical(128) / io_classical(64);
+    let rf = io_fast(128) / io_fast(64);
+    assert!(rc > 7.3 && rc < 9.0, "classical doubling ratio {rc}");
+    assert!(rf > 6.5 && rf < 7.8, "fast doubling ratio {rf}");
+    assert!(rf < rc, "fast must grow slower than classical: {rf} vs {rc}");
+}
+
+#[test]
+fn ks_trace_io_tracks_fast_bound() {
+    let ks = fastmm::core::altbasis::karstadt_schwartz();
+    let (n, m) = (32usize, 96usize);
+    let tile = seq::natural_tile(m);
+    let (_, s) = seq::measure(n, m, Policy::Lru, |mem, a, b| {
+        seq::fast_recursive(mem, &ks.core, a, b, tile)
+    });
+    let lb = bounds::sequential(n, m, bounds::OMEGA_FAST);
+    assert!(s.io() as f64 >= lb);
+    // The lighter linear phase means less I/O than Strassen's schedule.
+    let strassen = catalog::strassen();
+    let (_, s2) = seq::measure(n, m, Policy::Lru, |mem, a, b| {
+        seq::fast_recursive(mem, &strassen, a, b, tile)
+    });
+    assert!(s.io() < s2.io(), "KS core {} vs strassen {}", s.io(), s2.io());
+}
+
+#[test]
+fn parallel_measured_comm_respects_memory_independent_bounds() {
+    let n = 32;
+    let mut rng = StdRng::seed_from_u64(200);
+    let a = Matrix::<i64>::random_small(n, n, &mut rng);
+    let b = Matrix::<i64>::random_small(n, n, &mut rng);
+    for p in [2usize, 4] {
+        let (_, net) = par::cannon(&a, &b, p);
+        let lb = bounds::parallel_memory_independent(n, p * p, bounds::OMEGA_CLASSICAL);
+        assert!(net.max_per_proc() as f64 >= lb, "cannon p={p}");
+    }
+    {
+        let p = 2usize;
+        let (_, net) = par::replicated_3d(&a, &b, p);
+        let lb = bounds::parallel_memory_independent(n, p * p * p, bounds::OMEGA_CLASSICAL);
+        assert!(net.max_per_proc() as f64 >= lb, "3d p={p}");
+    }
+    let alg = catalog::strassen();
+    for levels in [1usize, 2] {
+        let (_, net) = par::caps_strassen(&alg, &a, &b, levels);
+        let lb =
+            bounds::parallel_memory_independent(n, 7usize.pow(levels as u32), bounds::OMEGA_FAST);
+        assert!(net.max_per_proc() as f64 >= lb, "caps levels={levels}");
+    }
+}
+
+#[test]
+fn models_and_measurements_cross_validate() {
+    // The closed-form schedule models track the trace measurements within a
+    // moderate constant on every overlap point.
+    for (n, m) in [(16usize, 96usize), (32, 192)] {
+        let tile = seq::natural_tile(m);
+        let (_, s) = seq::measure(n, m, Policy::Lru, |mem, a, b| {
+            seq::classical_blocked(mem, a, b, tile)
+        });
+        let modeled = model::blocked_classical_io(n, m);
+        let ratio = s.io() as f64 / modeled;
+        assert!(ratio > 0.2 && ratio < 5.0, "classical n={n} M={m} ratio {ratio}");
+    }
+}
+
+#[test]
+fn table_one_ordering_fast_vs_classical_bounds() {
+    // The defining inequality of the fast rows: for n² ≫ M the fast bound
+    // is strictly below the classical one, and the gap grows with n/√M.
+    let m = 1 << 10;
+    let mut prev_gap = 0.0;
+    for n in [1usize << 10, 1 << 12, 1 << 14] {
+        let fast = bounds::sequential(n, m, bounds::OMEGA_FAST);
+        let classical = bounds::sequential(n, m, bounds::OMEGA_CLASSICAL);
+        assert!(fast < classical);
+        let gap = classical / fast;
+        assert!(gap > prev_gap);
+        prev_gap = gap;
+    }
+}

@@ -1,0 +1,136 @@
+//! Integration: the full machine-checked lemma battery — the paper's
+//! Section III, executed — for every fast algorithm, including the
+//! alternative-basis core of Section IV.
+
+use fastmm::cdag::RecursiveCdag;
+use fastmm::core::altbasis::karstadt_schwartz;
+use fastmm::core::{catalog, lemmas};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn full_battery_all_fast_algorithms() {
+    let mut rng = StdRng::seed_from_u64(2019);
+    for alg in catalog::all_fast() {
+        for report in lemmas::full_battery(&alg, 4, &mut rng) {
+            assert!(
+                report.holds,
+                "{} lemma {} failed: {}",
+                report.algorithm, report.lemma, report.detail
+            );
+        }
+    }
+}
+
+#[test]
+fn battery_extends_to_alternative_basis_core() {
+    // Section IV: the bounds (and their encoder lemmas) apply to the
+    // bilinear core of the alternative-basis algorithm as well.
+    let ks = karstadt_schwartz();
+    let base = ks.core.to_base();
+    for (side, enc) in [("A", base.encoder_bipartite_a()), ("B", base.encoder_bipartite_b())] {
+        let r31 = lemmas::check_lemma_3_1(&enc, &ks.core.name);
+        assert!(r31.holds, "KS core enc-{side} L3.1: {}", r31.detail);
+        let r32 = lemmas::check_lemma_3_2(&enc, &ks.core.name);
+        assert!(r32.holds, "KS core enc-{side} L3.2: {}", r32.detail);
+        let r33 = lemmas::check_lemma_3_3(&enc, &ks.core.name);
+        assert!(r33.holds, "KS core enc-{side} L3.3: {}", r33.detail);
+    }
+}
+
+#[test]
+fn lemma_2_2_alternative_basis_core_cdag() {
+    let ks = karstadt_schwartz();
+    for n in [2usize, 4, 8] {
+        let h = RecursiveCdag::build(&ks.core.to_base(), n);
+        let r = lemmas::check_lemma_2_2(&h, 7, "ks-core");
+        assert!(r.holds, "n={n}: {}", r.detail);
+    }
+}
+
+#[test]
+fn lemma_3_7_exact_dominators_h4_both_algorithms() {
+    let mut rng = StdRng::seed_from_u64(37);
+    for alg in catalog::all_fast() {
+        let h = RecursiveCdag::build(&alg.to_base(), 4);
+        // Size-4 Z sets from size-2 sub-problem outputs (r = 2, r² = 4).
+        let r = lemmas::check_lemma_3_7_sampled(&h, 1, 12, &mut rng, &alg.name);
+        assert!(r.holds, "{}: {}", alg.name, r.detail);
+        // And the scalar-product level (r = 1): singleton Z needs |Γ| ≥ 1.
+        let r0 = lemmas::check_lemma_3_7_sampled(&h, 0, 12, &mut rng, &alg.name);
+        assert!(r0.holds, "{}: {}", alg.name, r0.detail);
+    }
+}
+
+#[test]
+fn lemma_3_7_exact_dominators_at_scale_h8() {
+    // Exact minimum vertex cuts on the ~23k-vertex H^{8×8} CDAG: Dinic
+    // handles this comfortably, and the |Γ| ≥ |Z|/2 floor holds for
+    // sub-problem outputs at r = 2 and r = 4.
+    use fastmm::cdag::flow::min_dominator_size;
+    use rand::seq::SliceRandom;
+    let alg = catalog::strassen();
+    let h = RecursiveCdag::build(&alg.to_base(), 8);
+    let mut rng = StdRng::seed_from_u64(88);
+    for j in [1usize, 2] {
+        let pool = h.sub_output_vertices(j);
+        let z_size = 1usize << (2 * j); // r²
+        for _ in 0..3 {
+            let z: Vec<_> = pool.choose_multiple(&mut rng, z_size).copied().collect();
+            let md = min_dominator_size(&h.graph, &z);
+            assert!(2 * md >= z.len(), "j={j}: dominator {md} < |Z|/2 = {}", z.len() / 2);
+        }
+    }
+}
+
+#[test]
+fn lemma_3_11_h8_larger_instance() {
+    // A heavier instance than the unit tests: H^{8×8}, r = 2.
+    let mut rng = StdRng::seed_from_u64(311);
+    let alg = catalog::winograd();
+    let h = RecursiveCdag::build(&alg.to_base(), 8);
+    let r = lemmas::check_lemma_3_11_sampled(&h, 1, 4, 1, 4, &mut rng, "winograd");
+    assert!(r.holds, "{}", r.detail);
+}
+
+#[test]
+fn grigoriev_flow_consistency_with_measured_dominators() {
+    // Lemma 3.9 chain: the Grigoriev bound never exceeds the exact minimum
+    // dominator measured on the generated CDAG.
+    use fastmm::cdag::flow::min_dominator_size;
+    use fastmm::core::grigoriev;
+    for alg in catalog::all_fast() {
+        for n in [2usize, 4] {
+            let h = RecursiveCdag::build(&alg.to_base(), n);
+            let exact = min_dominator_size(&h.graph, &h.outputs);
+            let bound = grigoriev::dominator_lower_bound(n, 2 * n * n, n * n);
+            assert!(
+                exact >= bound,
+                "{} n={n}: exact {exact} < Grigoriev bound {bound}",
+                alg.name
+            );
+        }
+    }
+}
+
+#[test]
+fn hopcroft_kerr_families_reject_oversubscribed_encoder() {
+    // A fabricated 7-product "algorithm" whose multiplicands hit one family
+    // twice must be flagged (its Brent validation would fail anyway; here
+    // we check the family counter itself).
+    use fastmm::core::Bilinear2x2;
+    let u = vec![
+        [1, 0, 0, 0],  // A11                — base family member 1
+        [0, 1, 1, 0],  // A12+A21            — base family member 2
+        [1, 1, 1, 0],  // A11+A12+A21        — base family member 3 (k = 3!)
+        [0, 0, 0, 1],
+        [0, 0, 1, 1],
+        [1, 0, 1, 1],
+        [1, 0, 0, 1],
+    ];
+    let v = u.clone();
+    let w = [vec![1, 0, 0, 0, 0, 0, 0], vec![0, 1, 0, 0, 0, 0, 0], vec![0, 0, 1, 0, 0, 0, 0], vec![0, 0, 0, 1, 0, 0, 0]];
+    let fake = Bilinear2x2::new_unvalidated("fake", u, v, w);
+    let r = lemmas::check_hopcroft_kerr_families(&fake);
+    assert!(!r.holds, "three base-family members with t = 7 must be inconsistent");
+}

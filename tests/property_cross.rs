@@ -1,0 +1,111 @@
+//! Cross-crate property tests: algebraic identities that must hold for
+//! arbitrary inputs, and pebbling-schedule legality on random DAGs.
+
+use fastmm::cdag::{Cdag, VertexKind};
+use fastmm::core::altbasis::{karstadt_schwartz, multiply_alt};
+use fastmm::core::exec::multiply_fast;
+use fastmm::core::catalog;
+use fastmm::matrix::multiply::multiply_naive;
+use fastmm::matrix::Matrix;
+use fastmm::pebbling::game::run_schedule;
+use fastmm::pebbling::players::{belady_schedule, creation_order};
+use proptest::prelude::*;
+
+fn square(dim: usize) -> impl Strategy<Value = Matrix<i64>> {
+    proptest::collection::vec(-9i64..=9, dim * dim)
+        .prop_map(move |v| Matrix::from_vec(dim, dim, v))
+}
+
+/// Random layered DAG: `layers` layers of `width` vertices; each non-input
+/// vertex reads 1–2 vertices from earlier layers. Last layer = outputs.
+fn random_layered_dag() -> impl Strategy<Value = Cdag> {
+    (2usize..5, 1usize..4, proptest::collection::vec((0usize..100, 0usize..100), 30))
+        .prop_map(|(layers, width, picks)| {
+            let mut g = Cdag::new();
+            let mut all: Vec<Vec<_>> = Vec::new();
+            let mut pick_iter = picks.into_iter().cycle();
+            for layer in 0..layers {
+                let mut this = Vec::new();
+                for w in 0..width {
+                    if layer == 0 {
+                        this.push(g.add_vertex(VertexKind::Input, format!("i{w}")));
+                    } else {
+                        let kind = if layer + 1 == layers {
+                            VertexKind::Output
+                        } else {
+                            VertexKind::Internal
+                        };
+                        let v = g.add_vertex(kind, format!("v{layer}_{w}"));
+                        let pool: Vec<_> = all.iter().flatten().copied().collect();
+                        let (p1, p2) = pick_iter.next().expect("cycle");
+                        let a = pool[p1 % pool.len()];
+                        g.add_edge(a, v);
+                        let b = pool[p2 % pool.len()];
+                        if b != a {
+                            g.add_edge(b, v);
+                        }
+                        this.push(v);
+                    }
+                }
+                all.push(this);
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn strassen_equals_naive(a in square(8), b in square(8)) {
+        let alg = catalog::strassen();
+        prop_assert_eq!(multiply_fast(&alg, &a, &b, 1), multiply_naive(&a, &b));
+    }
+
+    #[test]
+    fn winograd_equals_naive(a in square(8), b in square(8)) {
+        let alg = catalog::winograd();
+        prop_assert_eq!(multiply_fast(&alg, &a, &b, 1), multiply_naive(&a, &b));
+    }
+
+    #[test]
+    fn ks_alt_basis_equals_naive(a in square(8), b in square(8)) {
+        let ks = karstadt_schwartz();
+        prop_assert_eq!(multiply_alt(&ks, &a, &b), multiply_naive(&a, &b));
+    }
+
+    #[test]
+    fn fast_is_bilinear_in_left_argument(a1 in square(4), a2 in square(4), b in square(4)) {
+        // (A1 + A2)·B = A1·B + A2·B through the fast algorithm.
+        let alg = catalog::strassen();
+        let lhs = multiply_fast(&alg, &fastmm::matrix::ops::add(&a1, &a2), &b, 1);
+        let rhs = fastmm::matrix::ops::add(
+            &multiply_fast(&alg, &a1, &b, 1),
+            &multiply_fast(&alg, &a2, &b, 1),
+        );
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn belady_schedules_always_validate(g in random_layered_dag(), extra in 0usize..6) {
+        let max_indeg = g.vertices().map(|v| g.in_degree(v)).max().unwrap_or(0);
+        let capacity = max_indeg + 1 + extra;
+        let moves = belady_schedule(&g, &creation_order(&g), capacity);
+        let r = run_schedule(&g, &moves, capacity, false);
+        prop_assert!(r.is_ok(), "illegal schedule: {:?}", r.err());
+        let r = r.unwrap();
+        prop_assert!(r.max_red <= capacity);
+        prop_assert_eq!(r.recomputes, 0);
+    }
+
+    #[test]
+    fn belady_io_monotone_in_capacity(g in random_layered_dag()) {
+        let max_indeg = g.vertices().map(|v| g.in_degree(v)).max().unwrap_or(0);
+        let base = max_indeg + 1;
+        let io = |cap: usize| {
+            let moves = belady_schedule(&g, &creation_order(&g), cap);
+            run_schedule(&g, &moves, cap, false).expect("legal").io()
+        };
+        prop_assert!(io(base + 8) <= io(base));
+    }
+}
