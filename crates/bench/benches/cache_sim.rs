@@ -57,5 +57,10 @@ fn policy_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, blocked_classical_sim, fast_recursive_sim, policy_ablation);
+criterion_group!(
+    benches,
+    blocked_classical_sim,
+    fast_recursive_sim,
+    policy_ablation
+);
 criterion_main!(benches);

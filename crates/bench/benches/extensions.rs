@@ -6,8 +6,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fmm_bench::bench_matrix;
 use fmm_cdag::expansion::subproblem_cones;
 use fmm_cdag::RecursiveCdag;
-use fmm_core::rectangular::{multiply_rect, rect_catalog};
 use fmm_core::catalog;
+use fmm_core::rectangular::{multiply_rect, rect_catalog};
 use fmm_memsim::cache::Policy;
 use fmm_memsim::par_threads::cannon_threaded;
 use fmm_memsim::seq;
@@ -23,9 +23,11 @@ fn rectangular_execution(c: &mut Criterion) {
         let n = 4usize.pow(depth as u32);
         let a = bench_matrix(n, 70);
         let b = bench_matrix(n, 71);
-        group.bench_with_input(BenchmarkId::new("strassen_squared", n), &depth, |bch, &d| {
-            bch.iter(|| black_box(multiply_rect(&s2, &a, &b, d)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("strassen_squared", n),
+            &depth,
+            |bch, &d| bch.iter(|| black_box(multiply_rect(&s2, &a, &b, d))),
+        );
     }
     group.finish();
 }
@@ -52,7 +54,9 @@ fn expansion_cones(c: &mut Criterion) {
 
 fn segment_audit(c: &mut Criterion) {
     let h = RecursiveCdag::build(&catalog::strassen().to_base(), 8);
-    let subs: Vec<_> = (0..h.sub_outputs.len()).map(|j| h.sub_output_vertices(j)).collect();
+    let subs: Vec<_> = (0..h.sub_outputs.len())
+        .map(|j| h.sub_output_vertices(j))
+        .collect();
     let moves = belady_schedule(&h.graph, &creation_order(&h.graph), 16);
     c.bench_function("theorem_audit_h8", |bch| {
         bch.iter(|| black_box(theorem_audit(&h.graph, &moves, &subs, 16).2.len()))

@@ -44,5 +44,10 @@ fn disjoint_paths(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, lemma_3_1_exhaustive, min_dominator_flow, disjoint_paths);
+criterion_group!(
+    benches,
+    lemma_3_1_exhaustive,
+    min_dominator_flow,
+    disjoint_paths
+);
 criterion_main!(benches);

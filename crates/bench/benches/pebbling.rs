@@ -18,7 +18,11 @@ fn belady_on_strassen_cdag(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &h, |bch, h| {
             bch.iter(|| {
                 let moves = belady_schedule(&h.graph, &order, 16);
-                black_box(run_schedule(&h.graph, &moves, 16, false).expect("legal").io())
+                black_box(
+                    run_schedule(&h.graph, &moves, 16, false)
+                        .expect("legal")
+                        .io(),
+                )
             })
         });
     }
@@ -33,7 +37,13 @@ fn demand_players(c: &mut Criterion) {
         ("recompute", EvictionMode::Recompute),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &h, |bch, h| {
-            bch.iter(|| black_box(demand_schedule(&h.graph, 16, mode).expect("schedulable").len()))
+            bch.iter(|| {
+                black_box(
+                    demand_schedule(&h.graph, 16, mode)
+                        .expect("schedulable")
+                        .len(),
+                )
+            })
         });
     }
     group.finish();
@@ -61,5 +71,10 @@ fn optimal_search(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, belady_on_strassen_cdag, demand_players, optimal_search);
+criterion_group!(
+    benches,
+    belady_on_strassen_cdag,
+    demand_players,
+    optimal_search
+);
 criterion_main!(benches);

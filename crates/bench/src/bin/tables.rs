@@ -40,7 +40,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn hr(title: &str) {
-    println!("\n=== {title} {}", "=".repeat(66usize.saturating_sub(title.len())));
+    println!(
+        "\n=== {title} {}",
+        "=".repeat(66usize.saturating_sub(title.len()))
+    );
 }
 
 fn table1_sequential() {
@@ -73,7 +76,11 @@ fn table1_sequential() {
                     s.io() as f64
                 }
                 "strassen" | "winograd" => {
-                    let alg = if name == "strassen" { catalog::strassen() } else { catalog::winograd() };
+                    let alg = if name == "strassen" {
+                        catalog::strassen()
+                    } else {
+                        catalog::winograd()
+                    };
                     let (_, s) = seq::measure(n, m, Policy::Lru, |mem, a, b| {
                         seq::fast_recursive(mem, &alg, a, b, tile)
                     });
@@ -108,7 +115,11 @@ fn table1_sequential() {
         ("winograd", bounds::OMEGA_FAST, 15),
         ("ks-altbasis", bounds::OMEGA_FAST, 12),
     ] {
-        for (n, m) in [(1usize << 14, 1usize << 10), (1 << 17, 1 << 10), (1 << 17, 1 << 14)] {
+        for (n, m) in [
+            (1usize << 14, 1usize << 10),
+            (1 << 17, 1 << 10),
+            (1 << 17, 1 << 14),
+        ] {
             let lb = bounds::sequential(n, m, omega);
             let schedule = if name == "classical" {
                 model::blocked_classical_io(n, m)
@@ -212,7 +223,10 @@ fn fig2() {
     hr("Figure 2 — encoder graphs & the Lemma 3.1/3.2/3.3 battery");
     for alg in catalog::all_fast() {
         let base = alg.to_base();
-        for (side, enc) in [("A", base.encoder_bipartite_a()), ("B", base.encoder_bipartite_b())] {
+        for (side, enc) in [
+            ("A", base.encoder_bipartite_a()),
+            ("B", base.encoder_bipartite_b()),
+        ] {
             let l31 = lemmas::check_lemma_3_1(&enc, &alg.name);
             let l32 = lemmas::check_lemma_3_2(&enc, &alg.name);
             let l33 = lemmas::check_lemma_3_3(&enc, &alg.name);
@@ -257,28 +271,45 @@ fn fig3() {
     let mut rng = StdRng::seed_from_u64(311);
     let alg = catalog::strassen();
     let h = RecursiveCdag::build(&alg.to_base(), 4);
-    println!("{:>4} {:>4} {:>22} {:>8}", "|Z|", "|Γ|", "bound 2r√(|Z|−2|Γ|)", "holds");
+    println!(
+        "{:>4} {:>4} {:>22} {:>8}",
+        "|Z|", "|Γ|", "bound 2r√(|Z|−2|Γ|)", "holds"
+    );
     for (z, g) in [(4usize, 0usize), (4, 1), (4, 2), (3, 1), (2, 1)] {
         let rep = lemmas::check_lemma_3_11_sampled(&h, 1, z, g, 10, &mut rng, "strassen");
         let bound = (2.0 * 2.0 * ((z as f64) - 2.0 * g as f64).max(0.0).sqrt()).floor();
-        println!("{z:>4} {g:>4} {bound:>22} {:>8}", if rep.holds { "OK" } else { "FAIL" });
+        println!(
+            "{z:>4} {g:>4} {bound:>22} {:>8}",
+            if rep.holds { "OK" } else { "FAIL" }
+        );
     }
     println!("\nLemma 3.7 (min dominator ≥ |Z|/2) on sampled Z ⊆ V_out(SUB_H^{{2×2}}):");
     let rep = lemmas::check_lemma_3_7_sampled(&h, 1, 10, &mut rng, "strassen");
-    println!("  {} — {}", if rep.holds { "OK" } else { "FAIL" }, rep.detail);
+    println!(
+        "  {} — {}",
+        if rep.holds { "OK" } else { "FAIL" },
+        rep.detail
+    );
 }
 
 fn recompute_study() {
     hr("Recomputation study (X2)");
     println!("Exact optimal pebbling, symmetric costs — I/O without vs with recompute:");
-    println!("{:<22} {:>4} {:>9} {:>9} {:>6}", "CDAG", "M", "without", "with", "gap");
+    println!(
+        "{:<22} {:>4} {:>9} {:>9} {:>6}",
+        "CDAG", "M", "without", "with", "gap"
+    );
     let cases: Vec<(&str, fmm_cdag::Cdag, usize)> = vec![
         ("chain(6)", families::chain(6), 2),
         ("binary_tree(4)", families::binary_tree(4), 3),
         ("shared_core(2,2)", families::shared_core(2, 2), 3),
         ("shared_core_wide(2,2)", families::shared_core_wide(2, 2), 3),
         ("dp_grid(3,3)", families::dp_grid(3, 3), 4),
-        ("H^1 (scalar mult)", RecursiveCdag::build(&catalog::strassen().to_base(), 1).graph, 3),
+        (
+            "H^1 (scalar mult)",
+            RecursiveCdag::build(&catalog::strassen().to_base(), 1).graph,
+            3,
+        ),
     ];
     for (name, g, m) in &cases {
         match recompute_gap(g, *m, 3_000_000) {
@@ -294,13 +325,19 @@ fn recompute_study() {
 
     println!("\nWrite-heavy cost model (ω_write = 8), exact optimal — recompute trades");
     println!("stores for loads (the §V direction):");
-    println!("{:<22} {:>10} {:>10} {:>10} {:>10}", "CDAG", "w/o cost", "w/o stores", "w/ cost", "w/ stores");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>10}",
+        "CDAG", "w/o cost", "w/o stores", "w/ cost", "w/ stores"
+    );
     for (name, g, m) in &cases {
         let model = CostModel::write_heavy(8);
         let a = optimal_pebbling(g, *m, false, model, 3_000_000);
         let b = optimal_pebbling(g, *m, true, model, 3_000_000);
         if let (Ok(a), Ok(b)) = (a, b) {
-            println!("{name:<22} {:>10} {:>10} {:>10} {:>10}", a.cost, a.stores, b.cost, b.stores);
+            println!(
+                "{name:<22} {:>10} {:>10} {:>10} {:>10}",
+                a.cost, a.stores, b.cost, b.stores
+            );
         }
     }
 
@@ -348,7 +385,10 @@ fn flops() {
     let n = 128;
     let a = bench_matrix(n, 3);
     let b = bench_matrix(n, 4);
-    println!("{:<22} {:>12} {:>12} {:>12} {:>8}", "algorithm", "mults", "adds", "total", "c_eff");
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>8}",
+        "algorithm", "mults", "adds", "total", "c_eff"
+    );
     let nf = (n as f64).powf(bounds::OMEGA_FAST);
     for alg in [catalog::strassen(), catalog::winograd()] {
         let (_, c) = multiply_fast_counted(&alg, &a, &b, 1);
@@ -372,7 +412,10 @@ fn flops() {
         core.total() + transform.total(),
         (core.total() + transform.total()) as f64 / nf
     );
-    println!("  (KS transform share: {} ops, Θ(n² log n))", transform.total());
+    println!(
+        "  (KS transform share: {} ops, Θ(n² log n))",
+        transform.total()
+    );
     println!(
         "\nAsymptotic leading coefficients: strassen {}, winograd {}, KS core {}",
         fmm_core::exec::leading_coefficient(7, 18),
@@ -385,14 +428,22 @@ fn fft_row() {
     hr("Table I — FFT row (contrast workload): pebbled butterflies");
     println!("Belady no-recompute pebbling of the FFT butterfly CDAG vs the bound");
     println!("Ω(n·log n / log M):\n");
-    println!("{:<6} {:>4} {:>9} {:>12} {:>7}", "n", "M", "I/O", "bound", "ratio");
+    println!(
+        "{:<6} {:>4} {:>9} {:>12} {:>7}",
+        "n", "M", "I/O", "bound", "ratio"
+    );
     for n in [8usize, 16, 32] {
         let g = families::butterfly(n);
         for m in [4usize, 8] {
             let moves = belady_schedule(&g, &creation_order(&g), m);
             let r = run_schedule(&g, &moves, m, false).expect("legal");
             let lb = bounds::fft_memory_dependent(n, m, 1);
-            println!("{n:<6} {m:>4} {:>9} {:>12.1} {:>7.2}", r.io(), lb, r.io() as f64 / lb);
+            println!(
+                "{n:<6} {m:>4} {:>9} {:>12.1} {:>7.2}",
+                r.io(),
+                lb,
+                r.io() as f64 / lb
+            );
         }
     }
     println!("\n(The FFT bound *with recomputation* is the companion result [13] in");
@@ -402,7 +453,10 @@ fn fft_row() {
 fn policies() {
     hr("Replacement-policy ablation: LRU vs FIFO vs offline-optimal (OPT)");
     println!("Same schedule, same trace, three policies (n = 32):\n");
-    println!("{:<22} {:>5} {:>9} {:>9} {:>9}", "schedule", "M", "LRU", "FIFO", "OPT");
+    println!(
+        "{:<22} {:>5} {:>9} {:>9} {:>9}",
+        "schedule", "M", "LRU", "FIFO", "OPT"
+    );
     use fmm_memsim::trace::{opt_stats, replay};
     let n = 32;
     for m in [96usize, 384] {
@@ -451,12 +505,16 @@ fn segments() {
         "schedule", "n", "M", "r", "segments", "min seg I/O", "floor"
     );
     let h = fmm_cdag::RecursiveCdag::build(&catalog::strassen().to_base(), 8);
-    let subs: Vec<Vec<fmm_cdag::VertexId>> =
-        (0..h.sub_outputs.len()).map(|j| h.sub_output_vertices(j)).collect();
+    let subs: Vec<Vec<fmm_cdag::VertexId>> = (0..h.sub_outputs.len())
+        .map(|j| h.sub_output_vertices(j))
+        .collect();
     for m in [4usize, 8, 16] {
         let moves = belady_schedule(&h.graph, &creation_order(&h.graph), m);
         let (r, floor, segs) = theorem_audit(&h.graph, &moves, &subs, m);
-        let full: Vec<_> = segs.iter().filter(|s| s.outputs_computed == r * r).collect();
+        let full: Vec<_> = segs
+            .iter()
+            .filter(|s| s.outputs_computed == r * r)
+            .collect();
         let min_io = full.iter().map(|s| s.io()).min().unwrap_or(0);
         println!(
             "{:<10} {:>3} {m:>3} {r:>6} {:>9} {:>11} {:>7}",
@@ -469,13 +527,17 @@ fn segments() {
     }
     // A recomputing schedule through the same audit.
     let h4 = fmm_cdag::RecursiveCdag::build(&catalog::strassen().to_base(), 4);
-    let subs4: Vec<Vec<fmm_cdag::VertexId>> =
-        (0..h4.sub_outputs.len()).map(|j| h4.sub_output_vertices(j)).collect();
+    let subs4: Vec<Vec<fmm_cdag::VertexId>> = (0..h4.sub_outputs.len())
+        .map(|j| h4.sub_output_vertices(j))
+        .collect();
     let m_rc = 16;
     if let Ok(moves) = demand_schedule(&h4.graph, m_rc, EvictionMode::Recompute) {
         let stats = run_schedule(&h4.graph, &moves, m_rc, true).expect("legal");
         let (r, floor, segs) = theorem_audit(&h4.graph, &moves, &subs4, m_rc);
-        let full: Vec<_> = segs.iter().filter(|s| s.outputs_computed == r * r).collect();
+        let full: Vec<_> = segs
+            .iter()
+            .filter(|s| s.outputs_computed == r * r)
+            .collect();
         let min_io = full.iter().map(|s| s.io()).min().unwrap_or(0);
         println!(
             "{:<10} {:>3} {m_rc:>3} {r:>6} {:>9} {:>11} {:>7}   ({} recomputations)",
@@ -489,43 +551,92 @@ fn segments() {
     }
 }
 
+const SECTIONS: &[(&str, fn())] = &[
+    ("--table1", table1_sequential),
+    ("--parallel", table1_parallel),
+    ("--fig1", fig1),
+    ("--fig2", fig2),
+    ("--fig3", fig3),
+    ("--recompute", recompute_study),
+    ("--flops", flops),
+    ("--fft", fft_row),
+    ("--policies", policies),
+    ("--segments", segments),
+];
+
+fn usage() -> ! {
+    let flags: Vec<&str> = SECTIONS.iter().map(|(f, _)| *f).collect();
+    eprintln!(
+        "usage: tables [--all] [--metrics <path.jsonl>] [{}]",
+        flags.join("] [")
+    );
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let has = |f: &str| args.iter().any(|a| a == f) || args.iter().any(|a| a == "--all");
-    if args.is_empty() {
-        eprintln!(
-            "usage: tables [--all] [--table1] [--parallel] [--fig1] [--fig2] [--fig3] [--recompute] [--flops] [--fft] [--policies] [--segments]"
-        );
-        std::process::exit(2);
+    let mut all = false;
+    let mut metrics: Option<String> = None;
+    let mut selected = vec![false; SECTIONS.len()];
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--all" => all = true,
+            "--metrics" => match it.next() {
+                Some(p) if !p.starts_with("--") => metrics = Some(p.clone()),
+                _ => {
+                    eprintln!("--metrics expects a file path");
+                    usage();
+                }
+            },
+            other => match SECTIONS.iter().position(|(f, _)| *f == other) {
+                Some(i) => selected[i] = true,
+                None => {
+                    eprintln!("unknown argument '{other}'");
+                    usage();
+                }
+            },
+        }
     }
-    if has("--table1") {
-        table1_sequential();
+    if !all && !selected.iter().any(|&s| s) {
+        usage();
     }
-    if has("--parallel") {
-        table1_parallel();
+
+    let mut out = metrics.map(|path| {
+        fmm_obs::set_level(fmm_obs::Level::Full);
+        let file = std::fs::File::create(&path).unwrap_or_else(|e| {
+            eprintln!("cannot create '{path}': {e}");
+            std::process::exit(1);
+        });
+        (path, std::io::BufWriter::new(file))
+    });
+    for (i, (flag, run)) in SECTIONS.iter().enumerate() {
+        if !(all || selected[i]) {
+            continue;
+        }
+        // One metrics snapshot per section: clear the registry, tag the
+        // block with a section event, run, append.
+        if out.is_some() {
+            fmm_obs::global().clear();
+            fmm_obs::event("tables.section", &[("flag", flag.to_string())]);
+        }
+        {
+            let _span = fmm_obs::Span::enter(flag);
+            run();
+        }
+        if let Some((path, w)) = &mut out {
+            fmm_obs::global().write_jsonl(w).unwrap_or_else(|e| {
+                eprintln!("cannot write metrics to '{path}': {e}");
+                std::process::exit(1);
+            });
+        }
     }
-    if has("--fig1") {
-        fig1();
-    }
-    if has("--fig2") {
-        fig2();
-    }
-    if has("--fig3") {
-        fig3();
-    }
-    if has("--recompute") {
-        recompute_study();
-    }
-    if has("--flops") {
-        flops();
-    }
-    if has("--fft") {
-        fft_row();
-    }
-    if has("--policies") {
-        policies();
-    }
-    if has("--segments") {
-        segments();
+    if let Some((path, w)) = &mut out {
+        use std::io::Write;
+        w.flush().unwrap_or_else(|e| {
+            eprintln!("cannot write metrics to '{path}': {e}");
+            std::process::exit(1);
+        });
+        eprintln!("metrics written to {path}");
     }
 }

@@ -114,7 +114,11 @@ mod tests {
         let z = h.sub_output_vertices(0);
         assert_eq!(z.len(), 7);
         let chk = check_lemma_3_7(&h, &z);
-        assert!(chk.bound_holds, "min dominator {} < {}/2", chk.min_dominator, chk.z_size);
+        assert!(
+            chk.bound_holds,
+            "min dominator {} < {}/2",
+            chk.min_dominator, chk.z_size
+        );
     }
 
     #[test]

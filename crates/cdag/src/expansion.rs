@@ -65,12 +65,7 @@ pub fn subproblem_cones(h: &RecursiveCdag, j: usize) -> Vec<Vec<VertexId>> {
 /// Randomized lower-quality witness search: grow `samples` random
 /// BFS-connected sets of the given size and return the minimum expansion
 /// found (an upper bound on the size-`size` expansion constant of `g`).
-pub fn sampled_min_expansion(
-    g: &Cdag,
-    size: usize,
-    samples: usize,
-    rng: &mut impl Rng,
-) -> f64 {
+pub fn sampled_min_expansion(g: &Cdag, size: usize, samples: usize, rng: &mut impl Rng) -> f64 {
     assert!(size >= 1 && size <= g.len(), "set size out of range");
     let all: Vec<VertexId> = g.vertices().collect();
     let mut best = f64::INFINITY;

@@ -42,7 +42,10 @@ impl FlowNetwork {
 
     /// Add a directed edge `u → v` with capacity `cap` (and its residual).
     pub fn add_edge(&mut self, u: usize, v: usize, cap: i64) {
-        assert!(u < self.len() && v < self.len(), "edge endpoint out of range");
+        assert!(
+            u < self.len() && v < self.len(),
+            "edge endpoint out of range"
+        );
         assert!(cap >= 0, "negative capacity");
         let e1 = self.edges.len();
         self.edges.push((v, cap, e1 + 1));
@@ -240,7 +243,10 @@ pub fn min_dominator_brute(g: &Cdag, targets: &[VertexId]) -> usize {
         .vertices()
         .filter(|v| fwd[v.idx()] && bwd[v.idx()])
         .collect();
-    assert!(relevant.len() <= 20, "brute-force dominator limited to 20 relevant vertices");
+    assert!(
+        relevant.len() <= 20,
+        "brute-force dominator limited to 20 relevant vertices"
+    );
 
     /// Try every size-`k` subset of `relevant[from..]` extending `gamma`.
     fn search(
@@ -325,9 +331,15 @@ mod tests {
     fn disjoint_paths_crossbar() {
         let (g, v) = crossbar();
         // Only 2 middle vertices → at most 2 vertex-disjoint paths.
-        assert_eq!(max_vertex_disjoint_paths(&g, &[v[0], v[1]], &[v[4], v[5]], &[]), 2);
+        assert_eq!(
+            max_vertex_disjoint_paths(&g, &[v[0], v[1]], &[v[4], v[5]], &[]),
+            2
+        );
         // Forbidding one middle vertex drops it to 1.
-        assert_eq!(max_vertex_disjoint_paths(&g, &[v[0], v[1]], &[v[4], v[5]], &[v[2]]), 1);
+        assert_eq!(
+            max_vertex_disjoint_paths(&g, &[v[0], v[1]], &[v[4], v[5]], &[v[2]]),
+            1
+        );
         // Forbidding both disconnects.
         assert_eq!(
             max_vertex_disjoint_paths(&g, &[v[0], v[1]], &[v[4], v[5]], &[v[2], v[3]]),

@@ -173,6 +173,16 @@ impl RecursiveCdag {
         for &o in &outputs {
             g.set_kind(o, VertexKind::Output);
         }
+        if fmm_obs::enabled() {
+            let labels = [("base", base.name.clone()), ("n", n.to_string())];
+            fmm_obs::add("cdag.build.vertices", &labels, g.len() as u64);
+            fmm_obs::add("cdag.build.edges", &labels, g.edge_count() as u64);
+            fmm_obs::add(
+                "cdag.build.multiplications",
+                &labels,
+                sub_outputs.iter().map(|l| l.len() as u64).sum(),
+            );
+        }
         RecursiveCdag {
             graph: g,
             n,
@@ -291,7 +301,15 @@ fn build_rec(
                 .collect();
             right.push(linear_sum(g, &terms_r, "encB"));
         }
-        products.push(build_rec(g, base, &left, &right, h, sub_outputs, sub_inputs));
+        products.push(build_rec(
+            g,
+            base,
+            &left,
+            &right,
+            h,
+            sub_outputs,
+            sub_inputs,
+        ));
     }
 
     // Decode into the four output quadrants.
@@ -441,7 +459,10 @@ mod tests {
             let mut seen = std::collections::HashSet::new();
             for subset in &h.sub_outputs[j] {
                 for &v in subset {
-                    assert!(seen.insert(v), "vertex {v:?} shared between size-2^{j} subproblems");
+                    assert!(
+                        seen.insert(v),
+                        "vertex {v:?} shared between size-2^{j} subproblems"
+                    );
                 }
             }
         }

@@ -75,7 +75,10 @@ impl Cdag {
     /// head is an [`VertexKind::Input`] vertex (inputs have no
     /// predecessors by definition).
     pub fn add_edge(&mut self, from: VertexId, to: VertexId) {
-        assert!(from.idx() < self.len() && to.idx() < self.len(), "edge endpoint out of range");
+        assert!(
+            from.idx() < self.len() && to.idx() < self.len(),
+            "edge endpoint out of range"
+        );
         assert_ne!(from, to, "self-loop");
         assert!(
             self.kinds[to.idx()] != VertexKind::Input,
@@ -134,17 +137,23 @@ impl Cdag {
 
     /// All input vertices (`V_inp`).
     pub fn inputs(&self) -> Vec<VertexId> {
-        self.vertices().filter(|&v| self.kind(v) == VertexKind::Input).collect()
+        self.vertices()
+            .filter(|&v| self.kind(v) == VertexKind::Input)
+            .collect()
     }
 
     /// All output vertices (`V_out`).
     pub fn outputs(&self) -> Vec<VertexId> {
-        self.vertices().filter(|&v| self.kind(v) == VertexKind::Output).collect()
+        self.vertices()
+            .filter(|&v| self.kind(v) == VertexKind::Output)
+            .collect()
     }
 
     /// All internal vertices (`V_int`).
     pub fn internals(&self) -> Vec<VertexId> {
-        self.vertices().filter(|&v| self.kind(v) == VertexKind::Internal).collect()
+        self.vertices()
+            .filter(|&v| self.kind(v) == VertexKind::Internal)
+            .collect()
     }
 
     /// Disjoint union: append a copy of `other`, returning the id offset of

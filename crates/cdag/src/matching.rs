@@ -138,8 +138,7 @@ impl Bipartite {
             for i in 0..g.adj[x].len() {
                 let y = g.adj[x][i];
                 let nxt = match_y[y];
-                if nxt == NIL || (dist[nxt] == dist[x] + 1 && dfs(g, nxt, match_x, match_y, dist))
-                {
+                if nxt == NIL || (dist[nxt] == dist[x] + 1 && dfs(g, nxt, match_x, match_y, dist)) {
                     match_x[x] = y;
                     match_y[y] = x;
                     return true;
@@ -166,7 +165,10 @@ impl Bipartite {
     /// bitmask) if any. Exponential in `nx` — intended for the tiny encoder
     /// graphs (`nx ≤ ~20`).
     pub fn hall_violation(&self) -> Option<u64> {
-        assert!(self.nx <= 63, "exhaustive Hall check limited to 63 vertices");
+        assert!(
+            self.nx <= 63,
+            "exhaustive Hall check limited to 63 vertices"
+        );
         for mask in 1u64..(1 << self.nx) {
             let xs: Vec<usize> = (0..self.nx).filter(|&x| mask >> x & 1 == 1).collect();
             if self.neighbourhood(&xs).len() < xs.len() {
@@ -195,7 +197,10 @@ impl Bipartite {
             }
             best
         }
-        assert!(self.nx <= 12, "brute-force matching limited to 12 left vertices");
+        assert!(
+            self.nx <= 12,
+            "brute-force matching limited to 12 left vertices"
+        );
         rec(self, 0, &mut vec![false; self.ny])
     }
 }

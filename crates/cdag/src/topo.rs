@@ -10,8 +10,7 @@ use std::collections::VecDeque;
 /// it not a CDAG at all).
 pub fn toposort(g: &Cdag) -> Option<Vec<VertexId>> {
     let mut indeg: Vec<usize> = g.vertices().map(|v| g.in_degree(v)).collect();
-    let mut queue: VecDeque<VertexId> =
-        g.vertices().filter(|&v| indeg[v.idx()] == 0).collect();
+    let mut queue: VecDeque<VertexId> = g.vertices().filter(|&v| indeg[v.idx()] == 0).collect();
     let mut order = Vec::with_capacity(g.len());
     while let Some(v) = queue.pop_front() {
         order.push(v);

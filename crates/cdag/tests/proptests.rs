@@ -14,9 +14,9 @@ use proptest::prelude::*;
 /// Random small layered DAG with explicit inputs/outputs.
 fn layered_dag() -> impl Strategy<Value = Cdag> {
     (
-        2usize..4,                                            // layers after inputs
-        1usize..4,                                            // width
-        proptest::collection::vec(0usize..1000, 40),          // edge picks
+        2usize..4,                                   // layers after inputs
+        1usize..4,                                   // width
+        proptest::collection::vec(0usize..1000, 40), // edge picks
     )
         .prop_map(|(layers, width, picks)| {
             let mut g = Cdag::new();
@@ -26,7 +26,11 @@ fn layered_dag() -> impl Strategy<Value = Cdag> {
             let mut all = prev.clone();
             let mut pick = picks.into_iter().cycle();
             for layer in 0..layers {
-                let kind = if layer + 1 == layers { VertexKind::Output } else { VertexKind::Internal };
+                let kind = if layer + 1 == layers {
+                    VertexKind::Output
+                } else {
+                    VertexKind::Internal
+                };
                 let mut this = Vec::new();
                 for w in 0..width {
                     let v = g.add_vertex(kind, format!("v{layer}_{w}"));
@@ -133,20 +137,15 @@ mod generator_props {
 
     fn random_base() -> impl Strategy<Value = Base2x2> {
         // Random nonzero rows over {-1,0,1} with at least one nonzero.
-        let row = proptest::collection::vec(-1i64..=1, 4).prop_filter_map(
-            "nonzero row",
-            |v| {
-                if v.iter().any(|&c| c != 0) {
-                    Some([v[0], v[1], v[2], v[3]])
-                } else {
-                    None
-                }
-            },
-        );
-        let wrow = proptest::collection::vec(-1i64..=1, 7).prop_filter(
-            "nonzero row",
-            |v| v.iter().any(|&c| c != 0),
-        );
+        let row = proptest::collection::vec(-1i64..=1, 4).prop_filter_map("nonzero row", |v| {
+            if v.iter().any(|&c| c != 0) {
+                Some([v[0], v[1], v[2], v[3]])
+            } else {
+                None
+            }
+        });
+        let wrow = proptest::collection::vec(-1i64..=1, 7)
+            .prop_filter("nonzero row", |v| v.iter().any(|&c| c != 0));
         (
             proptest::collection::vec(row.clone(), 7),
             proptest::collection::vec(row, 7),

@@ -252,12 +252,37 @@ pub fn transform_pre<T: Scalar>(
         return m.clone();
     }
     let q = split_quadrants(m);
+    let before = *counts;
     let combined = block_apply(phi, &q, counts);
+    if fmm_obs::detailed() {
+        record_transform_level("pre", levels, &before, counts);
+    }
     let rec: Vec<Matrix<T>> = combined
         .iter()
         .map(|b| transform_pre(b, phi, levels - 1, counts))
         .collect();
-    join_quadrants(&[rec[0].clone(), rec[1].clone(), rec[2].clone(), rec[3].clone()])
+    join_quadrants(&[
+        rec[0].clone(),
+        rec[1].clone(),
+        rec[2].clone(),
+        rec[3].clone(),
+    ])
+}
+
+/// Per-recursion-level transform telemetry (`level` is the remaining
+/// recursion depth, so the top of the recursion has the largest label).
+fn record_transform_level(dir: &str, level: usize, before: &OpCounts, after: &OpCounts) {
+    let labels = [("dir", dir.to_string()), ("level", level.to_string())];
+    fmm_obs::add(
+        "core.transform.adds",
+        &labels,
+        after.scalar_adds - before.scalar_adds,
+    );
+    fmm_obs::add(
+        "core.transform.coeff_mults",
+        &labels,
+        after.coeff_mults - before.coeff_mults,
+    );
 }
 
 /// Recursive basis transform in *post* order (recurse, then block combine):
@@ -279,7 +304,11 @@ pub fn transform_post<T: Scalar>(
         transform_post(&q[2], nu_inv, levels - 1, counts),
         transform_post(&q[3], nu_inv, levels - 1, counts),
     ];
+    let before = *counts;
     let combined = block_apply(nu_inv, &rec, counts);
+    if fmm_obs::detailed() {
+        record_transform_level("post", levels, &before, counts);
+    }
     join_quadrants(&combined)
 }
 
@@ -298,13 +327,22 @@ pub fn multiply_alt_counted<T: Scalar>(
 ) -> (Matrix<T>, OpCounts, OpCounts) {
     let n = a.rows();
     assert!(n.is_power_of_two(), "order must be a power of two");
-    assert!(levels <= n.trailing_zeros() as usize, "levels exceed log2(n)");
+    assert!(
+        levels <= n.trailing_zeros() as usize,
+        "levels exceed log2(n)"
+    );
+    let _span = fmm_obs::Span::enter("core.multiply_alt");
     let mut tcounts = OpCounts::default();
     let at = transform_pre(a, &ab.phi, levels, &mut tcounts);
     let bt = transform_pre(b, &ab.psi, levels, &mut tcounts);
     let cutoff = n >> levels;
     let (ct, core_counts) = multiply_fast_counted(&ab.core, &at, &bt, cutoff.max(1));
     let c = transform_post(&ct, &ab.nu_inv, levels, &mut tcounts);
+    if fmm_obs::enabled() {
+        let labels = [("alg", ab.name.clone())];
+        fmm_obs::add("core.transform.scalar_adds", &labels, tcounts.scalar_adds);
+        fmm_obs::add("core.transform.total_ops", &labels, tcounts.total());
+    }
     (c, core_counts, tcounts)
 }
 
@@ -393,7 +431,12 @@ fn best_unimodular(rows: &[[i64; 4]]) -> SideResult {
                     if total > best_nnz {
                         break;
                     }
-                    let cols = [cands[order[a]], cands[order[b]], cands[order[c]], cands[order[d]]];
+                    let cols = [
+                        cands[order[a]],
+                        cands[order[b]],
+                        cands[order[c]],
+                        cands[order[d]],
+                    ];
                     // S has these as *columns*.
                     let mut s = [[0i64; 4]; 4];
                     for (j, col) in cols.iter().enumerate() {
@@ -618,8 +661,16 @@ mod tests {
         let ab = karstadt_schwartz();
         // Karstadt–Schwartz: the alternative-basis core needs only 12
         // additions per step (vs Winograd's 15) → leading coefficient 5.
-        assert_eq!(ab.core_additions(), 12, "sparsifier found {}", ab.core_additions());
-        assert_eq!(crate::exec::leading_coefficient(7, ab.core_additions() as u64), 5.0);
+        assert_eq!(
+            ab.core_additions(),
+            12,
+            "sparsifier found {}",
+            ab.core_additions()
+        );
+        assert_eq!(
+            crate::exec::leading_coefficient(7, ab.core_additions() as u64),
+            5.0
+        );
     }
 
     #[test]

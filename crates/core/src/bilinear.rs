@@ -98,7 +98,10 @@ impl Bilinear2x2 {
             dec,
         };
         if let Some(viol) = alg.validate() {
-            panic!("algorithm '{}' violates Brent equations: {viol:?}", alg.name);
+            panic!(
+                "algorithm '{}' violates Brent equations: {viol:?}",
+                alg.name
+            );
         }
         assert!(
             alg.enc_a
@@ -178,8 +181,7 @@ impl Bilinear2x2 {
                                         * self.v[r][flat(kb, l)]
                                         * self.w[flat(ip, lp)][r];
                                 }
-                                let expected =
-                                    i64::from(ka == kb && i == ip && l == lp);
+                                let expected = i64::from(ka == kb && i == ip && l == lp);
                                 if sum != expected {
                                     return Some(BrentViolation {
                                         a_index: (i, ka),

@@ -95,33 +95,108 @@ pub fn winograd() -> Bilinear2x2 {
     let enc_a = Slp {
         n_inputs: 4,
         ops: vec![
-            LinOp { c1: 1, r1: 2, c2: 1, r2: 3 },  // r4 = S1 = A21+A22
-            LinOp { c1: 1, r1: 4, c2: -1, r2: 0 }, // r5 = S2 = S1−A11
-            LinOp { c1: 1, r1: 0, c2: -1, r2: 2 }, // r6 = S3 = A11−A21
-            LinOp { c1: 1, r1: 1, c2: -1, r2: 5 }, // r7 = S4 = A12−S2
+            LinOp {
+                c1: 1,
+                r1: 2,
+                c2: 1,
+                r2: 3,
+            }, // r4 = S1 = A21+A22
+            LinOp {
+                c1: 1,
+                r1: 4,
+                c2: -1,
+                r2: 0,
+            }, // r5 = S2 = S1−A11
+            LinOp {
+                c1: 1,
+                r1: 0,
+                c2: -1,
+                r2: 2,
+            }, // r6 = S3 = A11−A21
+            LinOp {
+                c1: 1,
+                r1: 1,
+                c2: -1,
+                r2: 5,
+            }, // r7 = S4 = A12−S2
         ],
         outputs: vec![0, 1, 7, 3, 4, 5, 6],
     };
     let enc_b = Slp {
         n_inputs: 4,
         ops: vec![
-            LinOp { c1: 1, r1: 1, c2: -1, r2: 0 }, // r4 = T1 = B12−B11
-            LinOp { c1: 1, r1: 3, c2: -1, r2: 4 }, // r5 = T2 = B22−T1
-            LinOp { c1: 1, r1: 3, c2: -1, r2: 1 }, // r6 = T3 = B22−B12
-            LinOp { c1: 1, r1: 5, c2: -1, r2: 2 }, // r7 = T4 = T2−B21
+            LinOp {
+                c1: 1,
+                r1: 1,
+                c2: -1,
+                r2: 0,
+            }, // r4 = T1 = B12−B11
+            LinOp {
+                c1: 1,
+                r1: 3,
+                c2: -1,
+                r2: 4,
+            }, // r5 = T2 = B22−T1
+            LinOp {
+                c1: 1,
+                r1: 3,
+                c2: -1,
+                r2: 1,
+            }, // r6 = T3 = B22−B12
+            LinOp {
+                c1: 1,
+                r1: 5,
+                c2: -1,
+                r2: 2,
+            }, // r7 = T4 = T2−B21
         ],
         outputs: vec![0, 2, 3, 7, 4, 5, 6],
     };
     let dec = Slp {
         n_inputs: 7,
         ops: vec![
-            LinOp { c1: 1, r1: 0, c2: 1, r2: 1 },  // r7  = U1 = M1+M2
-            LinOp { c1: 1, r1: 0, c2: 1, r2: 5 },  // r8  = U2 = M1+M6
-            LinOp { c1: 1, r1: 8, c2: 1, r2: 6 },  // r9  = U3 = U2+M7
-            LinOp { c1: 1, r1: 8, c2: 1, r2: 4 },  // r10 = U4 = U2+M5
-            LinOp { c1: 1, r1: 10, c2: 1, r2: 2 }, // r11 = C12 = U4+M3
-            LinOp { c1: 1, r1: 9, c2: -1, r2: 3 }, // r12 = C21 = U3−M4
-            LinOp { c1: 1, r1: 9, c2: 1, r2: 4 },  // r13 = C22 = U3+M5
+            LinOp {
+                c1: 1,
+                r1: 0,
+                c2: 1,
+                r2: 1,
+            }, // r7  = U1 = M1+M2
+            LinOp {
+                c1: 1,
+                r1: 0,
+                c2: 1,
+                r2: 5,
+            }, // r8  = U2 = M1+M6
+            LinOp {
+                c1: 1,
+                r1: 8,
+                c2: 1,
+                r2: 6,
+            }, // r9  = U3 = U2+M7
+            LinOp {
+                c1: 1,
+                r1: 8,
+                c2: 1,
+                r2: 4,
+            }, // r10 = U4 = U2+M5
+            LinOp {
+                c1: 1,
+                r1: 10,
+                c2: 1,
+                r2: 2,
+            }, // r11 = C12 = U4+M3
+            LinOp {
+                c1: 1,
+                r1: 9,
+                c2: -1,
+                r2: 3,
+            }, // r12 = C21 = U3−M4
+            LinOp {
+                c1: 1,
+                r1: 9,
+                c2: 1,
+                r2: 4,
+            }, // r13 = C22 = U3+M5
         ],
         outputs: vec![7, 11, 12, 13],
     };

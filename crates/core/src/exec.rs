@@ -90,12 +90,21 @@ fn multiply_rec<T: Scalar>(
     a: &Matrix<T>,
     b: &Matrix<T>,
     cutoff: usize,
+    level: usize,
     counts: &mut OpCounts,
 ) -> Matrix<T> {
     let n = a.rows();
+    let obs_on = fmm_obs::detailed();
     if n <= cutoff || n == 1 {
-        counts.scalar_mults += (n * n * n) as u64;
-        counts.scalar_adds += (n * n * (n - 1)) as u64;
+        let mults = (n * n * n) as u64;
+        let adds = (n * n * (n - 1)) as u64;
+        counts.scalar_mults += mults;
+        counts.scalar_adds += adds;
+        if obs_on {
+            let labels = [("level", level.to_string())];
+            fmm_obs::add("core.exec.base_mults", &labels, mults);
+            fmm_obs::add("core.exec.base_adds", &labels, adds);
+        }
         return multiply_ikj(a, b);
     }
     let aq = split_quadrants(a);
@@ -103,23 +112,57 @@ fn multiply_rec<T: Scalar>(
     let aq_refs: Vec<Matrix<T>> = aq.to_vec();
     let bq_refs: Vec<Matrix<T>> = bq.to_vec();
 
-    let enc_a = alg
-        .enc_a
-        .eval(&aq_refs, |c1, x, c2, y| combine_blocks(c1, x, c2, y, counts));
-    let enc_b = alg
-        .enc_b
-        .eval(&bq_refs, |c1, x, c2, y| combine_blocks(c1, x, c2, y, counts));
+    let before_enc = *counts;
+    let enc_a = alg.enc_a.eval(&aq_refs, |c1, x, c2, y| {
+        combine_blocks(c1, x, c2, y, counts)
+    });
+    let enc_b = alg.enc_b.eval(&bq_refs, |c1, x, c2, y| {
+        combine_blocks(c1, x, c2, y, counts)
+    });
+    if obs_on {
+        let labels = [("level", level.to_string())];
+        fmm_obs::add("core.exec.steps", &labels, 1);
+        fmm_obs::add(
+            "core.exec.encode_adds",
+            &labels,
+            counts.scalar_adds - before_enc.scalar_adds,
+        );
+        fmm_obs::add(
+            "core.exec.encode_coeff_mults",
+            &labels,
+            counts.coeff_mults - before_enc.coeff_mults,
+        );
+    }
 
     let products: Vec<Matrix<T>> = enc_a
         .iter()
         .zip(&enc_b)
-        .map(|(l, r)| multiply_rec(alg, l, r, cutoff, counts))
+        .map(|(l, r)| multiply_rec(alg, l, r, cutoff, level + 1, counts))
         .collect();
 
-    let dec = alg
-        .dec
-        .eval(&products, |c1, x, c2, y| combine_blocks(c1, x, c2, y, counts));
-    join_quadrants(&[dec[0].clone(), dec[1].clone(), dec[2].clone(), dec[3].clone()])
+    let before_dec = *counts;
+    let dec = alg.dec.eval(&products, |c1, x, c2, y| {
+        combine_blocks(c1, x, c2, y, counts)
+    });
+    if obs_on {
+        let labels = [("level", level.to_string())];
+        fmm_obs::add(
+            "core.exec.decode_adds",
+            &labels,
+            counts.scalar_adds - before_dec.scalar_adds,
+        );
+        fmm_obs::add(
+            "core.exec.decode_coeff_mults",
+            &labels,
+            counts.coeff_mults - before_dec.coeff_mults,
+        );
+    }
+    join_quadrants(&[
+        dec[0].clone(),
+        dec[1].clone(),
+        dec[2].clone(),
+        dec[3].clone(),
+    ])
 }
 
 /// Multiply two square power-of-two matrices with the given algorithm,
@@ -143,11 +186,26 @@ pub fn multiply_fast_counted<T: Scalar>(
     b: &Matrix<T>,
     cutoff: usize,
 ) -> (Matrix<T>, OpCounts) {
-    assert!(a.is_square() && b.is_square() && a.rows() == b.rows(), "need equal square matrices");
+    assert!(
+        a.is_square() && b.is_square() && a.rows() == b.rows(),
+        "need equal square matrices"
+    );
     assert!(a.rows().is_power_of_two(), "order must be a power of two");
+    let _span = fmm_obs::Span::enter("core.multiply_fast");
     let mut counts = OpCounts::default();
-    let c = multiply_rec(alg, a, b, cutoff.max(1), &mut counts);
+    let c = multiply_rec(alg, a, b, cutoff.max(1), 0, &mut counts);
+    if fmm_obs::enabled() {
+        publish_op_counts(&alg.name, &counts);
+    }
     (c, counts)
+}
+
+/// Publish one execution's operation counts under an `alg` label.
+fn publish_op_counts(alg: &str, counts: &OpCounts) {
+    let labels = [("alg", alg.to_string())];
+    fmm_obs::add("core.exec.scalar_mults", &labels, counts.scalar_mults);
+    fmm_obs::add("core.exec.scalar_adds", &labels, counts.scalar_adds);
+    fmm_obs::add("core.exec.coeff_mults", &labels, counts.coeff_mults);
 }
 
 /// Parallel fast multiplication: the seven sub-products of the *top*
@@ -163,7 +221,10 @@ pub fn multiply_fast_parallel<T: Scalar>(
     b: &Matrix<T>,
     cutoff: usize,
 ) -> Matrix<T> {
-    assert!(a.is_square() && b.is_square() && a.rows() == b.rows(), "need equal square matrices");
+    assert!(
+        a.is_square() && b.is_square() && a.rows() == b.rows(),
+        "need equal square matrices"
+    );
     assert!(a.rows().is_power_of_two(), "order must be a power of two");
     let n = a.rows();
     let cutoff = cutoff.max(1);
@@ -173,12 +234,12 @@ pub fn multiply_fast_parallel<T: Scalar>(
     let mut counts = OpCounts::default();
     let aq = split_quadrants(a).to_vec();
     let bq = split_quadrants(b).to_vec();
-    let enc_a = alg
-        .enc_a
-        .eval(&aq, |c1, x, c2, y| combine_blocks(c1, x, c2, y, &mut counts));
-    let enc_b = alg
-        .enc_b
-        .eval(&bq, |c1, x, c2, y| combine_blocks(c1, x, c2, y, &mut counts));
+    let enc_a = alg.enc_a.eval(&aq, |c1, x, c2, y| {
+        combine_blocks(c1, x, c2, y, &mut counts)
+    });
+    let enc_b = alg.enc_b.eval(&bq, |c1, x, c2, y| {
+        combine_blocks(c1, x, c2, y, &mut counts)
+    });
 
     let mut products: Vec<Option<Matrix<T>>> = (0..alg.t()).map(|_| None).collect();
     crossbeam::scope(|s| {
@@ -186,20 +247,33 @@ pub fn multiply_fast_parallel<T: Scalar>(
         for (l, r) in enc_a.iter().zip(&enc_b) {
             handles.push(s.spawn(move |_| {
                 let mut c = OpCounts::default();
-                multiply_rec(alg, l, r, cutoff, &mut c)
+                let m = multiply_rec(alg, l, r, cutoff, 1, &mut c);
+                (m, c)
             }));
         }
         for (slot, h) in products.iter_mut().zip(handles) {
-            *slot = Some(h.join().expect("sub-product task panicked"));
+            let (m, c) = h.join().expect("sub-product task panicked");
+            counts.scalar_mults += c.scalar_mults;
+            counts.scalar_adds += c.scalar_adds;
+            counts.coeff_mults += c.coeff_mults;
+            *slot = Some(m);
         }
     })
     .expect("parallel scope failed");
     let products: Vec<Matrix<T>> = products.into_iter().map(|p| p.expect("joined")).collect();
 
-    let dec = alg
-        .dec
-        .eval(&products, |c1, x, c2, y| combine_blocks(c1, x, c2, y, &mut counts));
-    join_quadrants(&[dec[0].clone(), dec[1].clone(), dec[2].clone(), dec[3].clone()])
+    let dec = alg.dec.eval(&products, |c1, x, c2, y| {
+        combine_blocks(c1, x, c2, y, &mut counts)
+    });
+    if fmm_obs::enabled() {
+        publish_op_counts(&alg.name, &counts);
+    }
+    join_quadrants(&[
+        dec[0].clone(),
+        dec[1].clone(),
+        dec[2].clone(),
+        dec[3].clone(),
+    ])
 }
 
 /// Multiply arbitrary (rectangular) matrices by padding to the covering
@@ -268,7 +342,11 @@ mod tests {
         for n in [1usize, 2, 4, 8, 16] {
             let a = Matrix::<i64>::random_small(n, n, &mut rng);
             let b = Matrix::<i64>::random_small(n, n, &mut rng);
-            assert_eq!(multiply_fast(&alg, &a, &b, 1), multiply_naive(&a, &b), "n={n}");
+            assert_eq!(
+                multiply_fast(&alg, &a, &b, 1),
+                multiply_naive(&a, &b),
+                "n={n}"
+            );
         }
     }
 
@@ -279,7 +357,11 @@ mod tests {
         for n in [2usize, 4, 8, 16] {
             let a = Matrix::<i64>::random_small(n, n, &mut rng);
             let b = Matrix::<i64>::random_small(n, n, &mut rng);
-            assert_eq!(multiply_fast(&alg, &a, &b, 1), multiply_naive(&a, &b), "n={n}");
+            assert_eq!(
+                multiply_fast(&alg, &a, &b, 1),
+                multiply_naive(&a, &b),
+                "n={n}"
+            );
         }
     }
 

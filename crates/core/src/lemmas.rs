@@ -109,7 +109,9 @@ pub fn check_lemma_3_2(enc: &Bipartite, algorithm: &str) -> LemmaReport {
 /// Lemma 3.3: no two products have identical neighbour (support) sets.
 pub fn check_lemma_3_3(enc: &Bipartite, algorithm: &str) -> LemmaReport {
     let flipped = enc.flipped();
-    let supports: Vec<Vec<usize>> = (0..enc.ny()).map(|y| flipped.neighbours(y).to_vec()).collect();
+    let supports: Vec<Vec<usize>> = (0..enc.ny())
+        .map(|y| flipped.neighbours(y).to_vec())
+        .collect();
     let mut instances = 0;
     for i in 0..supports.len() {
         for j in i + 1..supports.len() {
@@ -228,7 +230,10 @@ pub fn check_lemma_3_7_sampled(
     let pool = h.sub_output_vertices(j);
     let mut instances = 0;
     for _ in 0..samples {
-        let z: Vec<VertexId> = pool.choose_multiple(rng, r2.min(pool.len())).copied().collect();
+        let z: Vec<VertexId> = pool
+            .choose_multiple(rng, r2.min(pool.len()))
+            .copied()
+            .collect();
         let md = min_dominator_size(&h.graph, &z);
         instances += 1;
         if 2 * md < z.len() {
@@ -357,8 +362,10 @@ pub fn check_lemma_3_10_sampled(
     let mut instances = 0;
     for _ in 0..samples {
         let o: Vec<VertexId> = outputs.choose_multiple(rng, o_size).copied().collect();
-        let gamma: Vec<VertexId> =
-            internals.choose_multiple(rng, gamma_size).copied().collect();
+        let gamma: Vec<VertexId> = internals
+            .choose_multiple(rng, gamma_size)
+            .copied()
+            .collect();
         // Undominated inputs: those from which some o ∈ O' is reachable
         // avoiding Γ.
         let mut blocked = vec![false; g.len()];

@@ -64,10 +64,21 @@ impl BilinearRect {
         v: Vec<Vec<i64>>,
         w: Vec<Vec<i64>>,
     ) -> Self {
-        let alg = BilinearRect { name: name.into(), m, k, n, u, v, w };
+        let alg = BilinearRect {
+            name: name.into(),
+            m,
+            k,
+            n,
+            u,
+            v,
+            w,
+        };
         alg.assert_shapes();
         if let Some(viol) = alg.validate() {
-            panic!("algorithm '{}' violates Brent equations: {viol:?}", alg.name);
+            panic!(
+                "algorithm '{}' violates Brent equations: {viol:?}",
+                alg.name
+            );
         }
         alg
     }
@@ -256,13 +267,7 @@ pub fn tensor(outer: &BilinearRect, inner: &BilinearRect) -> BilinearRect {
         }
     }
 
-    BilinearRect::new(
-        format!("{}⊗{}", outer.name, inner.name),
-        (m, k, n),
-        u,
-        v,
-        w,
-    )
+    BilinearRect::new(format!("{}⊗{}", outer.name, inner.name), (m, k, n), u, v, w)
 }
 
 /// Apply the algorithm once (one recursion level) on block matrices whose
@@ -423,7 +428,15 @@ mod tests {
         let mut alg = BilinearRect::classical(2, 2, 2);
         alg.u[0][1] = 1;
         // Re-run validation through the constructor.
-        let BilinearRect { name, m, k, n, u, v, w } = alg;
+        let BilinearRect {
+            name,
+            m,
+            k,
+            n,
+            u,
+            v,
+            w,
+        } = alg;
         let _ = BilinearRect::new(name, (m, k, n), u, v, w);
     }
 
@@ -462,7 +475,12 @@ mod tests {
         ] {
             let a = Matrix::<i64>::random_small(alg.m, alg.k, &mut rng);
             let b = Matrix::<i64>::random_small(alg.k, alg.n, &mut rng);
-            assert_eq!(apply_once(&alg, &a, &b), multiply_naive(&a, &b), "{}", alg.name);
+            assert_eq!(
+                apply_once(&alg, &a, &b),
+                multiply_naive(&a, &b),
+                "{}",
+                alg.name
+            );
         }
     }
 
@@ -501,7 +519,10 @@ mod tests {
         let alg = BilinearRect::classical(2, 2, 2);
         let a = Matrix::<i64>::random_small(1, 1, &mut rng);
         let b = Matrix::<i64>::random_small(1, 1, &mut rng);
-        assert_eq!(multiply_rect(&alg, &a, &b, 0)[(0, 0)], a[(0, 0)] * b[(0, 0)]);
+        assert_eq!(
+            multiply_rect(&alg, &a, &b, 0)[(0, 0)],
+            a[(0, 0)] * b[(0, 0)]
+        );
     }
 
     #[test]

@@ -134,16 +134,31 @@ impl Slp {
                 let (j0, c0) = terms[0];
                 if terms.len() == 1 {
                     // single term with coefficient ≠ 1: encode as c·x + 0·x
-                    slp.ops.push(LinOp { c1: c0, r1: j0, c2: 0, r2: j0 });
+                    slp.ops.push(LinOp {
+                        c1: c0,
+                        r1: j0,
+                        c2: 0,
+                        r2: j0,
+                    });
                     n_inputs + slp.ops.len() - 1
                 } else {
                     let (j1, c1) = terms[1];
-                    slp.ops.push(LinOp { c1: c0, r1: j0, c2: c1, r2: j1 });
+                    slp.ops.push(LinOp {
+                        c1: c0,
+                        r1: j0,
+                        c2: c1,
+                        r2: j1,
+                    });
                     n_inputs + slp.ops.len() - 1
                 }
             };
             for &(jk, ck) in terms.iter().skip(2) {
-                slp.ops.push(LinOp { c1: 1, r1: acc, c2: ck, r2: jk });
+                slp.ops.push(LinOp {
+                    c1: 1,
+                    r1: acc,
+                    c2: ck,
+                    r2: jk,
+                });
                 acc = n_inputs + slp.ops.len() - 1;
             }
             slp.outputs.push(acc);
@@ -181,10 +196,30 @@ mod tests {
         Slp {
             n_inputs: 4,
             ops: vec![
-                LinOp { c1: 1, r1: 2, c2: 1, r2: 3 },  // r4 = S1
-                LinOp { c1: 1, r1: 4, c2: -1, r2: 0 }, // r5 = S2
-                LinOp { c1: 1, r1: 0, c2: -1, r2: 2 }, // r6 = S3
-                LinOp { c1: 1, r1: 1, c2: -1, r2: 5 }, // r7 = S4
+                LinOp {
+                    c1: 1,
+                    r1: 2,
+                    c2: 1,
+                    r2: 3,
+                }, // r4 = S1
+                LinOp {
+                    c1: 1,
+                    r1: 4,
+                    c2: -1,
+                    r2: 0,
+                }, // r5 = S2
+                LinOp {
+                    c1: 1,
+                    r1: 0,
+                    c2: -1,
+                    r2: 2,
+                }, // r6 = S3
+                LinOp {
+                    c1: 1,
+                    r1: 1,
+                    c2: -1,
+                    r2: 5,
+                }, // r7 = S4
             ],
             outputs: vec![0, 1, 7, 3, 4, 5, 6],
         }
@@ -268,7 +303,12 @@ mod tests {
     fn forward_reference_rejected() {
         let slp = Slp {
             n_inputs: 1,
-            ops: vec![LinOp { c1: 1, r1: 0, c2: 1, r2: 2 }],
+            ops: vec![LinOp {
+                c1: 1,
+                r1: 0,
+                c2: 1,
+                r2: 2,
+            }],
             outputs: vec![1],
         };
         slp.assert_well_formed();
@@ -289,7 +329,20 @@ mod tests {
     fn coeff_multiplications_counted() {
         let slp = Slp {
             n_inputs: 2,
-            ops: vec![LinOp { c1: 2, r1: 0, c2: -3, r2: 1 }, LinOp { c1: 1, r1: 2, c2: -1, r2: 0 }],
+            ops: vec![
+                LinOp {
+                    c1: 2,
+                    r1: 0,
+                    c2: -3,
+                    r2: 1,
+                },
+                LinOp {
+                    c1: 1,
+                    r1: 2,
+                    c2: -1,
+                    r2: 0,
+                },
+            ],
             outputs: vec![3],
         };
         assert_eq!(slp.coeff_multiplications(), 2);

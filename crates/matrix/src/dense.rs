@@ -74,7 +74,11 @@ impl<T: Scalar> Matrix<T> {
         for row in rows {
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Matrix with entries drawn uniformly from small integers in `[-9, 9]`,

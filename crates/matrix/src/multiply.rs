@@ -188,10 +188,18 @@ mod tests {
             let c = multiply_naive(&a, &b);
             assert_eq!(multiply_ikj(&a, &b), c, "ikj n={n}");
             for tile in [1usize, 2, 4, 5, 64] {
-                assert_eq!(multiply_blocked(&a, &b, tile), c, "blocked n={n} tile={tile}");
+                assert_eq!(
+                    multiply_blocked(&a, &b, tile),
+                    c,
+                    "blocked n={n} tile={tile}"
+                );
             }
             for threads in [1usize, 2, 4, 9] {
-                assert_eq!(multiply_parallel(&a, &b, threads), c, "par n={n} t={threads}");
+                assert_eq!(
+                    multiply_parallel(&a, &b, threads),
+                    c,
+                    "par n={n} t={threads}"
+                );
             }
         }
     }

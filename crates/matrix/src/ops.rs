@@ -55,7 +55,11 @@ pub fn scale<T: Scalar>(a: &Matrix<T>, c: T) -> Matrix<T> {
 ///
 /// Coefficients 0/±1 take fast paths (no multiply).
 pub fn axpy_coeff<T: Scalar>(acc: &mut Matrix<T>, c: i64, m: &Matrix<T>) {
-    assert_eq!((acc.rows(), acc.cols()), (m.rows(), m.cols()), "shape mismatch");
+    assert_eq!(
+        (acc.rows(), acc.cols()),
+        (m.rows(), m.cols()),
+        "shape mismatch"
+    );
     match c {
         0 => {}
         1 => add_assign(acc, m),
@@ -74,7 +78,11 @@ pub fn axpy_coeff<T: Scalar>(acc: &mut Matrix<T>, c: i64, m: &Matrix<T>) {
 /// # Panics
 /// Panics if `coeffs` and `mats` lengths differ or `mats` is empty.
 pub fn linear_combination<T: Scalar>(coeffs: &[i64], mats: &[&Matrix<T>]) -> Matrix<T> {
-    assert_eq!(coeffs.len(), mats.len(), "coefficient/matrix count mismatch");
+    assert_eq!(
+        coeffs.len(),
+        mats.len(),
+        "coefficient/matrix count mismatch"
+    );
     assert!(!mats.is_empty(), "empty combination");
     let mut acc = Matrix::zeros(mats[0].rows(), mats[0].cols());
     for (&c, m) in coeffs.iter().zip(mats) {

@@ -16,7 +16,12 @@ use crate::view::MatrixView;
 pub fn split_quadrants<T: Scalar>(m: &Matrix<T>) -> [Matrix<T>; 4] {
     let v = MatrixView::full(m);
     let q = v.quadrants();
-    [q[0].to_matrix(), q[1].to_matrix(), q[2].to_matrix(), q[3].to_matrix()]
+    [
+        q[0].to_matrix(),
+        q[1].to_matrix(),
+        q[2].to_matrix(),
+        q[3].to_matrix(),
+    ]
 }
 
 /// Join four equally-sized square quadrants into one matrix.
@@ -26,7 +31,10 @@ pub fn split_quadrants<T: Scalar>(m: &Matrix<T>) -> [Matrix<T>; 4] {
 pub fn join_quadrants<T: Scalar>(q: &[Matrix<T>; 4]) -> Matrix<T> {
     let h = q[0].rows();
     for quad in q {
-        assert!(quad.rows() == h && quad.cols() == h, "quadrant shape mismatch");
+        assert!(
+            quad.rows() == h && quad.cols() == h,
+            "quadrant shape mismatch"
+        );
     }
     Matrix::from_fn(2 * h, 2 * h, |i, j| {
         let (qi, ri) = (i / h, i % h);

@@ -122,7 +122,9 @@ impl Add for Rational {
                 .checked_mul(lcm_factor)
                 .and_then(|a| a.checked_add(rhs.num * (self.den / g)))
                 .expect("Rational add overflow"),
-            self.den.checked_mul(lcm_factor).expect("Rational add overflow"),
+            self.den
+                .checked_mul(lcm_factor)
+                .expect("Rational add overflow"),
         )
     }
 }
@@ -242,13 +244,19 @@ mod tests {
 
     #[test]
     fn add_reduces() {
-        assert_eq!(Rational::new(1, 6) + Rational::new(1, 3), Rational::new(1, 2));
+        assert_eq!(
+            Rational::new(1, 6) + Rational::new(1, 3),
+            Rational::new(1, 2)
+        );
         assert_eq!(Rational::new(1, 2) + Rational::new(1, 2), Rational::one());
     }
 
     #[test]
     fn div_and_recip() {
-        assert_eq!(Rational::new(1, 2) / Rational::new(1, 4), Rational::from_int(2));
+        assert_eq!(
+            Rational::new(1, 2) / Rational::new(1, 4),
+            Rational::from_int(2)
+        );
         assert_eq!(Rational::new(-3, 7).recip(), Rational::new(-7, 3));
     }
 

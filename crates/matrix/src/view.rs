@@ -38,7 +38,10 @@ impl<'a, T: Scalar> MatrixView<'a, T> {
     /// # Panics
     /// Panics if the window exceeds the view bounds.
     pub fn window(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> MatrixView<'a, T> {
-        assert!(r0 + rows <= self.rows && c0 + cols <= self.cols, "window out of bounds");
+        assert!(
+            r0 + rows <= self.rows && c0 + cols <= self.cols,
+            "window out of bounds"
+        );
         MatrixView {
             data: self.data,
             offset: self.offset + r0 * self.stride + c0,
@@ -51,7 +54,10 @@ impl<'a, T: Scalar> MatrixView<'a, T> {
     /// The four quadrants of a square even-order view, in row-major order
     /// `[Q11, Q12, Q21, Q22]`.
     pub fn quadrants(&self) -> [MatrixView<'a, T>; 4] {
-        assert!(self.rows == self.cols && self.rows.is_multiple_of(2), "need square even view");
+        assert!(
+            self.rows == self.cols && self.rows.is_multiple_of(2),
+            "need square even view"
+        );
         let h = self.rows / 2;
         [
             self.window(0, 0, h, h),
@@ -107,8 +113,17 @@ impl<'a, T: Scalar> MatrixViewMut<'a, T> {
     }
 
     /// Re-borrow a sub-window at `(r0, c0)` of shape `rows × cols`.
-    pub fn window_mut(&mut self, r0: usize, c0: usize, rows: usize, cols: usize) -> MatrixViewMut<'_, T> {
-        assert!(r0 + rows <= self.rows && c0 + cols <= self.cols, "window out of bounds");
+    pub fn window_mut(
+        &mut self,
+        r0: usize,
+        c0: usize,
+        rows: usize,
+        cols: usize,
+    ) -> MatrixViewMut<'_, T> {
+        assert!(
+            r0 + rows <= self.rows && c0 + cols <= self.cols,
+            "window out of bounds"
+        );
         MatrixViewMut {
             data: self.data,
             offset: self.offset + r0 * self.stride + c0,

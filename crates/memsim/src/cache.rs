@@ -46,6 +46,21 @@ impl CacheStats {
     }
 }
 
+/// Eviction-side counters, kept separate from [`CacheStats`] so the
+/// lower-bound accounting (loads/stores/hits) stays a closed, comparable
+/// struct while the telemetry layer can still report *why* stores happen.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvictionStats {
+    /// Lines evicted to make room (clean + dirty).
+    pub evictions: u64,
+    /// Evictions that needed no writeback.
+    pub clean_evictions: u64,
+    /// Evictions of dirty lines (each also counted as a store).
+    pub dirty_writebacks: u64,
+    /// Dirty lines written back by [`Cache::flush`].
+    pub flush_writebacks: u64,
+}
+
 struct Line {
     dirty: bool,
     /// LRU timestamp (unused under FIFO).
@@ -61,6 +76,7 @@ pub struct Cache {
     fifo: VecDeque<u64>,
     clock: u64,
     stats: CacheStats,
+    evictions: EvictionStats,
 }
 
 impl Cache {
@@ -77,6 +93,7 @@ impl Cache {
             fifo: VecDeque::new(),
             clock: 0,
             stats: CacheStats::default(),
+            evictions: EvictionStats::default(),
         }
     }
 
@@ -88,6 +105,12 @@ impl Cache {
     /// Current statistics.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Eviction/writeback breakdown (telemetry side-channel; not part of
+    /// the I/O accounting in [`CacheStats`]).
+    pub fn eviction_stats(&self) -> EvictionStats {
+        self.evictions
     }
 
     /// Number of resident words.
@@ -113,8 +136,12 @@ impl Cache {
             }
         };
         let line = self.lines.remove(&victim).expect("victim resident");
+        self.evictions.evictions += 1;
         if line.dirty {
             self.stats.stores += 1;
+            self.evictions.dirty_writebacks += 1;
+        } else {
+            self.evictions.clean_evictions += 1;
         }
     }
 
@@ -123,7 +150,13 @@ impl Cache {
             self.evict_one();
         }
         self.clock += 1;
-        self.lines.insert(addr, Line { dirty, touched: self.clock });
+        self.lines.insert(
+            addr,
+            Line {
+                dirty,
+                touched: self.clock,
+            },
+        );
         if self.policy == Policy::Fifo {
             self.fifo.push_back(addr);
         }
@@ -162,6 +195,7 @@ impl Cache {
         for (_, line) in self.lines.drain() {
             if line.dirty {
                 self.stats.stores += 1;
+                self.evictions.flush_writebacks += 1;
             }
         }
         self.fifo.clear();
@@ -259,6 +293,22 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = Cache::new(0, Policy::Lru);
+    }
+
+    #[test]
+    fn eviction_stats_break_down_stores() {
+        let mut c = Cache::new(1, Policy::Lru);
+        c.write(1);
+        c.read(2); // dirty eviction of 1
+        c.read(3); // clean eviction of 2
+        c.write(4); // clean eviction of 3
+        c.flush(); // writeback of 4
+        let e = c.eviction_stats();
+        assert_eq!(e.evictions, 3);
+        assert_eq!(e.dirty_writebacks, 1);
+        assert_eq!(e.clean_evictions, 2);
+        assert_eq!(e.flush_writebacks, 1);
+        assert_eq!(c.stats().stores, e.dirty_writebacks + e.flush_writebacks);
     }
 
     #[test]

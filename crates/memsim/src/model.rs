@@ -141,7 +141,11 @@ mod tests {
                 let fast_lb = bounds::sequential(n, m, bounds::OMEGA_FAST);
                 assert!(fast >= fast_lb, "n={n} M={m}");
                 // Constant-factor optimality of the schedules: ratio bounded.
-                assert!(fast / fast_lb < 200.0, "n={n} M={m} ratio {}", fast / fast_lb);
+                assert!(
+                    fast / fast_lb < 200.0,
+                    "n={n} M={m} ratio {}",
+                    fast / fast_lb
+                );
             }
         }
     }
@@ -162,7 +166,10 @@ mod tests {
         assert!(crossover > 4096, "constant-factor reality check");
         let beyond = crossover * 16;
         let ratio = blocked_classical_io(beyond, m) / recursive_fast_io(beyond, m, 7, 18);
-        assert!(ratio > 1.5, "gap must widen past the crossover, got {ratio}");
+        assert!(
+            ratio > 1.5,
+            "gap must widen past the crossover, got {ratio}"
+        );
         // Winograd's and KS's lighter linear phases move the crossover in.
         assert!(recursive_fast_io(crossover, m, 7, 12) < recursive_fast_io(crossover, m, 7, 18));
     }
@@ -197,9 +204,15 @@ mod tests {
         let strassen = io_leading_coefficient(7, 18, m);
         let winograd = io_leading_coefficient(7, 15, m);
         let ks = io_leading_coefficient(7, 12, m);
-        assert!(ks < winograd && winograd < strassen, "{ks} {winograd} {strassen}");
+        assert!(
+            ks < winograd && winograd < strassen,
+            "{ks} {winograd} {strassen}"
+        );
         let improvement = winograd / ks;
-        assert!(improvement > 1.05 && improvement < 1.35, "improvement {improvement}");
+        assert!(
+            improvement > 1.05 && improvement < 1.35,
+            "improvement {improvement}"
+        );
     }
 
     #[test]
@@ -223,7 +236,10 @@ mod tests {
             let p = 7usize.pow(levels as u32);
             let unlimited = caps_per_proc(n, levels);
             let roomy = caps_per_proc_limited(n, p, usize::MAX / 4);
-            assert!((unlimited - roomy).abs() / unlimited < 1e-9, "levels={levels}");
+            assert!(
+                (unlimited - roomy).abs() / unlimited < 1e-9,
+                "levels={levels}"
+            );
         }
     }
 
@@ -250,9 +266,7 @@ mod tests {
         }
         // The scarce-memory end is strictly more expensive than the
         // plentiful-memory end.
-        assert!(
-            caps_per_proc_limited(n, p, 1 << 12) > caps_per_proc_limited(n, p, 1 << 19)
-        );
+        assert!(caps_per_proc_limited(n, p, 1 << 12) > caps_per_proc_limited(n, p, 1 << 19));
     }
 
     #[test]

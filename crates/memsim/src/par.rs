@@ -43,7 +43,11 @@ pub struct NetStats {
 
 impl NetStats {
     fn new(p: usize) -> Self {
-        NetStats { per_proc: vec![0; p], total_words: 0, messages: 0 }
+        NetStats {
+            per_proc: vec![0; p],
+            total_words: 0,
+            messages: 0,
+        }
     }
 
     /// Record a transfer of `words` from `from` to `to`.
@@ -69,6 +73,50 @@ impl NetStats {
     pub fn max_per_proc(&self) -> u64 {
         self.per_proc.iter().copied().max().unwrap_or(0)
     }
+
+    /// Publish this run's traffic to the global telemetry registry:
+    /// totals under a `schedule` label, per-processor words when the level
+    /// is `full`. No-op when telemetry is off.
+    fn publish(&self, schedule: &str) {
+        if !fmm_obs::enabled() {
+            return;
+        }
+        let labels = [("schedule", schedule.to_string())];
+        fmm_obs::add("memsim.net.total_words", &labels, self.total_words);
+        fmm_obs::add("memsim.net.messages", &labels, self.messages);
+        fmm_obs::gauge(
+            "memsim.net.max_per_proc",
+            &labels,
+            self.max_per_proc() as f64,
+        );
+        if fmm_obs::detailed() {
+            for (proc, &words) in self.per_proc.iter().enumerate() {
+                fmm_obs::add(
+                    "memsim.net.proc_words",
+                    &[
+                        ("schedule", schedule.to_string()),
+                        ("proc", proc.to_string()),
+                    ],
+                    words,
+                );
+            }
+        }
+    }
+
+    /// Record the traffic of one communication round (words moved since
+    /// `mark`, the total captured before the round). Only at level `full`.
+    fn publish_round(&self, schedule: &str, round: usize, mark: u64) {
+        if fmm_obs::detailed() {
+            fmm_obs::add(
+                "memsim.net.round_words",
+                &[
+                    ("schedule", schedule.to_string()),
+                    ("round", round.to_string()),
+                ],
+                self.total_words - mark,
+            );
+        }
+    }
 }
 
 /// Cannon's algorithm on a `p×p` processor grid. `n` must be divisible by
@@ -79,7 +127,10 @@ impl NetStats {
 pub fn cannon<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, p: usize) -> (Matrix<T>, NetStats) {
     let n = a.rows();
     assert!(p > 0 && n.is_multiple_of(p), "p must divide n");
-    assert!(a.is_square() && b.is_square() && b.rows() == n, "need equal squares");
+    assert!(
+        a.is_square() && b.is_square() && b.rows() == n,
+        "need equal squares"
+    );
     let bs = n / p;
     let nprocs = p * p;
     let mut net = NetStats::new(nprocs);
@@ -94,6 +145,7 @@ pub fn cannon<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, p: usize) -> (Matrix<T>, 
     // A[i, (i+j) mod p] and B[(i+j) mod p, j]. The skew itself moves blocks.
     let mut ablocks: Vec<Matrix<T>> = Vec::with_capacity(nprocs);
     let mut bblocks: Vec<Matrix<T>> = Vec::with_capacity(nprocs);
+    let skew_mark = net.total_words;
     for i in 0..p {
         for j in 0..p {
             let src_a = (i + j) % p;
@@ -105,6 +157,8 @@ pub fn cannon<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, p: usize) -> (Matrix<T>, 
             net.transfer(proc(src_b, j), proc(i, j), block_words);
         }
     }
+
+    net.publish_round("cannon", 0, skew_mark);
 
     let mut cblocks: Vec<Matrix<T>> = (0..nprocs).map(|_| Matrix::zeros(bs, bs)).collect();
     for step in 0..p {
@@ -119,6 +173,7 @@ pub fn cannon<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, p: usize) -> (Matrix<T>, 
             break;
         }
         // Shift A left, B up (each block moves one hop).
+        let round_mark = net.total_words;
         let mut new_a = ablocks.clone();
         let mut new_b = bblocks.clone();
         for i in 0..p {
@@ -133,8 +188,10 @@ pub fn cannon<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, p: usize) -> (Matrix<T>, 
         }
         ablocks = new_a;
         bblocks = new_b;
+        net.publish_round("cannon", step + 1, round_mark);
     }
 
+    net.publish("cannon");
     let c = Matrix::from_fn(n, n, |i, j| cblocks[proc(i / bs, j / bs)][(i % bs, j % bs)]);
     (c, net)
 }
@@ -164,6 +221,7 @@ pub fn replicated_3d<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, p: usize) -> (Matr
     // block per operand — the balanced collective a real 3D implementation
     // uses (a serial single-owner fan-out would create a Θ(n²/p) hotspot).
     let mut partial: Vec<Matrix<T>> = vec![Matrix::zeros(0, 0); nprocs];
+    let bcast_a_mark = net.total_words;
     for i in 0..p {
         for l in 0..p {
             let ab = take(a, i, l);
@@ -177,6 +235,8 @@ pub fn replicated_3d<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, p: usize) -> (Matr
             }
         }
     }
+    net.publish_round("3d", 0, bcast_a_mark);
+    let bcast_b_mark = net.total_words;
     for l in 0..p {
         for j in 0..p {
             let bb = take(b, l, j);
@@ -190,8 +250,10 @@ pub fn replicated_3d<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, p: usize) -> (Matr
             }
         }
     }
+    net.publish_round("3d", 1, bcast_b_mark);
     // Reduce across l into layer 0 as a chain: (i,j,p−1) → … → (i,j,0),
     // each hop forwarding one accumulated block.
+    let reduce_mark = net.total_words;
     let mut cblocks: Vec<Matrix<T>> = (0..p * p).map(|_| Matrix::zeros(bs, bs)).collect();
     for i in 0..p {
         for j in 0..p {
@@ -203,7 +265,11 @@ pub fn replicated_3d<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, p: usize) -> (Matr
             }
         }
     }
-    let c = Matrix::from_fn(n, n, |i, j| cblocks[(i / bs) * p + j / bs][(i % bs, j % bs)]);
+    net.publish_round("3d", 2, reduce_mark);
+    net.publish("3d");
+    let c = Matrix::from_fn(n, n, |i, j| {
+        cblocks[(i / bs) * p + j / bs][(i % bs, j % bs)]
+    });
     (c, net)
 }
 
@@ -225,7 +291,10 @@ pub fn caps_strassen<T: Scalar>(
 ) -> (Matrix<T>, NetStats) {
     let n = a.rows();
     assert!(n.is_power_of_two(), "order must be a power of two");
-    assert!(levels <= n.trailing_zeros() as usize, "levels exceed log2 n");
+    assert!(
+        levels <= n.trailing_zeros() as usize,
+        "levels exceed log2 n"
+    );
     let nprocs = 7usize.pow(levels as u32);
     let mut net = NetStats::new(nprocs);
 
@@ -234,6 +303,7 @@ pub fn caps_strassen<T: Scalar>(
         a: &Matrix<T>,
         b: &Matrix<T>,
         group: std::ops::Range<usize>,
+        level: usize,
         net: &mut NetStats,
     ) -> Matrix<T> {
         let gsize = group.end - group.start;
@@ -250,6 +320,16 @@ pub fn caps_strassen<T: Scalar>(
         for m in group.clone() {
             net.charge(m, volume_per_member);
         }
+        if fmm_obs::detailed() {
+            fmm_obs::add(
+                "memsim.net.level_words",
+                &[
+                    ("schedule", "caps".to_string()),
+                    ("level", level.to_string()),
+                ],
+                volume_per_member * gsize as u64,
+            );
+        }
         let aq = split_quadrants(a);
         let bq = split_quadrants(b);
         let aq_ref: Vec<&Matrix<T>> = aq.iter().collect();
@@ -259,7 +339,7 @@ pub fn caps_strassen<T: Scalar>(
             let left = linear_combination(&alg.u[r], &aq_ref);
             let right = linear_combination(&alg.v[r], &bq_ref);
             let subgroup = group.start + r * sub..group.start + (r + 1) * sub;
-            products.push(rec(alg, &left, &right, subgroup, net));
+            products.push(rec(alg, &left, &right, subgroup, level + 1, net));
         }
         let prod_ref: Vec<&Matrix<T>> = products.iter().collect();
         let quads = [
@@ -271,7 +351,8 @@ pub fn caps_strassen<T: Scalar>(
         join_quadrants(&quads)
     }
 
-    let c = rec(alg, a, b, 0..nprocs, &mut net);
+    let c = rec(alg, a, b, 0..nprocs, 0, &mut net);
+    net.publish("caps");
     (c, net)
 }
 

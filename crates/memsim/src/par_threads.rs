@@ -32,7 +32,10 @@ pub struct ThreadedRun<T> {
 pub fn cannon_threaded<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, p: usize) -> ThreadedRun<T> {
     let n = a.rows();
     assert!(p > 0 && n.is_multiple_of(p), "p must divide n");
-    assert!(a.is_square() && b.is_square() && b.rows() == n, "need equal squares");
+    assert!(
+        a.is_square() && b.is_square() && b.rows() == n,
+        "need equal squares"
+    );
     let bs = n / p;
     let nprocs = p * p;
     let words = AtomicU64::new(0);
@@ -48,12 +51,20 @@ pub fn cannon_threaded<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, p: usize) -> Thr
     // starts with; charging it is the round-based simulator's job —
     // here we charge the p−1 shift rounds, the dominant term).
     let proc = |i: usize, j: usize| i * p + j;
-    let (a_tx, a_rx): (Vec<_>, Vec<_>) =
-        (0..nprocs).map(|_| crossbeam::channel::bounded::<Matrix<T>>(1)).unzip();
-    let (b_tx, b_rx): (Vec<_>, Vec<_>) =
-        (0..nprocs).map(|_| crossbeam::channel::bounded::<Matrix<T>>(1)).unzip();
+    let (a_tx, a_rx): (Vec<_>, Vec<_>) = (0..nprocs)
+        .map(|_| crossbeam::channel::bounded::<Matrix<T>>(1))
+        .unzip();
+    let (b_tx, b_rx): (Vec<_>, Vec<_>) = (0..nprocs)
+        .map(|_| crossbeam::channel::bounded::<Matrix<T>>(1))
+        .unzip();
 
     let mut results: Vec<Option<Matrix<T>>> = (0..nprocs).map(|_| None).collect();
+
+    // Per-worker telemetry: each thread fills a LocalCollector (no shared
+    // lock on the hot path) and ships it out through a channel; the
+    // coordinator absorbs them after the scope joins.
+    let collect = fmm_obs::detailed();
+    let (obs_tx, obs_rx) = fmm_obs::collector_channel();
 
     crossbeam::scope(|s| {
         let mut handles = Vec::with_capacity(nprocs);
@@ -71,7 +82,10 @@ pub fn cannon_threaded<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, p: usize) -> Thr
                 let b_in = b_rx[proc(i, j)].clone();
                 let words = &words;
                 let messages = &messages;
+                let obs_tx = obs_tx.clone();
                 handles.push(s.spawn(move |_| {
+                    let me = proc(i, j);
+                    let mut local = collect.then(fmm_obs::LocalCollector::new);
                     let mut acc: Matrix<T> = Matrix::zeros(bs, bs);
                     for step in 0..p {
                         let prod = multiply_naive(&a_blk, &b_blk);
@@ -81,10 +95,21 @@ pub fn cannon_threaded<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, p: usize) -> Thr
                         }
                         words.fetch_add(2 * (bs * bs) as u64, Ordering::Relaxed);
                         messages.fetch_add(2, Ordering::Relaxed);
+                        if let Some(local) = &mut local {
+                            let labels = [
+                                ("schedule", "cannon-threaded".to_string()),
+                                ("proc", me.to_string()),
+                            ];
+                            local.add("memsim.net.send_words", &labels, 2 * (bs * bs) as u64);
+                            local.add("memsim.net.recv_words", &labels, 2 * (bs * bs) as u64);
+                        }
                         a_out.send(a_blk).expect("A channel closed");
                         b_out.send(b_blk).expect("B channel closed");
                         a_blk = a_in.recv().expect("A channel closed");
                         b_blk = b_in.recv().expect("B channel closed");
+                    }
+                    if let Some(local) = local {
+                        let _ = obs_tx.send(local);
                     }
                     acc
                 }));
@@ -95,6 +120,22 @@ pub fn cannon_threaded<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, p: usize) -> Thr
         }
     })
     .expect("thread scope failed");
+
+    drop(obs_tx);
+    fmm_obs::absorb_all(&obs_rx);
+    if fmm_obs::enabled() {
+        let labels = [("schedule", "cannon-threaded".to_string())];
+        fmm_obs::add(
+            "memsim.net.total_words",
+            &labels,
+            words.load(Ordering::Relaxed),
+        );
+        fmm_obs::add(
+            "memsim.net.messages",
+            &labels,
+            messages.load(Ordering::Relaxed),
+        );
+    }
 
     let product = Matrix::from_fn(n, n, |i, j| {
         results[proc(i / bs, j / bs)].as_ref().expect("gathered")[(i % bs, j % bs)]
@@ -153,7 +194,10 @@ mod tests {
         // unmoved ones): shifts alone are p²·(p−1)·2 blocks.
         let shift_words = (p * p * (p - 1) * 2 * (16 / p) * (16 / p)) as u64;
         assert_eq!(threaded.total_words, shift_words);
-        assert!(net.total_words >= shift_words, "round-based includes the skew");
+        assert!(
+            net.total_words >= shift_words,
+            "round-based includes the skew"
+        );
     }
 
     #[test]

@@ -12,10 +12,67 @@
 //! * [`fast_recursive`] — any catalog algorithm, recursing until the
 //!   sub-problem fits in cache, `Θ((n/√M)^{log₂7}·M)` I/O.
 
-use crate::cache::{Cache, CacheStats, Policy};
+use crate::cache::{Cache, CacheStats, EvictionStats, Policy};
 use crate::trace::Access;
 use fmm_core::bilinear::Bilinear2x2;
 use fmm_matrix::Matrix;
+
+/// I/O charged while one named execution phase was active.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseDelta {
+    /// Phase name (e.g. `split`, `encode`, `base`, `decode`, `join`).
+    pub phase: &'static str,
+    /// Cache statistics accumulated during the phase.
+    pub stats: CacheStats,
+    /// Eviction breakdown accumulated during the phase.
+    pub evictions: EvictionStats,
+}
+
+/// Running per-phase attribution (only allocated when phase recording is
+/// on, so the default path pays a single `Option` branch per switch).
+struct PhaseLog {
+    current: &'static str,
+    last_stats: CacheStats,
+    last_evict: EvictionStats,
+    deltas: Vec<PhaseDelta>,
+}
+
+fn stats_delta(now: CacheStats, then: CacheStats) -> CacheStats {
+    CacheStats {
+        loads: now.loads - then.loads,
+        stores: now.stores - then.stores,
+        hits: now.hits - then.hits,
+        accesses: now.accesses - then.accesses,
+    }
+}
+
+fn evict_delta(now: EvictionStats, then: EvictionStats) -> EvictionStats {
+    EvictionStats {
+        evictions: now.evictions - then.evictions,
+        clean_evictions: now.clean_evictions - then.clean_evictions,
+        dirty_writebacks: now.dirty_writebacks - then.dirty_writebacks,
+        flush_writebacks: now.flush_writebacks - then.flush_writebacks,
+    }
+}
+
+fn merge_deltas(raw: Vec<PhaseDelta>) -> Vec<PhaseDelta> {
+    let mut merged: Vec<PhaseDelta> = Vec::new();
+    for d in raw {
+        if let Some(existing) = merged.iter_mut().find(|e| e.phase == d.phase) {
+            existing.stats.loads += d.stats.loads;
+            existing.stats.stores += d.stats.stores;
+            existing.stats.hits += d.stats.hits;
+            existing.stats.accesses += d.stats.accesses;
+            existing.evictions.evictions += d.evictions.evictions;
+            existing.evictions.clean_evictions += d.evictions.clean_evictions;
+            existing.evictions.dirty_writebacks += d.evictions.dirty_writebacks;
+            existing.evictions.flush_writebacks += d.evictions.flush_writebacks;
+        } else {
+            merged.push(d);
+        }
+    }
+    merged
+}
 
 /// A matrix whose elements live at simulated addresses.
 pub struct TMat {
@@ -47,19 +104,74 @@ pub struct Mem {
     cache: Cache,
     next: u64,
     trace: Option<Vec<Access>>,
+    phases: Option<PhaseLog>,
 }
 
 impl Mem {
-    /// Memory with a fast level of `m` words.
+    /// Memory with a fast level of `m` words. Per-phase attribution is
+    /// automatically on when the telemetry level is `full`.
     pub fn new(m: usize, policy: Policy) -> Self {
-        Mem { cache: Cache::new(m, policy), next: 0, trace: None }
+        let mut mem = Mem {
+            cache: Cache::new(m, policy),
+            next: 0,
+            trace: None,
+            phases: None,
+        };
+        if fmm_obs::detailed() {
+            mem.record_phases(true);
+        }
+        mem
     }
 
     /// As [`Mem::new`], additionally recording the full access trace so it
     /// can be replayed under the offline-optimal policy
     /// ([`crate::trace::opt_stats`]).
     pub fn new_recording(m: usize, policy: Policy) -> Self {
-        Mem { cache: Cache::new(m, policy), next: 0, trace: Some(Vec::new()) }
+        let mut mem = Mem::new(m, policy);
+        mem.trace = Some(Vec::new());
+        mem
+    }
+
+    /// Explicitly enable (or disable) per-phase attribution, independent of
+    /// the global telemetry level — used by tests so they need no global
+    /// state.
+    pub fn record_phases(&mut self, on: bool) {
+        self.phases = on.then(|| PhaseLog {
+            current: "main",
+            last_stats: self.cache.stats(),
+            last_evict: self.cache.eviction_stats(),
+            deltas: Vec::new(),
+        });
+    }
+
+    /// Switch the active phase, attributing I/O since the last switch to
+    /// the previous phase. No-op unless phase recording is on.
+    #[inline]
+    pub fn set_phase(&mut self, phase: &'static str) {
+        if self.phases.is_some() {
+            self.close_phase();
+            if let Some(log) = &mut self.phases {
+                log.current = phase;
+            }
+        }
+    }
+
+    fn close_phase(&mut self) {
+        let stats = self.cache.stats();
+        let evict = self.cache.eviction_stats();
+        if let Some(log) = &mut self.phases {
+            let ds = stats_delta(stats, log.last_stats);
+            let de = evict_delta(evict, log.last_evict);
+            if ds.accesses > 0 || ds.io() > 0 || de.evictions > 0 || de.flush_writebacks > 0 {
+                log.deltas.push(PhaseDelta {
+                    phase: log.current,
+                    stats: ds,
+                    evictions: de,
+                });
+            }
+            log.last_stats = stats;
+            log.last_evict = evict;
+        }
     }
 
     /// The recorded trace, if recording was enabled.
@@ -71,7 +183,12 @@ impl Mem {
     pub fn alloc(&mut self, rows: usize, cols: usize) -> TMat {
         let base = self.next;
         self.next += (rows * cols) as u64;
-        TMat { base, rows, cols, data: vec![0.0; rows * cols] }
+        TMat {
+            base,
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Allocate and fill from an ordinary matrix (initial placement in slow
@@ -103,15 +220,84 @@ impl Mem {
         m.data[i * m.cols + j] = v;
     }
 
-    /// Flush dirty state and return the accumulated statistics.
-    pub fn finish(mut self) -> CacheStats {
+    /// Raw single-element access to `m` (a read, or a write of the value
+    /// already there). Lets trace replay and property tests drive the
+    /// cache through the full instrumented [`Mem`] path.
+    pub fn access(&mut self, m: &mut TMat, i: usize, j: usize, write: bool) {
+        if write {
+            let v = m.data[i * m.cols + j];
+            self.write(m, i, j, v);
+        } else {
+            let _ = self.read(m, i, j);
+        }
+    }
+
+    /// Flush dirty state and return the accumulated statistics. Publishes
+    /// cache telemetry to the global registry when enabled.
+    pub fn finish(self) -> CacheStats {
+        self.finish_detailed().0
+    }
+
+    /// As [`Mem::finish`], additionally returning the per-phase breakdown
+    /// (empty unless phase recording was on). Flush writebacks are
+    /// attributed to a synthetic `flush` phase.
+    pub fn finish_detailed(mut self) -> (CacheStats, Vec<PhaseDelta>) {
+        self.set_phase("flush");
         self.cache.flush();
-        self.cache.stats()
+        self.close_phase();
+        let stats = self.cache.stats();
+        let evict = self.cache.eviction_stats();
+        let deltas = merge_deltas(self.phases.take().map(|log| log.deltas).unwrap_or_default());
+        if fmm_obs::enabled() {
+            publish_cache_metrics(stats, evict, &deltas);
+        }
+        (stats, deltas)
     }
 
     /// Statistics so far (without flushing).
     pub fn stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Eviction breakdown so far.
+    pub fn eviction_stats(&self) -> EvictionStats {
+        self.cache.eviction_stats()
+    }
+}
+
+/// Push one finished run's cache counters into the global registry:
+/// aggregate totals always (when enabled), per-phase breakdowns when the
+/// level is `full`.
+fn publish_cache_metrics(stats: CacheStats, evict: EvictionStats, deltas: &[PhaseDelta]) {
+    fmm_obs::add("memsim.cache.loads", &[], stats.loads);
+    fmm_obs::add("memsim.cache.stores", &[], stats.stores);
+    fmm_obs::add("memsim.cache.hits", &[], stats.hits);
+    fmm_obs::add("memsim.cache.misses", &[], stats.accesses - stats.hits);
+    fmm_obs::add("memsim.cache.accesses", &[], stats.accesses);
+    fmm_obs::add("memsim.cache.evictions", &[], evict.evictions);
+    fmm_obs::add(
+        "memsim.cache.writebacks",
+        &[],
+        evict.dirty_writebacks + evict.flush_writebacks,
+    );
+    if fmm_obs::detailed() {
+        for d in deltas {
+            let labels = [("phase", d.phase.to_string())];
+            fmm_obs::add("memsim.phase.loads", &labels, d.stats.loads);
+            fmm_obs::add("memsim.phase.stores", &labels, d.stats.stores);
+            fmm_obs::add("memsim.phase.hits", &labels, d.stats.hits);
+            fmm_obs::add(
+                "memsim.phase.misses",
+                &labels,
+                d.stats.accesses - d.stats.hits,
+            );
+            fmm_obs::add("memsim.phase.evictions", &labels, d.evictions.evictions);
+            fmm_obs::add(
+                "memsim.phase.writebacks",
+                &labels,
+                d.evictions.dirty_writebacks + d.evictions.flush_writebacks,
+            );
+        }
     }
 }
 
@@ -202,9 +388,11 @@ fn combine_one(mem: &mut Mem, c: i64, x: &TMat) -> TMat {
 fn fast_rec(mem: &mut Mem, alg: &Bilinear2x2, a: &TMat, b: &TMat, cutoff: usize) -> TMat {
     let n = a.rows;
     if n <= cutoff || n == 1 {
+        mem.set_phase("base");
         return classical_blocked(mem, a, b, n);
     }
     let h = n / 2;
+    mem.set_phase("split");
     let aq: Vec<TMat> = (0..4).map(|q| quadrant_of(mem, a, q / 2, q % 2)).collect();
     let bq: Vec<TMat> = (0..4).map(|q| quadrant_of(mem, b, q / 2, q % 2)).collect();
 
@@ -217,7 +405,6 @@ fn fast_rec(mem: &mut Mem, alg: &Bilinear2x2, a: &TMat, b: &TMat, cutoff: usize)
                 let x = &regs[op.r1];
                 combine_one(mem, op.c1, x)
             } else {
-                
                 {
                     let x = &regs[op.r1];
                     let y = &regs[op.r2];
@@ -229,6 +416,7 @@ fn fast_rec(mem: &mut Mem, alg: &Bilinear2x2, a: &TMat, b: &TMat, cutoff: usize)
         regs
     }
 
+    mem.set_phase("encode");
     let aregs = eval_slp(mem, &alg.enc_a, aq);
     let bregs = eval_slp(mem, &alg.enc_b, bq);
     let products: Vec<TMat> = alg
@@ -238,8 +426,10 @@ fn fast_rec(mem: &mut Mem, alg: &Bilinear2x2, a: &TMat, b: &TMat, cutoff: usize)
         .zip(&alg.enc_b.outputs)
         .map(|(&l, &r)| fast_rec(mem, alg, &aregs[l], &bregs[r], cutoff))
         .collect();
+    mem.set_phase("decode");
     let dregs = eval_slp(mem, &alg.dec, products);
 
+    mem.set_phase("join");
     let mut c = mem.alloc(n, n);
     for (qo, &oreg) in alg.dec.outputs.iter().enumerate() {
         let block = &dregs[oreg];
@@ -261,7 +451,10 @@ fn fast_rec(mem: &mut Mem, alg: &Bilinear2x2, a: &TMat, b: &TMat, cutoff: usize)
 /// # Panics
 /// Panics unless both operands are square of equal power-of-two order.
 pub fn fast_recursive(mem: &mut Mem, alg: &Bilinear2x2, a: &TMat, b: &TMat, cutoff: usize) -> TMat {
-    assert!(a.rows == a.cols && b.rows == b.cols && a.rows == b.rows, "need equal squares");
+    assert!(
+        a.rows == a.cols && b.rows == b.cols && a.rows == b.rows,
+        "need equal squares"
+    );
     assert!(a.rows.is_power_of_two(), "order must be a power of two");
     fast_rec(mem, alg, a, b, cutoff.max(1))
 }
@@ -282,6 +475,7 @@ where
 {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    let _span = fmm_obs::Span::enter("memsim.measure");
     let mut rng = StdRng::seed_from_u64(0xF00D);
     let a = Matrix::<f64>::random_small(n, n, &mut rng);
     let b = Matrix::<f64>::random_small(n, n, &mut rng);
@@ -346,7 +540,9 @@ mod tests {
     #[test]
     fn blocked_computes_correctly() {
         let (_, _, expect) = reference(16);
-        let (got, _) = measure(16, 192, Policy::Lru, |m, a, b| classical_blocked(m, a, b, 8));
+        let (got, _) = measure(16, 192, Policy::Lru, |m, a, b| {
+            classical_blocked(m, a, b, 8)
+        });
         assert!(got.approx_eq(&expect, 1e-9));
     }
 
@@ -366,8 +562,9 @@ mod tests {
         let n = 32;
         let m_words = 3 * 8 * 8; // fits three 8×8 tiles
         let (_, naive) = measure(n, m_words, Policy::Lru, classical_naive);
-        let (_, blocked) =
-            measure(n, m_words, Policy::Lru, |m, a, b| classical_blocked(m, a, b, 8));
+        let (_, blocked) = measure(n, m_words, Policy::Lru, |m, a, b| {
+            classical_blocked(m, a, b, 8)
+        });
         assert!(
             blocked.io() < naive.io() / 2,
             "blocked {} vs naive {}",
@@ -425,6 +622,52 @@ mod tests {
             let (got, _) = measure(8, 48, policy, |m, a, b| classical_blocked(m, a, b, 4));
             assert!(got.approx_eq(&expect, 1e-9));
         }
+    }
+
+    #[test]
+    fn phase_deltas_sum_to_totals() {
+        let alg = catalog::strassen();
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Matrix::<f64>::random_small(8, 8, &mut rng);
+        let b = Matrix::<f64>::random_small(8, 8, &mut rng);
+        let mut mem = Mem::new(64, Policy::Lru);
+        mem.record_phases(true);
+        let ta = mem.alloc_from(&a);
+        let tb = mem.alloc_from(&b);
+        let _ = fast_recursive(&mut mem, &alg, &ta, &tb, 2);
+        let (stats, phases) = mem.finish_detailed();
+        for want in ["split", "encode", "base", "decode", "join", "flush"] {
+            assert!(
+                phases.iter().any(|d| d.phase == want),
+                "missing phase {want}"
+            );
+        }
+        let sum = |f: fn(&PhaseDelta) -> u64| phases.iter().map(f).sum::<u64>();
+        assert_eq!(sum(|d| d.stats.loads), stats.loads);
+        assert_eq!(sum(|d| d.stats.stores), stats.stores);
+        assert_eq!(sum(|d| d.stats.hits), stats.hits);
+        assert_eq!(sum(|d| d.stats.accesses), stats.accesses);
+    }
+
+    #[test]
+    fn phases_off_by_default_and_stats_unchanged() {
+        let alg = catalog::strassen();
+        let run = |record: bool| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let a = Matrix::<f64>::random_small(8, 8, &mut rng);
+            let b = Matrix::<f64>::random_small(8, 8, &mut rng);
+            let mut mem = Mem::new(64, Policy::Lru);
+            mem.record_phases(record);
+            let ta = mem.alloc_from(&a);
+            let tb = mem.alloc_from(&b);
+            let _ = fast_recursive(&mut mem, &alg, &ta, &tb, 2);
+            mem.finish_detailed()
+        };
+        let (off_stats, off_phases) = run(false);
+        let (on_stats, on_phases) = run(true);
+        assert_eq!(off_stats, on_stats, "phase recording must not perturb I/O");
+        assert!(off_phases.is_empty());
+        assert!(!on_phases.is_empty());
     }
 
     #[test]

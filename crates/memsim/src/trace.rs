@@ -120,7 +120,9 @@ mod tests {
         let mut x = 12345u64;
         let trace: Vec<Access> = (0..500)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let addr = (x >> 33) % 24;
                 if x.is_multiple_of(5) {
                     w(addr)
@@ -133,7 +135,12 @@ mod tests {
             let opt = opt_stats(&trace, cap);
             let lru = replay(&trace, cap, Policy::Lru);
             let fifo = replay(&trace, cap, Policy::Fifo);
-            assert!(opt.io() <= lru.io(), "cap={cap}: OPT {} > LRU {}", opt.io(), lru.io());
+            assert!(
+                opt.io() <= lru.io(),
+                "cap={cap}: OPT {} > LRU {}",
+                opt.io(),
+                lru.io()
+            );
             assert!(opt.io() <= fifo.io(), "cap={cap}");
         }
     }

@@ -1,0 +1,70 @@
+//! Property test closing the loop between the cache simulator and its
+//! telemetry: the counters published to the [`fmm_obs`] registry must
+//! *exactly* equal the [`CacheStats`] the simulator returns, on random
+//! traces driven through the full instrumented [`Mem`] path.
+//!
+//! This file is its own integration-test binary on purpose: the tests
+//! mutate the process-global telemetry level and registry, so they must
+//! not share a process with unrelated tests.
+
+use fmm_memsim::cache::Policy;
+use fmm_memsim::seq::Mem;
+use fmm_memsim::trace::{replay, Access};
+use proptest::prelude::*;
+
+fn trace_strategy() -> impl Strategy<Value = Vec<Access>> {
+    proptest::collection::vec(
+        (0u64..24, proptest::bool::ANY).prop_map(|(addr, write)| Access { addr, write }),
+        0..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn published_counters_equal_cache_stats(trace in trace_strategy(), cap in 1usize..12) {
+        fmm_obs::set_level(fmm_obs::Level::Full);
+        let reg = fmm_obs::global();
+        reg.clear();
+
+        let mut mem = Mem::new(cap, Policy::Lru);
+        // One 1×24 allocation covers the address range of the trace, so
+        // each Access maps to a distinct element.
+        let mut t = mem.alloc(1, 24);
+        for a in &trace {
+            mem.access(&mut t, 0, a.addr as usize, a.write);
+        }
+        let (stats, phases) = mem.finish_detailed();
+
+        // The trace-replay reference (an independent Cache instance) must
+        // agree with the instrumented run.
+        prop_assert_eq!(replay(&trace, cap, Policy::Lru), stats);
+
+        // Every published aggregate counter equals the returned stats.
+        let count = |name: &str| reg.counter_value(name, &[]).unwrap_or(0);
+        prop_assert_eq!(count("memsim.cache.loads"), stats.loads);
+        prop_assert_eq!(count("memsim.cache.stores"), stats.stores);
+        prop_assert_eq!(count("memsim.cache.hits"), stats.hits);
+        prop_assert_eq!(count("memsim.cache.misses"), stats.accesses - stats.hits);
+        prop_assert_eq!(count("memsim.cache.accesses"), stats.accesses);
+
+        // Per-phase counters sum back to the aggregates.
+        prop_assert_eq!(reg.counter_total("memsim.phase.loads"), stats.loads);
+        prop_assert_eq!(reg.counter_total("memsim.phase.stores"), stats.stores);
+        prop_assert_eq!(reg.counter_total("memsim.phase.hits"), stats.hits);
+        prop_assert_eq!(
+            reg.counter_total("memsim.phase.misses"),
+            stats.accesses - stats.hits
+        );
+        prop_assert_eq!(
+            reg.counter_total("memsim.phase.evictions"),
+            count("memsim.cache.evictions")
+        );
+        let phase_sum: u64 = phases.iter().map(|d| d.stats.accesses).sum();
+        prop_assert_eq!(phase_sum, stats.accesses);
+
+        reg.clear();
+        fmm_obs::set_level(fmm_obs::Level::Off);
+    }
+}

@@ -1,0 +1,364 @@
+//! Hand-rolled JSON: escaping, JSONL serialisation of metrics/events, and a
+//! small parser for the flat object-per-line format `fastmm report` reads.
+
+use crate::{Event, Key, Metric};
+use std::collections::BTreeMap;
+
+/// Escape a string for embedding in a JSON string literal (quotes not
+/// included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn labels_object(labels: &[(String, String)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":\"{}\"", escape(k), escape(v)));
+    }
+    out.push('}');
+    out
+}
+
+/// One JSONL line for a metric.
+pub fn metric_line(key: &Key, metric: &Metric) -> String {
+    let name = escape(&key.name);
+    let labels = labels_object(&key.labels);
+    match metric {
+        Metric::Counter(c) => {
+            format!(
+                "{{\"type\":\"counter\",\"name\":\"{name}\",\"labels\":{labels},\"value\":{c}}}"
+            )
+        }
+        Metric::Gauge(g) => {
+            // Emit a JSON-parseable number even for non-finite floats.
+            let v = if g.is_finite() {
+                format!("{g}")
+            } else {
+                "null".to_string()
+            };
+            format!("{{\"type\":\"gauge\",\"name\":\"{name}\",\"labels\":{labels},\"value\":{v}}}")
+        }
+        Metric::Histogram(h) => format!(
+            "{{\"type\":\"histogram\",\"name\":\"{name}\",\"labels\":{labels},\
+             \"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.3}}}",
+            h.count,
+            h.sum,
+            h.min,
+            h.max,
+            h.mean()
+        ),
+    }
+}
+
+/// One JSONL line for an event.
+pub fn event_line(ev: &Event) -> String {
+    format!(
+        "{{\"type\":\"event\",\"seq\":{},\"name\":\"{}\",\"labels\":{}}}",
+        ev.seq,
+        escape(&ev.name),
+        labels_object(&ev.labels)
+    )
+}
+
+/// A parsed JSON value (only the shapes this crate emits).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON string.
+    Str(String),
+    /// JSON number (parsed as f64).
+    Num(f64),
+    /// JSON null.
+    Null,
+    /// A flat string→string object (only used for `labels`).
+    Object(BTreeMap<String, String>),
+}
+
+impl Value {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one JSONL line of the shape this crate writes: a single-depth
+/// object whose values are strings, numbers, `null`, or one nested flat
+/// string→string object. Returns `None` on malformed input.
+pub fn parse_line(line: &str) -> Option<BTreeMap<String, Value>> {
+    let mut p = Parser {
+        bytes: line.trim().as_bytes(),
+        pos: 0,
+    };
+    let map = p.object()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return None;
+    }
+    Some(map)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Option<()> {
+        self.skip_ws();
+        if self.pos < self.bytes.len() && self.bytes[self.pos] == b {
+            self.pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self.bytes.get(self.pos)?;
+            self.pos += 1;
+            match b {
+                b'"' => return Some(out),
+                b'\\' => {
+                    let esc = *self.bytes.get(self.pos)?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos..self.pos + 4)?;
+                            self.pos += 4;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                        }
+                        _ => return None,
+                    }
+                }
+                b => {
+                    // Collect the full UTF-8 sequence starting at `b`.
+                    let len = match b {
+                        _ if b < 0x80 => 1,
+                        _ if b >= 0xF0 => 4,
+                        _ if b >= 0xE0 => 3,
+                        _ => 2,
+                    };
+                    let start = self.pos - 1;
+                    let chunk = self.bytes.get(start..start + len)?;
+                    out.push_str(std::str::from_utf8(chunk).ok()?);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<f64> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(
+                self.bytes[self.pos],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse()
+            .ok()
+    }
+
+    fn flat_string_object(&mut self) -> Option<BTreeMap<String, String>> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Some(map);
+        }
+        loop {
+            let key = self.string()?;
+            self.eat(b':')?;
+            let value = self.string()?;
+            map.insert(key, value);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Some(map);
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn object(&mut self) -> Option<BTreeMap<String, Value>> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Some(map);
+        }
+        loop {
+            let key = self.string()?;
+            self.eat(b':')?;
+            let value = match self.peek()? {
+                b'"' => Value::Str(self.string()?),
+                b'{' => Value::Object(self.flat_string_object()?),
+                b'n' => {
+                    if self.bytes.get(self.pos..self.pos + 4)? == b"null" {
+                        self.pos += 4;
+                        Value::Null
+                    } else {
+                        return None;
+                    }
+                }
+                _ => Value::Num(self.number()?),
+            };
+            map.insert(key, value);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Some(map);
+                }
+                _ => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Histogram;
+
+    #[test]
+    fn escape_covers_specials() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("π≈3"), "π≈3");
+    }
+
+    #[test]
+    fn metric_lines_round_trip_through_parser() {
+        let key = Key {
+            name: "memsim.cache.loads".into(),
+            labels: vec![("phase".into(), "recurse \"x\"".into())],
+        };
+        let line = metric_line(&key, &Metric::Counter(123));
+        let parsed = parse_line(&line).expect("valid JSON");
+        assert_eq!(parsed["type"].as_str(), Some("counter"));
+        assert_eq!(parsed["name"].as_str(), Some("memsim.cache.loads"));
+        assert_eq!(parsed["value"].as_num(), Some(123.0));
+        match &parsed["labels"] {
+            Value::Object(labels) => assert_eq!(labels["phase"], "recurse \"x\""),
+            other => panic!("labels should be an object, got {other:?}"),
+        }
+
+        let mut h = Histogram::default();
+        h.observe(10);
+        h.observe(20);
+        let hline = metric_line(
+            &Key {
+                name: "h".into(),
+                labels: Vec::new(),
+            },
+            &Metric::Histogram(h),
+        );
+        let hp = parse_line(&hline).unwrap();
+        assert_eq!(hp["count"].as_num(), Some(2.0));
+        assert_eq!(hp["sum"].as_num(), Some(30.0));
+        assert_eq!(hp["mean"].as_num(), Some(15.0));
+    }
+
+    #[test]
+    fn gauge_handles_non_finite() {
+        let key = Key {
+            name: "g".into(),
+            labels: Vec::new(),
+        };
+        let line = metric_line(&key, &Metric::Gauge(f64::NAN));
+        let parsed = parse_line(&line).expect("null-valued gauge still parses");
+        assert_eq!(parsed["value"], Value::Null);
+        let line = metric_line(&key, &Metric::Gauge(-2.5));
+        assert_eq!(parse_line(&line).unwrap()["value"].as_num(), Some(-2.5));
+    }
+
+    #[test]
+    fn event_lines_parse() {
+        let ev = Event {
+            seq: 7,
+            name: "pebbling.progress".into(),
+            labels: vec![("algo".into(), "dijkstra".into())],
+        };
+        let parsed = parse_line(&event_line(&ev)).unwrap();
+        assert_eq!(parsed["type"].as_str(), Some("event"));
+        assert_eq!(parsed["seq"].as_num(), Some(7.0));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\"}",
+            "{\"a\":}",
+            "not json",
+            "{\"a\":1} trailing",
+            "{\"a\":\"unterminated}",
+        ] {
+            assert!(parse_line(bad).is_none(), "should reject: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        let parsed = parse_line("{\"name\":\"\\u0041\\n\"}").unwrap();
+        assert_eq!(parsed["name"].as_str(), Some("A\n"));
+    }
+}

@@ -1,0 +1,118 @@
+//! RAII span timers with nested self-time accounting.
+//!
+//! A [`Span`] measures wall time from construction to drop and records two
+//! histograms in the global registry: `obs.span.total_ns` (inclusive of
+//! children) and `obs.span.self_ns` (exclusive), both labelled
+//! `span=<name>`. A thread-local stack attributes child time to the
+//! enclosing span, so nested instrumentation (e.g. recursion levels) does
+//! not double-count.
+
+use crate::{detailed, duration_ns, now, observe};
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+thread_local! {
+    /// One accumulator per open span on this thread: total child time.
+    static CHILD_TIME: RefCell<Vec<Duration>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A running span; records on drop. Inert (zero bookkeeping beyond one
+/// branch) unless the level is `full`.
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Open a span. The timer only runs when [`crate::detailed()`].
+    pub fn enter(name: &'static str) -> Span {
+        if !detailed() {
+            return Span { name, start: None };
+        }
+        CHILD_TIME.with(|stack| stack.borrow_mut().push(Duration::ZERO));
+        Span {
+            name,
+            start: Some(now()),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let total = start.elapsed();
+        let children = CHILD_TIME
+            .with(|stack| stack.borrow_mut().pop())
+            .unwrap_or(Duration::ZERO);
+        // Attribute our total time to the parent span, if one is open.
+        CHILD_TIME.with(|stack| {
+            if let Some(parent) = stack.borrow_mut().last_mut() {
+                *parent += total;
+            }
+        });
+        let labels = [("span", self.name.to_string())];
+        observe("obs.span.total_ns", &labels, duration_ns(total));
+        observe(
+            "obs.span.self_ns",
+            &labels,
+            duration_ns(total.saturating_sub(children)),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_sync::lock_level;
+    use crate::{global, set_level, Key, Level, Metric};
+
+    fn hist(name: &str, span: &str) -> Option<crate::Histogram> {
+        let key = Key {
+            name: name.to_string(),
+            labels: vec![("span".to_string(), span.to_string())],
+        };
+        global()
+            .snapshot()
+            .into_iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, m)| match m {
+                Metric::Histogram(h) => h,
+                other => panic!("expected histogram, got {other:?}"),
+            })
+    }
+
+    #[test]
+    fn nested_spans_attribute_self_time() {
+        let _guard = lock_level();
+        set_level(Level::Full);
+        {
+            let _outer = Span::enter("test_outer");
+            std::thread::sleep(Duration::from_millis(4));
+            {
+                let _inner = Span::enter("test_inner");
+                std::thread::sleep(Duration::from_millis(4));
+            }
+        }
+        let outer_total = hist("obs.span.total_ns", "test_outer").unwrap();
+        let outer_self = hist("obs.span.self_ns", "test_outer").unwrap();
+        let inner_total = hist("obs.span.total_ns", "test_inner").unwrap();
+        assert_eq!(outer_total.count, 1);
+        assert!(outer_total.sum >= inner_total.sum, "outer includes inner");
+        assert!(
+            outer_self.sum <= outer_total.sum - inner_total.sum,
+            "self time excludes the inner span"
+        );
+        set_level(Level::Off);
+    }
+
+    #[test]
+    fn spans_are_inert_when_off() {
+        let _guard = lock_level();
+        set_level(Level::Off);
+        let before = global().snapshot().len();
+        {
+            let _s = Span::enter("should_not_record");
+        }
+        assert_eq!(global().snapshot().len(), before);
+    }
+}

@@ -14,7 +14,11 @@ pub fn chain(len: usize) -> Cdag {
     let mut g = Cdag::new();
     let mut prev = g.add_vertex(VertexKind::Input, "x");
     for i in 0..len {
-        let kind = if i + 1 == len { VertexKind::Output } else { VertexKind::Internal };
+        let kind = if i + 1 == len {
+            VertexKind::Output
+        } else {
+            VertexKind::Internal
+        };
         let v = g.add_vertex(kind, format!("v{i}"));
         g.add_edge(prev, v);
         prev = v;
@@ -27,7 +31,10 @@ pub fn chain(len: usize) -> Cdag {
 /// # Panics
 /// Panics unless `leaves` is a power of two ≥ 2.
 pub fn binary_tree(leaves: usize) -> Cdag {
-    assert!(leaves.is_power_of_two() && leaves >= 2, "leaves must be a power of two ≥ 2");
+    assert!(
+        leaves.is_power_of_two() && leaves >= 2,
+        "leaves must be a power of two ≥ 2"
+    );
     let mut g = Cdag::new();
     let mut level: Vec<VertexId> = (0..leaves)
         .map(|i| g.add_vertex(VertexKind::Input, format!("x{i}")))
@@ -35,7 +42,11 @@ pub fn binary_tree(leaves: usize) -> Cdag {
     while level.len() > 1 {
         let mut next = Vec::with_capacity(level.len() / 2);
         for pair in level.chunks(2) {
-            let kind = if level.len() == 2 { VertexKind::Output } else { VertexKind::Internal };
+            let kind = if level.len() == 2 {
+                VertexKind::Output
+            } else {
+                VertexKind::Internal
+            };
             let v = g.add_vertex(kind, "+");
             g.add_edge(pair[0], v);
             g.add_edge(pair[1], v);
@@ -83,14 +94,21 @@ pub fn dp_grid(rows: usize, cols: usize) -> Cdag {
 /// # Panics
 /// Panics unless `n` is a power of two ≥ 2.
 pub fn butterfly(n: usize) -> Cdag {
-    assert!(n.is_power_of_two() && n >= 2, "n must be a power of two ≥ 2");
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "n must be a power of two ≥ 2"
+    );
     let k = n.trailing_zeros() as usize;
     let mut g = Cdag::new();
     let mut level: Vec<VertexId> = (0..n)
         .map(|i| g.add_vertex(VertexKind::Input, format!("x{i}")))
         .collect();
     for l in 0..k {
-        let kind = if l + 1 == k { VertexKind::Output } else { VertexKind::Internal };
+        let kind = if l + 1 == k {
+            VertexKind::Output
+        } else {
+            VertexKind::Internal
+        };
         let next: Vec<VertexId> = (0..n)
             .map(|i| {
                 let v = g.add_vertex(kind, format!("b{l}_{i}"));

@@ -43,11 +43,17 @@ pub struct CostModel {
 
 impl CostModel {
     /// The classical symmetric model.
-    pub const SYMMETRIC: CostModel = CostModel { read_cost: 1, write_cost: 1 };
+    pub const SYMMETRIC: CostModel = CostModel {
+        read_cost: 1,
+        write_cost: 1,
+    };
 
     /// A write-expensive model with the given multiplier.
     pub fn write_heavy(omega: u64) -> CostModel {
-        CostModel { read_cost: 1, write_cost: omega }
+        CostModel {
+            read_cost: 1,
+            write_cost: omega,
+        }
     }
 }
 
@@ -158,7 +164,10 @@ pub fn run_schedule(
                 }
                 if !red[v.idx()] {
                     if red_count + 1 > capacity {
-                        return Err(GameError::CapacityExceeded { vertex: v, capacity });
+                        return Err(GameError::CapacityExceeded {
+                            vertex: v,
+                            capacity,
+                        });
                     }
                     red[v.idx()] = true;
                     red_count += 1;
@@ -178,7 +187,10 @@ pub fn run_schedule(
                 }
                 for &p in g.preds(v) {
                     if !red[p.idx()] {
-                        return Err(GameError::MissingOperand { vertex: v, operand: p });
+                        return Err(GameError::MissingOperand {
+                            vertex: v,
+                            operand: p,
+                        });
                     }
                 }
                 if computed[v.idx()] && !allow_recompute {
@@ -190,7 +202,10 @@ pub fn run_schedule(
                 computed[v.idx()] = true;
                 if !red[v.idx()] {
                     if red_count + 1 > capacity {
-                        return Err(GameError::CapacityExceeded { vertex: v, capacity });
+                        return Err(GameError::CapacityExceeded {
+                            vertex: v,
+                            capacity,
+                        });
                     }
                     red[v.idx()] = true;
                     red_count += 1;
@@ -235,7 +250,12 @@ mod tests {
     #[test]
     fn minimal_legal_schedule() {
         let (g, x, y, z) = tiny();
-        let moves = [Move::Load(x), Move::Load(y), Move::Compute(z), Move::Store(z)];
+        let moves = [
+            Move::Load(x),
+            Move::Load(y),
+            Move::Compute(z),
+            Move::Store(z),
+        ];
         let r = run_schedule(&g, &moves, 3, false).expect("legal");
         assert_eq!(r.loads, 2);
         assert_eq!(r.stores, 1);
@@ -330,7 +350,11 @@ mod tests {
 
     #[test]
     fn cost_models() {
-        let r = GameResult { loads: 10, stores: 3, ..Default::default() };
+        let r = GameResult {
+            loads: 10,
+            stores: 3,
+            ..Default::default()
+        };
         assert_eq!(r.cost(CostModel::SYMMETRIC), 13);
         assert_eq!(r.cost(CostModel::write_heavy(5)), 10 + 15);
         assert_eq!(r.io(), 13);

@@ -70,6 +70,19 @@ impl PartialOrd for QueueEntry {
 /// Maximum CDAG size the `u16` masks support.
 pub const MAX_VERTICES: usize = 16;
 
+/// Publish Dijkstra diagnostics under a `search` label.
+fn publish_search(search: &str, explored: usize, frontier_peak: usize) {
+    if fmm_obs::enabled() {
+        let labels = [("search", search.to_string())];
+        fmm_obs::add("pebbling.optimal.states_explored", &labels, explored as u64);
+        fmm_obs::gauge(
+            "pebbling.optimal.frontier_peak",
+            &labels,
+            frontier_peak as f64,
+        );
+    }
+}
+
 /// Exact minimum-cost pebbling of `g` with red capacity `capacity`.
 ///
 /// `allow_recompute = false` restricts to schedules computing each vertex
@@ -84,51 +97,86 @@ pub fn optimal_pebbling(
 ) -> Result<OptimalResult, OptimalError> {
     let n = g.len();
     if n > MAX_VERTICES {
-        return Err(OptimalError::TooLarge { vertices: n, max: MAX_VERTICES });
+        return Err(OptimalError::TooLarge {
+            vertices: n,
+            max: MAX_VERTICES,
+        });
     }
     let max_indeg = g.vertices().map(|v| g.in_degree(v)).max().unwrap_or(0);
     if capacity < max_indeg + 1 && g.vertices().any(|v| g.in_degree(v) > 0) {
         return Err(OptimalError::Unpebbleable);
     }
 
-    let input_mask: u16 = g
-        .inputs()
-        .iter()
-        .fold(0, |m, v| m | (1 << v.idx()));
-    let output_mask: u16 = g
-        .outputs()
-        .iter()
-        .fold(0, |m, v| m | (1 << v.idx()));
+    let input_mask: u16 = g.inputs().iter().fold(0, |m, v| m | (1 << v.idx()));
+    let output_mask: u16 = g.outputs().iter().fold(0, |m, v| m | (1 << v.idx()));
     let pred_masks: Vec<u16> = g
         .vertices()
         .map(|v| g.preds(v).iter().fold(0u16, |m, p| m | (1 << p.idx())))
         .collect();
 
-    let start = State { red: 0, blue: input_mask, computed: 0 };
+    let start = State {
+        red: 0,
+        blue: input_mask,
+        computed: 0,
+    };
     let mut dist: HashMap<State, u64> = HashMap::new();
     dist.insert(start, 0);
     let mut heap = BinaryHeap::new();
-    heap.push(QueueEntry { cost: 0, loads: 0, stores: 0, state: start });
+    heap.push(QueueEntry {
+        cost: 0,
+        loads: 0,
+        stores: 0,
+        state: start,
+    });
     let mut explored = 0usize;
+    let mut frontier_peak = 0usize;
+    let mut progress = fmm_obs::Progress::new("dijkstra states", 4096);
 
-    while let Some(QueueEntry { cost, loads, stores, state }) = heap.pop() {
+    while let Some(QueueEntry {
+        cost,
+        loads,
+        stores,
+        state,
+    }) = heap.pop()
+    {
         if dist.get(&state).is_some_and(|&d| d < cost) {
             continue;
         }
         explored += 1;
+        frontier_peak = frontier_peak.max(heap.len());
+        progress.tick(1);
         if explored > state_budget {
+            progress.finish();
+            publish_search("pebbling", explored, frontier_peak);
             return Err(OptimalError::BudgetExhausted);
         }
         if state.blue & output_mask == output_mask {
-            return Ok(OptimalResult { cost, loads, stores, states_explored: explored });
+            progress.finish();
+            publish_search("pebbling", explored, frontier_peak);
+            return Ok(OptimalResult {
+                cost,
+                loads,
+                stores,
+                states_explored: explored,
+            });
         }
 
         let red_count = state.red.count_ones() as usize;
-        let push = |next: State, c: u64, l: u64, s: u64, dist: &mut HashMap<State, u64>, heap: &mut BinaryHeap<QueueEntry>| {
+        let push = |next: State,
+                    c: u64,
+                    l: u64,
+                    s: u64,
+                    dist: &mut HashMap<State, u64>,
+                    heap: &mut BinaryHeap<QueueEntry>| {
             let best = dist.entry(next).or_insert(u64::MAX);
             if c < *best {
                 *best = c;
-                heap.push(QueueEntry { cost: c, loads: l, stores: s, state: next });
+                heap.push(QueueEntry {
+                    cost: c,
+                    loads: l,
+                    stores: s,
+                    state: next,
+                });
             }
         };
 
@@ -139,7 +187,10 @@ pub fn optimal_pebbling(
             // Load.
             if state.blue & bit != 0 && state.red & bit == 0 && red_count < capacity {
                 push(
-                    State { red: state.red | bit, ..state },
+                    State {
+                        red: state.red | bit,
+                        ..state
+                    },
                     cost + model.read_cost,
                     loads + 1,
                     stores,
@@ -150,7 +201,10 @@ pub fn optimal_pebbling(
             // Store (useless if already blue).
             if state.red & bit != 0 && state.blue & bit == 0 {
                 push(
-                    State { blue: state.blue | bit, ..state },
+                    State {
+                        blue: state.blue | bit,
+                        ..state
+                    },
                     cost + model.write_cost,
                     loads,
                     stores + 1,
@@ -181,7 +235,10 @@ pub fn optimal_pebbling(
             // Delete.
             if state.red & bit != 0 {
                 push(
-                    State { red: state.red & !bit, ..state },
+                    State {
+                        red: state.red & !bit,
+                        ..state
+                    },
                     cost,
                     loads,
                     stores,
@@ -191,6 +248,8 @@ pub fn optimal_pebbling(
             }
         }
     }
+    progress.finish();
+    publish_search("pebbling", explored, frontier_peak);
     Err(OptimalError::Unpebbleable)
 }
 
@@ -221,7 +280,10 @@ pub fn optimal_schedule(
     use crate::game::Move;
     let n = g.len();
     if n > MAX_VERTICES {
-        return Err(OptimalError::TooLarge { vertices: n, max: MAX_VERTICES });
+        return Err(OptimalError::TooLarge {
+            vertices: n,
+            max: MAX_VERTICES,
+        });
     }
     let max_indeg = g.vertices().map(|v| g.in_degree(v)).max().unwrap_or(0);
     if capacity < max_indeg + 1 && g.vertices().any(|v| g.in_degree(v) > 0) {
@@ -235,20 +297,41 @@ pub fn optimal_schedule(
         .map(|v| g.preds(v).iter().fold(0u16, |m, p| m | (1 << p.idx())))
         .collect();
 
-    let start = State { red: 0, blue: input_mask, computed: 0 };
+    let start = State {
+        red: 0,
+        blue: input_mask,
+        computed: 0,
+    };
     let mut dist: HashMap<State, u64> = HashMap::new();
     let mut parent: HashMap<State, (State, Move)> = HashMap::new();
     dist.insert(start, 0);
     let mut heap = BinaryHeap::new();
-    heap.push(QueueEntry { cost: 0, loads: 0, stores: 0, state: start });
+    heap.push(QueueEntry {
+        cost: 0,
+        loads: 0,
+        stores: 0,
+        state: start,
+    });
     let mut explored = 0usize;
+    let mut frontier_peak = 0usize;
+    let mut progress = fmm_obs::Progress::new("dijkstra states", 4096);
 
-    while let Some(QueueEntry { cost, loads, stores, state }) = heap.pop() {
+    while let Some(QueueEntry {
+        cost,
+        loads,
+        stores,
+        state,
+    }) = heap.pop()
+    {
         if dist.get(&state).is_some_and(|&d| d < cost) {
             continue;
         }
         explored += 1;
+        frontier_peak = frontier_peak.max(heap.len());
+        progress.tick(1);
         if explored > state_budget {
+            progress.finish();
+            publish_search("schedule", explored, frontier_peak);
             return Err(OptimalError::BudgetExhausted);
         }
         if state.blue & output_mask == output_mask {
@@ -260,31 +343,51 @@ pub fn optimal_schedule(
                 cur = prev;
             }
             moves.reverse();
+            progress.finish();
+            publish_search("schedule", explored, frontier_peak);
             return Ok((
-                OptimalResult { cost, loads, stores, states_explored: explored },
+                OptimalResult {
+                    cost,
+                    loads,
+                    stores,
+                    states_explored: explored,
+                },
                 moves,
             ));
         }
 
         let red_count = state.red.count_ones() as usize;
-        let push = |next: State, c: u64, l: u64, s: u64, mv: Move,
-                        dist: &mut HashMap<State, u64>,
-                        parent: &mut HashMap<State, (State, Move)>,
-                        heap: &mut BinaryHeap<QueueEntry>| {
+        let push = |next: State,
+                    c: u64,
+                    l: u64,
+                    s: u64,
+                    mv: Move,
+                    dist: &mut HashMap<State, u64>,
+                    parent: &mut HashMap<State, (State, Move)>,
+                    heap: &mut BinaryHeap<QueueEntry>| {
             let best = dist.entry(next).or_insert(u64::MAX);
             if c < *best {
                 *best = c;
                 parent.insert(next, (state, mv));
-                heap.push(QueueEntry { cost: c, loads: l, stores: s, state: next });
+                heap.push(QueueEntry {
+                    cost: c,
+                    loads: l,
+                    stores: s,
+                    state: next,
+                });
             }
         };
 
+        #[allow(clippy::needless_range_loop)] // vi doubles as the bit index
         for vi in 0..n {
             let bit = 1u16 << vi;
             let v = VertexId(vi as u32);
             if state.blue & bit != 0 && state.red & bit == 0 && red_count < capacity {
                 push(
-                    State { red: state.red | bit, ..state },
+                    State {
+                        red: state.red | bit,
+                        ..state
+                    },
                     cost + model.read_cost,
                     loads + 1,
                     stores,
@@ -296,7 +399,10 @@ pub fn optimal_schedule(
             }
             if state.red & bit != 0 && state.blue & bit == 0 {
                 push(
-                    State { blue: state.blue | bit, ..state },
+                    State {
+                        blue: state.blue | bit,
+                        ..state
+                    },
                     cost + model.write_cost,
                     loads,
                     stores + 1,
@@ -329,7 +435,10 @@ pub fn optimal_schedule(
             }
             if state.red & bit != 0 {
                 push(
-                    State { red: state.red & !bit, ..state },
+                    State {
+                        red: state.red & !bit,
+                        ..state
+                    },
                     cost,
                     loads,
                     stores,
@@ -341,6 +450,8 @@ pub fn optimal_schedule(
             }
         }
     }
+    progress.finish();
+    publish_search("schedule", explored, frontier_peak);
     Err(OptimalError::Unpebbleable)
 }
 
@@ -424,8 +535,8 @@ mod tests {
         let g = binary_tree(4);
         let mut prev = u64::MAX;
         for capacity in [3usize, 4, 7] {
-            let r = optimal_pebbling(&g, capacity, true, CostModel::SYMMETRIC, BUDGET)
-                .expect("solved");
+            let r =
+                optimal_pebbling(&g, capacity, true, CostModel::SYMMETRIC, BUDGET).expect("solved");
             assert!(r.cost <= prev);
             prev = r.cost;
         }

@@ -177,7 +177,9 @@ pub fn run_parallel_schedule(
                 red_count[on] -= 1;
             }
         }
-        res.max_red = res.max_red.max(red_count.iter().copied().max().unwrap_or(0));
+        res.max_red = res
+            .max_red
+            .max(red_count.iter().copied().max().unwrap_or(0));
     }
 
     for v in g.outputs() {
@@ -225,7 +227,11 @@ pub fn subtree_player(
         // Ship the needed inputs.
         for (ii, &iv) in inputs.iter().enumerate() {
             if anc[iv.idx()] && owner_of_input[ii] != p {
-                moves.push(ParMove::Send { from: owner_of_input[ii], to: p, v: iv });
+                moves.push(ParMove::Send {
+                    from: owner_of_input[ii],
+                    to: p,
+                    v: iv,
+                });
             }
         }
         // Compute the cone in topological order (replicating encoder
@@ -238,7 +244,11 @@ pub fn subtree_player(
         // Ship the sub-results to the decoder processor.
         for &o in sub_out {
             if p != 0 {
-                moves.push(ParMove::Send { from: p, to: 0, v: o });
+                moves.push(ParMove::Send {
+                    from: p,
+                    to: 0,
+                    v: o,
+                });
             }
             produced_on_zero[o.idx()] = true;
         }
@@ -323,7 +333,11 @@ mod tests {
         g.add_edge(x, z);
         g.add_edge(y, z);
         let moves = [
-            ParMove::Send { from: 1, to: 0, v: y },
+            ParMove::Send {
+                from: 1,
+                to: 0,
+                v: y,
+            },
             ParMove::Compute { on: 0, v: z },
         ];
         let r = run_parallel_schedule(&g, 2, 3, &[0, 1], &moves).expect("legal");
@@ -356,7 +370,11 @@ mod tests {
         g.add_edge(x, z);
         g.add_edge(y, z);
         let moves = [
-            ParMove::Send { from: 1, to: 0, v: y },
+            ParMove::Send {
+                from: 1,
+                to: 0,
+                v: y,
+            },
             ParMove::Compute { on: 0, v: z },
         ];
         assert_eq!(

@@ -36,6 +36,45 @@ impl std::fmt::Display for PlayerError {
 
 impl std::error::Error for PlayerError {}
 
+/// Publish a finished schedule's move-kind census under a `player` label.
+fn publish_moves(player: &str, moves: &[Move]) {
+    if !fmm_obs::enabled() {
+        return;
+    }
+    let (mut loads, mut stores, mut computes, mut deletes) = (0u64, 0u64, 0u64, 0u64);
+    for m in moves {
+        match m {
+            Move::Load(_) => loads += 1,
+            Move::Store(_) => stores += 1,
+            Move::Compute(_) => computes += 1,
+            Move::Delete(_) => deletes += 1,
+        }
+    }
+    for (kind, n) in [
+        ("load", loads),
+        ("store", stores),
+        ("compute", computes),
+        ("delete", deletes),
+    ] {
+        fmm_obs::add(
+            "pebbling.moves",
+            &[("player", player.to_string()), ("kind", kind.to_string())],
+            n,
+        );
+    }
+}
+
+/// Count one eviction, split by what happened to the value.
+fn count_eviction(player: &str, evict: &str) {
+    if fmm_obs::enabled() {
+        fmm_obs::add(
+            "pebbling.evictions",
+            &[("player", player.to_string()), ("evict", evict.to_string())],
+            1,
+        );
+    }
+}
+
 /// Eviction behaviour of the demand player.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EvictionMode {
@@ -54,7 +93,10 @@ pub enum EvictionMode {
 /// or if `order` is not a valid computation order.
 pub fn belady_schedule(g: &Cdag, order: &[VertexId], capacity: usize) -> Vec<Move> {
     let max_indeg = g.vertices().map(|v| g.in_degree(v)).max().unwrap_or(0);
-    assert!(capacity > max_indeg, "capacity {capacity} < in-degree {max_indeg} + 1");
+    assert!(
+        capacity > max_indeg,
+        "capacity {capacity} < in-degree {max_indeg} + 1"
+    );
 
     // use_positions[v] = ordered positions in `order` where v is consumed;
     // unstored outputs get a sentinel "use at the end".
@@ -99,13 +141,19 @@ pub fn belady_schedule(g: &Cdag, order: &[VertexId], capacity: usize) -> Vec<Mov
                 .enumerate()
                 .filter(|(_, v)| !pinned.contains(v))
                 .max_by_key(|(_, v)| {
-                    use_positions[v.idx()].front().copied().unwrap_or(usize::MAX)
+                    use_positions[v.idx()]
+                        .front()
+                        .copied()
+                        .unwrap_or(usize::MAX)
                 })
                 .expect("capacity exceeded with everything pinned");
             let live = !use_positions[victim.idx()].is_empty();
             if live && !blue[victim.idx()] {
                 moves.push(Move::Store(victim));
                 blue[victim.idx()] = true;
+                count_eviction("belady", "store_reload");
+            } else {
+                count_eviction("belady", "drop");
             }
             moves.push(Move::Delete(victim));
             red[victim.idx()] = false;
@@ -121,13 +169,34 @@ pub fn belady_schedule(g: &Cdag, order: &[VertexId], capacity: usize) -> Vec<Mov
             if red[p.idx()] {
                 continue;
             }
-            assert!(blue[p.idx()], "operand {p:?} neither red nor blue: bad order");
-            make_room(g, capacity, &mut red, &mut blue, &mut red_set, &use_positions, &preds, &mut moves);
+            assert!(
+                blue[p.idx()],
+                "operand {p:?} neither red nor blue: bad order"
+            );
+            make_room(
+                g,
+                capacity,
+                &mut red,
+                &mut blue,
+                &mut red_set,
+                &use_positions,
+                &preds,
+                &mut moves,
+            );
             moves.push(Move::Load(p));
             red[p.idx()] = true;
             red_set.push(p);
         }
-        make_room(g, capacity, &mut red, &mut blue, &mut red_set, &use_positions, &preds, &mut moves);
+        make_room(
+            g,
+            capacity,
+            &mut red,
+            &mut blue,
+            &mut red_set,
+            &use_positions,
+            &preds,
+            &mut moves,
+        );
         moves.push(Move::Compute(v));
         red[v.idx()] = true;
         red_set.push(v);
@@ -154,6 +223,7 @@ pub fn belady_schedule(g: &Cdag, order: &[VertexId], capacity: usize) -> Vec<Mov
             blue[v.idx()] = true;
         }
     }
+    publish_moves("belady", &moves);
     moves
 }
 
@@ -162,7 +232,9 @@ pub fn belady_schedule(g: &Cdag, order: &[VertexId], capacity: usize) -> Vec<Mov
 /// recursive schedule (sub-problem by sub-problem), the natural
 /// cache-friendly order.
 pub fn creation_order(g: &Cdag) -> Vec<VertexId> {
-    g.vertices().filter(|&v| g.kind(v) != VertexKind::Input).collect()
+    g.vertices()
+        .filter(|&v| g.kind(v) != VertexKind::Input)
+        .collect()
 }
 
 /// Demand-driven schedule: evaluate each output, caching values in a red
@@ -180,7 +252,10 @@ pub fn demand_schedule(
     mode: EvictionMode,
 ) -> Result<Vec<Move>, PlayerError> {
     let max_indeg = g.vertices().map(|v| g.in_degree(v)).max().unwrap_or(0);
-    assert!(capacity > max_indeg, "capacity {capacity} < in-degree {max_indeg} + 1");
+    assert!(
+        capacity > max_indeg,
+        "capacity {capacity} < in-degree {max_indeg} + 1"
+    );
 
     struct St<'g> {
         g: &'g Cdag,
@@ -220,6 +295,14 @@ pub fn demand_schedule(
                 if must_keep {
                     self.moves.push(Move::Store(victim));
                     self.blue[victim.idx()] = true;
+                    count_eviction("demand", "store_reload");
+                } else if !self.blue[victim.idx()]
+                    && self.g.kind(victim) != VertexKind::Input
+                    && self.mode == EvictionMode::Recompute
+                {
+                    count_eviction("demand", "recompute");
+                } else {
+                    count_eviction("demand", "drop");
                 }
                 self.moves.push(Move::Delete(victim));
                 self.red[victim.idx()] = false;
@@ -318,6 +401,7 @@ pub fn demand_schedule(
             st.blue[o.idx()] = true;
         }
     }
+    publish_moves("demand", &st.moves);
     Ok(st.moves)
 }
 
@@ -394,7 +478,10 @@ mod tests {
         let rc = demand_schedule(&g, 3, EvictionMode::Recompute).expect("schedulable");
         let r_sr = run_schedule(&g, &sr, 3, false).expect("legal");
         let r_rc = run_schedule(&g, &rc, 3, true).expect("legal");
-        assert!(r_rc.recomputes > 0, "recompute mode must actually recompute");
+        assert!(
+            r_rc.recomputes > 0,
+            "recompute mode must actually recompute"
+        );
         // Recompute mode writes strictly less (only the outputs)…
         assert!(r_rc.stores < r_sr.stores);
         // …but reads at least as much.

@@ -47,7 +47,11 @@ pub fn partition_segments(
     let targets: HashSet<VertexId> = sub_outputs.iter().copied().collect();
     let mut computed: HashSet<VertexId> = HashSet::new();
     let mut segments = Vec::new();
-    let mut cur = Segment { outputs_computed: 0, loads: 0, stores: 0 };
+    let mut cur = Segment {
+        outputs_computed: 0,
+        loads: 0,
+        stores: 0,
+    };
     for &mv in moves {
         match mv {
             Move::Load(_) => cur.loads += 1,
@@ -59,7 +63,11 @@ pub fn partition_segments(
                     cur.outputs_computed += 1;
                     if cur.outputs_computed == outputs_per_segment {
                         segments.push(cur);
-                        cur = Segment { outputs_computed: 0, loads: 0, stores: 0 };
+                        cur = Segment {
+                            outputs_computed: 0,
+                            loads: 0,
+                            stores: 0,
+                        };
                     }
                 }
             }
@@ -94,6 +102,13 @@ pub fn theorem_audit(
     let r = 1usize << j;
     let floor = (r * r) as i64 / 2 - m as i64;
     let segs = partition_segments(g, moves, &sub_outputs_by_level[j], r * r);
+    if fmm_obs::enabled() {
+        let labels = [("r", r.to_string())];
+        fmm_obs::add("pebbling.segment.count", &labels, segs.len() as u64);
+        for s in &segs {
+            fmm_obs::observe("pebbling.segment.io", &labels, s.io());
+        }
+    }
     (r, floor, segs)
 }
 
@@ -135,7 +150,9 @@ mod tests {
     }
 
     fn sub_levels(h: &RecursiveCdag) -> Vec<Vec<fmm_cdag::VertexId>> {
-        (0..h.sub_outputs.len()).map(|j| h.sub_output_vertices(j)).collect()
+        (0..h.sub_outputs.len())
+            .map(|j| h.sub_output_vertices(j))
+            .collect()
     }
 
     #[test]
@@ -191,7 +208,10 @@ mod tests {
         let moves = demand_schedule(&h.graph, m, EvictionMode::Recompute)
             .expect("capacity 16 is schedulable for the recompute player");
         let stats = run_schedule(&h.graph, &moves, m, true).expect("legal");
-        assert!(stats.recomputes > 0, "want a genuinely recomputing schedule");
+        assert!(
+            stats.recomputes > 0,
+            "want a genuinely recomputing schedule"
+        );
         let (r, floor, segs) = theorem_audit(&h.graph, &moves, &sub_levels(&h), m);
         let mut full_segments = 0;
         for (i, s) in segs.iter().enumerate() {
@@ -200,7 +220,10 @@ mod tests {
                 assert!(s.io() as i64 >= floor, "segment {i}: {} < {floor}", s.io());
             }
         }
-        assert!(full_segments > 0, "audit must see at least one full segment");
+        assert!(
+            full_segments > 0,
+            "audit must see at least one full segment"
+        );
     }
 
     #[test]

@@ -10,15 +10,23 @@ use proptest::prelude::*;
 
 /// Tiny random layered DAG (≤ 12 vertices) for the exact search.
 fn tiny_dag() -> impl Strategy<Value = Cdag> {
-    (2usize..4, 1usize..3, proptest::collection::vec(0usize..100, 20)).prop_map(
-        |(layers, width, picks)| {
+    (
+        2usize..4,
+        1usize..3,
+        proptest::collection::vec(0usize..100, 20),
+    )
+        .prop_map(|(layers, width, picks)| {
             let mut g = Cdag::new();
             let mut all: Vec<VertexId> = (0..width)
                 .map(|i| g.add_vertex(VertexKind::Input, format!("i{i}")))
                 .collect();
             let mut pick = picks.into_iter().cycle();
             for layer in 0..layers {
-                let kind = if layer + 1 == layers { VertexKind::Output } else { VertexKind::Internal };
+                let kind = if layer + 1 == layers {
+                    VertexKind::Output
+                } else {
+                    VertexKind::Internal
+                };
                 let mut this = Vec::new();
                 for w in 0..width {
                     let v = g.add_vertex(kind, format!("v{layer}_{w}"));
@@ -33,8 +41,7 @@ fn tiny_dag() -> impl Strategy<Value = Cdag> {
                 all.extend(this);
             }
             g
-        },
-    )
+        })
 }
 
 proptest! {

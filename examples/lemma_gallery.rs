@@ -16,7 +16,10 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(2019);
 
     for alg in catalog::all_fast() {
-        println!("── {} ──────────────────────────────────────────────", alg.name);
+        println!(
+            "── {} ──────────────────────────────────────────────",
+            alg.name
+        );
         for report in lemmas::full_battery(&alg, 4, &mut rng) {
             println!(
                 "  Lemma {:<8} {}  [{} instances] {}",
@@ -44,7 +47,11 @@ fn main() {
     for alg in fastmm::core::symmetry::orbit(&catalog::strassen()) {
         let base = alg.to_base();
         let l31 = lemmas::check_lemma_3_1(&base.encoder_bipartite_a(), &alg.name);
-        println!("  {:<16} Lemma 3.1 {}", alg.name, if l31.holds { "HOLDS" } else { "FAILS" });
+        println!(
+            "  {:<16} Lemma 3.1 {}",
+            alg.name,
+            if l31.holds { "HOLDS" } else { "FAILS" }
+        );
     }
     println!();
 
@@ -62,5 +69,8 @@ fn main() {
     let h2 = RecursiveCdag::build(&catalog::strassen().to_base(), 2);
     let path = outdir.join("strassen_h2.dot");
     std::fs::write(&path, to_dot(&h2.graph, "strassen_H2")).expect("write dot");
-    println!("\nFigure 1's CDAG written to {} (render with `dot -Tpdf`).", path.display());
+    println!(
+        "\nFigure 1's CDAG written to {} (render with `dot -Tpdf`).",
+        path.display()
+    );
 }

@@ -20,7 +20,10 @@ fn main() {
     let b = Matrix::<i64>::random_small(n, n, &mut rng);
 
     println!("Strong scaling at n = {n}: measured max per-processor words\n");
-    println!("{:<12} {:>6} {:>14} {:>16} {:>7}", "schedule", "P", "measured", "MI lower bound", "ratio");
+    println!(
+        "{:<12} {:>6} {:>14} {:>16} {:>7}",
+        "schedule", "P", "measured", "MI lower bound", "ratio"
+    );
 
     for p in [2usize, 4, 8] {
         let (_, net) = par::cannon(&a, &b, p);

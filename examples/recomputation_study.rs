@@ -26,13 +26,20 @@ use fastmm::pebbling::players::{demand_schedule, EvictionMode};
 
 fn main() {
     println!("1. Exact optimal pebbling (symmetric costs): I/O without vs with recompute\n");
-    println!("{:<24} {:>3} {:>9} {:>9} {:>5}", "CDAG", "M", "without", "with", "gap");
+    println!(
+        "{:<24} {:>3} {:>9} {:>9} {:>5}",
+        "CDAG", "M", "without", "with", "gap"
+    );
     let cases: Vec<(&str, fastmm::cdag::Cdag, usize)> = vec![
         ("chain(6)", families::chain(6), 2),
         ("binary_tree(4)", families::binary_tree(4), 3),
         ("dp_grid(3,3)", families::dp_grid(3, 3), 4),
         ("shared_core_wide(2,2)", families::shared_core_wide(2, 2), 3),
-        ("H^1 (scalar product)", RecursiveCdag::build(&catalog::strassen().to_base(), 1).graph, 3),
+        (
+            "H^1 (scalar product)",
+            RecursiveCdag::build(&catalog::strassen().to_base(), 1).graph,
+            3,
+        ),
     ];
     for (name, g, m) in &cases {
         let (without, with) = recompute_gap(g, *m, 3_000_000).expect("solvable");
@@ -46,12 +53,18 @@ fn main() {
     println!("\n   → only the shared-core gadget benefits; matmul-shaped CDAGs do not.");
 
     println!("\n2. Write-heavy costs (write = 8×read — the §V NVM regime):\n");
-    println!("{:<24} {:>9} {:>7} {:>9} {:>7}", "CDAG", "w/o cost", "stores", "w/ cost", "stores");
+    println!(
+        "{:<24} {:>9} {:>7} {:>9} {:>7}",
+        "CDAG", "w/o cost", "stores", "w/ cost", "stores"
+    );
     for (name, g, m) in &cases {
         let model = CostModel::write_heavy(8);
         let a = optimal_pebbling(g, *m, false, model, 3_000_000).expect("solvable");
         let b = optimal_pebbling(g, *m, true, model, 3_000_000).expect("solvable");
-        println!("{name:<24} {:>9} {:>7} {:>9} {:>7}", a.cost, a.stores, b.cost, b.stores);
+        println!(
+            "{name:<24} {:>9} {:>7} {:>9} {:>7}",
+            a.cost, a.stores, b.cost, b.stores
+        );
     }
 
     println!("\n3. Demand players on the Strassen CDAG H^{{4×4}} (capacity 16):\n");
@@ -61,7 +74,12 @@ fn main() {
     let rc = demand_schedule(&h.graph, m, EvictionMode::Recompute).expect("schedulable");
     let rsr = run_schedule(&h.graph, &sr, m, false).expect("legal");
     let rrc = run_schedule(&h.graph, &rc, m, true).expect("legal");
-    println!("   store-reload: {} loads, {} stores → {} I/O", rsr.loads, rsr.stores, rsr.io());
+    println!(
+        "   store-reload: {} loads, {} stores → {} I/O",
+        rsr.loads,
+        rsr.stores,
+        rsr.io()
+    );
     println!(
         "   recompute:    {} loads, {} stores → {} I/O  ({} recomputations)",
         rrc.loads,

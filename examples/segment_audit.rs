@@ -20,7 +20,9 @@ use fastmm::pebbling::segments::theorem_audit;
 
 fn main() {
     let h = RecursiveCdag::build(&catalog::strassen().to_base(), 8);
-    let subs: Vec<_> = (0..h.sub_outputs.len()).map(|j| h.sub_output_vertices(j)).collect();
+    let subs: Vec<_> = (0..h.sub_outputs.len())
+        .map(|j| h.sub_output_vertices(j))
+        .collect();
 
     println!("No-recompute (Belady) schedules on H^{{8×8}}:\n");
     println!(
@@ -31,7 +33,10 @@ fn main() {
         let moves = belady_schedule(&h.graph, &creation_order(&h.graph), m);
         let stats = run_schedule(&h.graph, &moves, m, false).expect("legal");
         let (r, floor, segs) = theorem_audit(&h.graph, &moves, &subs, m);
-        let full: Vec<_> = segs.iter().filter(|s| s.outputs_computed == r * r).collect();
+        let full: Vec<_> = segs
+            .iter()
+            .filter(|s| s.outputs_computed == r * r)
+            .collect();
         let min_io = full.iter().map(|s| s.io()).min().unwrap_or(0);
         println!(
             "{m:>3} {r:>3} {:>10} {min_io:>12} {:>9} {:>12} {:>12.0}",
@@ -45,15 +50,25 @@ fn main() {
     println!("\nA *recomputing* schedule (demand player, recompute eviction) on");
     println!("H^{{4×4}} with M = 16 — the regime prior techniques could not handle:\n");
     let h4 = RecursiveCdag::build(&catalog::strassen().to_base(), 4);
-    let subs4: Vec<_> = (0..h4.sub_outputs.len()).map(|j| h4.sub_output_vertices(j)).collect();
+    let subs4: Vec<_> = (0..h4.sub_outputs.len())
+        .map(|j| h4.sub_output_vertices(j))
+        .collect();
     let m = 16;
     let moves = demand_schedule(&h4.graph, m, EvictionMode::Recompute).expect("schedulable");
     let stats = run_schedule(&h4.graph, &moves, m, true).expect("legal");
     let (r, floor, segs) = theorem_audit(&h4.graph, &moves, &subs4, m);
     println!("  recomputations performed: {}", stats.recomputes);
-    println!("  segment size r² = {}, floor r²/2 − M = {}", r * r, floor.max(0));
+    println!(
+        "  segment size r² = {}, floor r²/2 − M = {}",
+        r * r,
+        floor.max(0)
+    );
     for (i, s) in segs.iter().enumerate() {
-        let tag = if s.outputs_computed == r * r { "full" } else { "tail" };
+        let tag = if s.outputs_computed == r * r {
+            "full"
+        } else {
+            "tail"
+        };
         println!(
             "  segment {i} ({tag}): {} first-time sub-outputs, {} loads + {} stores = {} I/O",
             s.outputs_computed,

@@ -7,7 +7,12 @@
 //! fastmm io       --alg strassen --n 32 --m 96
 //! fastmm pebble   --family tree --m 3 [--optimal]
 //! fastmm dot      --alg strassen --n 2 --out h2.dot
+//! fastmm report   metrics.jsonl
 //! ```
+//!
+//! Every command accepts a global `--metrics <path>` flag that enables
+//! full telemetry ([`fmm_obs`]) and writes the collected metrics as JSONL
+//! to `path` on exit; `fastmm report` renders such a file as a table.
 
 use fastmm::cdag::dot::to_dot;
 use fastmm::cdag::RecursiveCdag;
@@ -27,17 +32,41 @@ use rand::SeedableRng;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-fn parse_flags(args: &[String]) -> HashMap<String, String> {
+const USAGE: &str = "usage: fastmm <multiply|bounds|verify|io|pebble|dot|report> [flags]\n\
+       global flags: --metrics <path.jsonl>  (collect full telemetry, write JSONL on exit)";
+
+/// Parse `--flag [value]` pairs, rejecting anything not in `allowed` —
+/// a misspelled flag must fail loudly, not silently run with defaults.
+/// Exits with status 2 on an unknown flag or a stray positional argument.
+fn parse_flags(args: &[String], allowed: &[&str]) -> HashMap<String, String> {
     let mut flags = HashMap::new();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
-        if let Some(name) = a.strip_prefix("--") {
-            let value = match it.peek() {
-                Some(v) if !v.starts_with("--") => it.next().expect("peeked").clone(),
-                _ => "true".to_string(),
-            };
-            flags.insert(name.to_string(), value);
+        let Some(name) = a.strip_prefix("--") else {
+            eprintln!("unexpected argument '{a}'");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        };
+        if name != "metrics" && !allowed.contains(&name) {
+            let expected: Vec<String> = std::iter::once("--metrics".to_string())
+                .chain(allowed.iter().map(|f| format!("--{f}")))
+                .collect();
+            eprintln!(
+                "unknown flag '--{name}' (expected one of: {})",
+                expected.join(", ")
+            );
+            eprintln!("{USAGE}");
+            std::process::exit(2);
         }
+        let value = match it.peek() {
+            Some(v) if !v.starts_with("--") => it.next().expect("peeked").clone(),
+            _ => "true".to_string(),
+        };
+        flags.insert(name.to_string(), value);
+    }
+    if flags.get("metrics").map(String::as_str) == Some("true") {
+        eprintln!("--metrics expects a file path");
+        std::process::exit(2);
     }
     flags
 }
@@ -45,7 +74,10 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 fn get_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> usize {
     flags
         .get(key)
-        .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number, got '{v}'")))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("--{key} expects a number, got '{v}'"))
+        })
         .unwrap_or(default)
 }
 
@@ -71,14 +103,17 @@ fn cmd_multiply(flags: &HashMap<String, String>) {
 
     if flags.get("alg").map(String::as_str) == Some("ks") {
         let ks = karstadt_schwartz();
-        let levels = (n.trailing_zeros() as usize)
-            .saturating_sub(cutoff.max(1).trailing_zeros() as usize);
+        let levels =
+            (n.trailing_zeros() as usize).saturating_sub(cutoff.max(1).trailing_zeros() as usize);
         let start = std::time::Instant::now();
         let (c, core, transform) = multiply_alt_counted(&ks, &a, &b, levels);
         let dt = start.elapsed();
         println!("karstadt-schwartz, n = {n}, levels = {levels}");
         println!("  correct:        {}", c == reference);
-        println!("  core ops:       {} mults, {} adds", core.scalar_mults, core.scalar_adds);
+        println!(
+            "  core ops:       {} mults, {} adds",
+            core.scalar_mults, core.scalar_adds
+        );
         println!("  transform ops:  {}", transform.total());
         println!("  wall time:      {dt:?}");
         return;
@@ -89,7 +124,10 @@ fn cmd_multiply(flags: &HashMap<String, String>) {
     let dt = start.elapsed();
     println!("{}, n = {n}, cutoff = {cutoff}", alg.name);
     println!("  correct:    {}", c == reference);
-    println!("  ops:        {} mults, {} adds", counts.scalar_mults, counts.scalar_adds);
+    println!(
+        "  ops:        {} mults, {} adds",
+        counts.scalar_mults, counts.scalar_adds
+    );
     println!("  wall time:  {dt:?}");
 }
 
@@ -157,14 +195,27 @@ fn cmd_io(flags: &HashMap<String, String>) {
     let alg = algorithm(flags);
     let tile = seq::natural_tile(m);
     let (_, stats) = if alg.name == "classical" {
-        seq::measure(n, m, Policy::Lru, |mem, a, b| seq::classical_blocked(mem, a, b, tile))
+        seq::measure(n, m, Policy::Lru, |mem, a, b| {
+            seq::classical_blocked(mem, a, b, tile)
+        })
     } else {
-        seq::measure(n, m, Policy::Lru, |mem, a, b| seq::fast_recursive(mem, &alg, a, b, tile))
+        seq::measure(n, m, Policy::Lru, |mem, a, b| {
+            seq::fast_recursive(mem, &alg, a, b, tile)
+        })
     };
-    let omega = if alg.name == "classical" { bounds::OMEGA_CLASSICAL } else { bounds::OMEGA_FAST };
+    let omega = if alg.name == "classical" {
+        bounds::OMEGA_CLASSICAL
+    } else {
+        bounds::OMEGA_FAST
+    };
     let lb = bounds::sequential(n, m, omega);
     println!("{} at n = {n}, M = {m} (LRU, tile {tile}):", alg.name);
-    println!("  measured I/O:  {} ({} loads, {} stores)", stats.io(), stats.loads, stats.stores);
+    println!(
+        "  measured I/O:  {} ({} loads, {} stores)",
+        stats.io(),
+        stats.loads,
+        stats.stores
+    );
     println!("  lower bound:   {lb:.0}");
     println!("  ratio:         {:.2}", stats.io() as f64 / lb);
 }
@@ -177,7 +228,9 @@ fn cmd_pebble(flags: &HashMap<String, String>) {
         "tree" => families::binary_tree(get_usize(flags, "leaves", 4)),
         "grid" => families::dp_grid(get_usize(flags, "rows", 3), get_usize(flags, "cols", 3)),
         "butterfly" => families::butterfly(get_usize(flags, "n", 8)),
-        "strassen" => RecursiveCdag::build(&catalog::strassen().to_base(), get_usize(flags, "n", 4)).graph,
+        "strassen" => {
+            RecursiveCdag::build(&catalog::strassen().to_base(), get_usize(flags, "n", 4)).graph
+        }
         other => {
             eprintln!("unknown family '{other}' (chain|tree|grid|butterfly|strassen)");
             std::process::exit(2);
@@ -186,13 +239,21 @@ fn cmd_pebble(flags: &HashMap<String, String>) {
     println!("{fam}: {} vertices, {} edges", g.len(), g.edge_count());
     let moves = belady_schedule(&g, &creation_order(&g), m);
     let r = run_schedule(&g, &moves, m, false).expect("legal schedule");
-    println!("  Belady (no recompute) at M = {m}: {} I/O ({} loads, {} stores)", r.io(), r.loads, r.stores);
+    println!(
+        "  Belady (no recompute) at M = {m}: {} I/O ({} loads, {} stores)",
+        r.io(),
+        r.loads,
+        r.stores
+    );
     if flags.contains_key("optimal") {
         match recompute_gap(&g, m, 3_000_000) {
             Ok((without, with)) => {
                 println!("  exact optimal without recompute: {}", without.cost);
                 println!("  exact optimal with recompute:    {}", with.cost);
-                println!("  recomputation gap:               {}", without.cost - with.cost);
+                println!(
+                    "  recomputation gap:               {}",
+                    without.cost - with.cost
+                );
             }
             Err(e) => println!("  exact search unavailable: {e:?}"),
         }
@@ -213,24 +274,147 @@ fn cmd_dot(flags: &HashMap<String, String>) {
     }
 }
 
+/// Render a JSONL metrics file (written by `--metrics`) as a table.
+fn cmd_report(path: &str) -> ExitCode {
+    use fastmm::obs::json::{parse_line, Value};
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read '{path}': {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut rows: Vec<(String, String)> = Vec::new();
+    let mut events: HashMap<String, u64> = HashMap::new();
+    let mut malformed = 0usize;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let Some(obj) = parse_line(line) else {
+            malformed += 1;
+            continue;
+        };
+        let name = obj
+            .get("name")
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+            .to_string();
+        let labels = match obj.get("labels") {
+            Some(Value::Object(l)) if !l.is_empty() => {
+                let pairs: Vec<String> = l.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                format!("{{{}}}", pairs.join(","))
+            }
+            _ => String::new(),
+        };
+        match obj.get("type").and_then(Value::as_str) {
+            Some("counter") | Some("gauge") => {
+                let v = obj.get("value").and_then(Value::as_num).unwrap_or(f64::NAN);
+                rows.push((format!("{name}{labels}"), format!("{v}")));
+            }
+            Some("histogram") => {
+                let field = |k: &str| obj.get(k).and_then(Value::as_num).unwrap_or(f64::NAN);
+                rows.push((
+                    format!("{name}{labels}"),
+                    format!(
+                        "count={} sum={} min={} max={} mean={:.3}",
+                        field("count"),
+                        field("sum"),
+                        field("min"),
+                        field("max"),
+                        field("mean")
+                    ),
+                ));
+            }
+            Some("event") => *events.entry(name).or_insert(0) += 1,
+            _ => malformed += 1,
+        }
+    }
+    let width = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    for (name, value) in &rows {
+        println!("{name:<width$}  {value}");
+    }
+    if !events.is_empty() {
+        let mut by_name: Vec<(String, u64)> = events.into_iter().collect();
+        by_name.sort();
+        println!("\nevents:");
+        for (name, count) in by_name {
+            println!("  {name}: {count}");
+        }
+    }
+    if malformed > 0 {
+        eprintln!("warning: {malformed} malformed line(s) skipped");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Write the global registry as JSONL to `path`.
+fn write_metrics(path: &str) {
+    let write = || -> std::io::Result<()> {
+        let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+        fastmm::obs::global().write_jsonl(&mut out)
+    };
+    match write() {
+        Ok(()) => eprintln!("metrics written to {path}"),
+        Err(e) => eprintln!("cannot write metrics to '{path}': {e}"),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: fastmm <multiply|bounds|verify|io|pebble|dot> [flags]");
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    let flags = parse_flags(&args[1..]);
-    match cmd.as_str() {
-        "multiply" => cmd_multiply(&flags),
-        "bounds" => cmd_bounds(&flags),
-        "verify" => return cmd_verify(&flags),
-        "io" => cmd_io(&flags),
-        "pebble" => cmd_pebble(&flags),
-        "dot" => cmd_dot(&flags),
+    if cmd == "report" {
+        let [path] = &args[1..] else {
+            eprintln!("usage: fastmm report <metrics.jsonl>");
+            return ExitCode::from(2);
+        };
+        return cmd_report(path);
+    }
+    let allowed: &[&str] = match cmd.as_str() {
+        "multiply" => &["alg", "n", "cutoff", "seed"],
+        "bounds" => &["n", "m", "p"],
+        "verify" => &["n"],
+        "io" => &["alg", "n", "m"],
+        "pebble" => &[
+            "family", "m", "optimal", "len", "leaves", "rows", "cols", "n",
+        ],
+        "dot" => &["alg", "n", "out"],
         other => {
             eprintln!("unknown command '{other}'");
+            eprintln!("{USAGE}");
             return ExitCode::from(2);
         }
+    };
+    let flags = parse_flags(&args[1..], allowed);
+    if flags.contains_key("metrics") {
+        fastmm::obs::set_level(fastmm::obs::Level::Full);
     }
-    ExitCode::SUCCESS
+    let code = match cmd.as_str() {
+        "multiply" => {
+            cmd_multiply(&flags);
+            ExitCode::SUCCESS
+        }
+        "bounds" => {
+            cmd_bounds(&flags);
+            ExitCode::SUCCESS
+        }
+        "verify" => cmd_verify(&flags),
+        "io" => {
+            cmd_io(&flags);
+            ExitCode::SUCCESS
+        }
+        "pebble" => {
+            cmd_pebble(&flags);
+            ExitCode::SUCCESS
+        }
+        "dot" => {
+            cmd_dot(&flags);
+            ExitCode::SUCCESS
+        }
+        _ => unreachable!("command validated above"),
+    };
+    if let Some(path) = flags.get("metrics") {
+        write_metrics(path);
+    }
+    code
 }

@@ -2,8 +2,8 @@
 //! classical kernel, across scalar types, sizes, cutoffs and bases.
 
 use fastmm::core::altbasis::{karstadt_schwartz, multiply_alt, sparsify};
-use fastmm::core::exec::{multiply_any, multiply_fast};
 use fastmm::core::catalog;
+use fastmm::core::exec::{multiply_any, multiply_fast};
 use fastmm::matrix::multiply::{multiply_blocked, multiply_ikj, multiply_naive, multiply_parallel};
 use fastmm::matrix::{Matrix, Rational, Zp};
 use rand::rngs::StdRng;
@@ -20,10 +20,24 @@ fn all_paths_agree_i64() {
         assert_eq!(multiply_blocked(&a, &b, 4), reference);
         assert_eq!(multiply_parallel(&a, &b, 3), reference);
         for alg in catalog::all() {
-            assert_eq!(multiply_fast(&alg, &a, &b, 1), reference, "{} n={n}", alg.name);
-            assert_eq!(multiply_fast(&alg, &a, &b, 8), reference, "{} n={n}", alg.name);
+            assert_eq!(
+                multiply_fast(&alg, &a, &b, 1),
+                reference,
+                "{} n={n}",
+                alg.name
+            );
+            assert_eq!(
+                multiply_fast(&alg, &a, &b, 8),
+                reference,
+                "{} n={n}",
+                alg.name
+            );
         }
-        assert_eq!(multiply_alt(&karstadt_schwartz(), &a, &b), reference, "KS n={n}");
+        assert_eq!(
+            multiply_alt(&karstadt_schwartz(), &a, &b),
+            reference,
+            "KS n={n}"
+        );
     }
 }
 
@@ -74,12 +88,22 @@ fn floats_within_tolerance() {
 #[test]
 fn rectangular_and_non_pow2() {
     let mut rng = StdRng::seed_from_u64(104);
-    for (r, k, c) in [(3usize, 5usize, 7usize), (1, 9, 2), (10, 10, 10), (13, 2, 13)] {
+    for (r, k, c) in [
+        (3usize, 5usize, 7usize),
+        (1, 9, 2),
+        (10, 10, 10),
+        (13, 2, 13),
+    ] {
         let a = Matrix::<i64>::random_small(r, k, &mut rng);
         let b = Matrix::<i64>::random_small(k, c, &mut rng);
         let reference = multiply_naive(&a, &b);
         for alg in catalog::all_fast() {
-            assert_eq!(multiply_any(&alg, &a, &b, 2), reference, "{} {r}x{k}x{c}", alg.name);
+            assert_eq!(
+                multiply_any(&alg, &a, &b, 2),
+                reference,
+                "{} {r}x{k}x{c}",
+                alg.name
+            );
         }
     }
 }
@@ -95,7 +119,11 @@ fn sparsified_variants_of_every_catalog_algorithm_are_correct() {
         let ab = sparsify(&alg, format!("{}-alt", alg.name));
         assert_eq!(multiply_alt(&ab, &a, &b), reference, "{}", ab.name);
         // Sparsification never increases the per-step addition count.
-        assert!(ab.core_additions() <= alg.additions_per_step(), "{}", ab.name);
+        assert!(
+            ab.core_additions() <= alg.additions_per_step(),
+            "{}",
+            ab.name
+        );
     }
 }
 

@@ -18,7 +18,11 @@ fn sequential_measured_io_respects_bounds() {
             seq::classical_blocked(mem, a, b, tile)
         });
         let lb = bounds::sequential(n, m, bounds::OMEGA_CLASSICAL);
-        assert!(s.io() as f64 >= lb, "classical n={n} M={m}: {} < {lb}", s.io());
+        assert!(
+            s.io() as f64 >= lb,
+            "classical n={n} M={m}: {} < {lb}",
+            s.io()
+        );
         assert!((s.io() as f64) < 40.0 * lb, "classical constant blew up");
         // Fast.
         for alg in catalog::all_fast() {
@@ -27,7 +31,11 @@ fn sequential_measured_io_respects_bounds() {
             });
             let lb = bounds::sequential(n, m, bounds::OMEGA_FAST);
             assert!(s.io() as f64 >= lb, "{} n={n} M={m}", alg.name);
-            assert!((s.io() as f64) < 120.0 * lb, "{} constant blew up", alg.name);
+            assert!(
+                (s.io() as f64) < 120.0 * lb,
+                "{} constant blew up",
+                alg.name
+            );
         }
     }
 }
@@ -57,7 +65,10 @@ fn measured_exponent_separates_classical_from_fast() {
     let rf = io_fast(128) / io_fast(64);
     assert!(rc > 7.3 && rc < 9.0, "classical doubling ratio {rc}");
     assert!(rf > 6.5 && rf < 7.8, "fast doubling ratio {rf}");
-    assert!(rf < rc, "fast must grow slower than classical: {rf} vs {rc}");
+    assert!(
+        rf < rc,
+        "fast must grow slower than classical: {rf} vs {rc}"
+    );
 }
 
 #[test]
@@ -75,7 +86,12 @@ fn ks_trace_io_tracks_fast_bound() {
     let (_, s2) = seq::measure(n, m, Policy::Lru, |mem, a, b| {
         seq::fast_recursive(mem, &strassen, a, b, tile)
     });
-    assert!(s.io() < s2.io(), "KS core {} vs strassen {}", s.io(), s2.io());
+    assert!(
+        s.io() < s2.io(),
+        "KS core {} vs strassen {}",
+        s.io(),
+        s2.io()
+    );
 }
 
 #[test]
@@ -115,7 +131,10 @@ fn models_and_measurements_cross_validate() {
         });
         let modeled = model::blocked_classical_io(n, m);
         let ratio = s.io() as f64 / modeled;
-        assert!(ratio > 0.2 && ratio < 5.0, "classical n={n} M={m} ratio {ratio}");
+        assert!(
+            ratio > 0.2 && ratio < 5.0,
+            "classical n={n} M={m} ratio {ratio}"
+        );
     }
 }
 

@@ -25,7 +25,11 @@ fn rectangular_algorithms_multiply_correctly_end_to_end() {
         let n = 4usize.pow(depth as u32);
         let a = Matrix::<i64>::random_small(n, n, &mut rng);
         let b = Matrix::<i64>::random_small(n, n, &mut rng);
-        assert_eq!(multiply_rect(&s2, &a, &b, depth), multiply_naive(&a, &b), "depth={depth}");
+        assert_eq!(
+            multiply_rect(&s2, &a, &b, depth),
+            multiply_naive(&a, &b),
+            "depth={depth}"
+        );
     }
 }
 
@@ -57,7 +61,11 @@ fn opt_replacement_floors_measured_io_on_real_schedules() {
         assert!(opt.io() <= fifo.io(), "M={m}");
         // The lower bound binds even the offline-optimal policy.
         let lb = bounds::sequential(n, m, bounds::OMEGA_CLASSICAL);
-        assert!(opt.io() as f64 >= lb, "M={m}: OPT {} < bound {lb}", opt.io());
+        assert!(
+            opt.io() as f64 >= lb,
+            "M={m}: OPT {} < bound {lb}",
+            opt.io()
+        );
     }
 }
 
@@ -80,7 +88,9 @@ fn opt_replacement_floors_fast_schedule_too() {
 fn segment_audit_floors_hold_across_algorithms_and_sizes() {
     for alg in catalog::all_fast() {
         let h = RecursiveCdag::build(&alg.to_base(), 8);
-        let subs: Vec<_> = (0..h.sub_outputs.len()).map(|j| h.sub_output_vertices(j)).collect();
+        let subs: Vec<_> = (0..h.sub_outputs.len())
+            .map(|j| h.sub_output_vertices(j))
+            .collect();
         for m in [4usize, 8, 16] {
             let moves = belady_schedule(&h.graph, &creation_order(&h.graph), m);
             let (r, floor, segs) = theorem_audit(&h.graph, &moves, &subs, m);

@@ -28,7 +28,10 @@ fn battery_extends_to_alternative_basis_core() {
     // bilinear core of the alternative-basis algorithm as well.
     let ks = karstadt_schwartz();
     let base = ks.core.to_base();
-    for (side, enc) in [("A", base.encoder_bipartite_a()), ("B", base.encoder_bipartite_b())] {
+    for (side, enc) in [
+        ("A", base.encoder_bipartite_a()),
+        ("B", base.encoder_bipartite_b()),
+    ] {
         let r31 = lemmas::check_lemma_3_1(&enc, &ks.core.name);
         assert!(r31.holds, "KS core enc-{side} L3.1: {}", r31.detail);
         let r32 = lemmas::check_lemma_3_2(&enc, &ks.core.name);
@@ -78,7 +81,11 @@ fn lemma_3_7_exact_dominators_at_scale_h8() {
         for _ in 0..3 {
             let z: Vec<_> = pool.choose_multiple(&mut rng, z_size).copied().collect();
             let md = min_dominator_size(&h.graph, &z);
-            assert!(2 * md >= z.len(), "j={j}: dominator {md} < |Z|/2 = {}", z.len() / 2);
+            assert!(
+                2 * md >= z.len(),
+                "j={j}: dominator {md} < |Z|/2 = {}",
+                z.len() / 2
+            );
         }
     }
 }
@@ -120,17 +127,25 @@ fn hopcroft_kerr_families_reject_oversubscribed_encoder() {
     // we check the family counter itself).
     use fastmm::core::Bilinear2x2;
     let u = vec![
-        [1, 0, 0, 0],  // A11                — base family member 1
-        [0, 1, 1, 0],  // A12+A21            — base family member 2
-        [1, 1, 1, 0],  // A11+A12+A21        — base family member 3 (k = 3!)
+        [1, 0, 0, 0], // A11                — base family member 1
+        [0, 1, 1, 0], // A12+A21            — base family member 2
+        [1, 1, 1, 0], // A11+A12+A21        — base family member 3 (k = 3!)
         [0, 0, 0, 1],
         [0, 0, 1, 1],
         [1, 0, 1, 1],
         [1, 0, 0, 1],
     ];
     let v = u.clone();
-    let w = [vec![1, 0, 0, 0, 0, 0, 0], vec![0, 1, 0, 0, 0, 0, 0], vec![0, 0, 1, 0, 0, 0, 0], vec![0, 0, 0, 1, 0, 0, 0]];
+    let w = [
+        vec![1, 0, 0, 0, 0, 0, 0],
+        vec![0, 1, 0, 0, 0, 0, 0],
+        vec![0, 0, 1, 0, 0, 0, 0],
+        vec![0, 0, 0, 1, 0, 0, 0],
+    ];
     let fake = Bilinear2x2::new_unvalidated("fake", u, v, w);
     let r = lemmas::check_hopcroft_kerr_families(&fake);
-    assert!(!r.holds, "three base-family members with t = 7 must be inconsistent");
+    assert!(
+        !r.holds,
+        "three base-family members with t = 7 must be inconsistent"
+    );
 }

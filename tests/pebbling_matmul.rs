@@ -110,7 +110,9 @@ fn winograd_and_strassen_cdags_pebble_to_similar_io() {
     let io_of = |alg: &fastmm::core::Bilinear2x2| {
         let h = RecursiveCdag::build(&alg.to_base(), 8);
         let moves = belady_schedule(&h.graph, &creation_order(&h.graph), m);
-        run_schedule(&h.graph, &moves, m, false).expect("legal").io()
+        run_schedule(&h.graph, &moves, m, false)
+            .expect("legal")
+            .io()
     };
     let s = io_of(&catalog::strassen());
     let w = io_of(&catalog::winograd());

@@ -3,8 +3,8 @@
 
 use fastmm::cdag::{Cdag, VertexKind};
 use fastmm::core::altbasis::{karstadt_schwartz, multiply_alt};
-use fastmm::core::exec::multiply_fast;
 use fastmm::core::catalog;
+use fastmm::core::exec::multiply_fast;
 use fastmm::matrix::multiply::multiply_naive;
 use fastmm::matrix::Matrix;
 use fastmm::pebbling::game::run_schedule;
@@ -12,14 +12,17 @@ use fastmm::pebbling::players::{belady_schedule, creation_order};
 use proptest::prelude::*;
 
 fn square(dim: usize) -> impl Strategy<Value = Matrix<i64>> {
-    proptest::collection::vec(-9i64..=9, dim * dim)
-        .prop_map(move |v| Matrix::from_vec(dim, dim, v))
+    proptest::collection::vec(-9i64..=9, dim * dim).prop_map(move |v| Matrix::from_vec(dim, dim, v))
 }
 
 /// Random layered DAG: `layers` layers of `width` vertices; each non-input
 /// vertex reads 1–2 vertices from earlier layers. Last layer = outputs.
 fn random_layered_dag() -> impl Strategy<Value = Cdag> {
-    (2usize..5, 1usize..4, proptest::collection::vec((0usize..100, 0usize..100), 30))
+    (
+        2usize..5,
+        1usize..4,
+        proptest::collection::vec((0usize..100, 0usize..100), 30),
+    )
         .prop_map(|(layers, width, picks)| {
             let mut g = Cdag::new();
             let mut all: Vec<Vec<_>> = Vec::new();

@@ -1,0 +1,256 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the macro/API surface this workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`] /
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkId`], [`Bencher::iter`],
+//! `criterion_group!` / `criterion_main!` — as a small wall-clock harness:
+//! each benchmark is warmed up, timed over an adaptive iteration count, and
+//! reported as a median-of-samples line on stdout. There is no statistical
+//! analysis, HTML report, or baseline comparison. Passing `--test` (as in
+//! `cargo bench -- --test`) runs every benchmark exactly once, which is
+//! what CI's smoke job relies on.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-sample measurement budget in normal mode.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(20);
+
+/// An identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    test_mode: bool,
+    /// (iterations, elapsed) for the final sample, for reporting.
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record its per-call wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.result = Some((1, Duration::ZERO));
+            return;
+        }
+        // Calibrate: grow the iteration count until one sample fills the
+        // budget, then take the calibrated sample as the measurement.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_BUDGET || iters >= 1 << 20 {
+                self.result = Some((iters, elapsed));
+                return;
+            }
+            let growth = if elapsed.is_zero() {
+                16
+            } else {
+                (SAMPLE_BUDGET.as_nanos() / elapsed.as_nanos().max(1)).clamp(2, 16) as u64
+            };
+            iters = iters.saturating_mul(growth);
+        }
+    }
+}
+
+fn format_per_iter(iters: u64, total: Duration) -> String {
+    if iters == 0 {
+        return "n/a".into();
+    }
+    let nanos = total.as_nanos() / iters as u128;
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let label = id.into().label;
+        self.run_one(&label, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some((iters, total)) if !self.test_mode => {
+                println!(
+                    "{label:<40} {:>12}/iter  ({iters} iters)",
+                    format_per_iter(iters, total)
+                );
+            }
+            _ => println!("{label:<40} ok (test mode)"),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's sampling is adaptive.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure under this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().label);
+        self.criterion.run_one(&label, f);
+        self
+    }
+
+    /// Benchmark a closure parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        self.criterion.run_one(&label, |b| f(b, input));
+        self
+    }
+
+    /// End the group (reporting happens per-benchmark in this stub).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a runner, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running each `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benches_and_ids_format() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = 0;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(10);
+            group.bench_function("plain", |b| b.iter(|| ran += 1));
+            group.bench_with_input(BenchmarkId::new("f", 32), &32usize, |b, &n| {
+                b.iter(|| black_box(n * 2));
+            });
+            group.bench_with_input(BenchmarkId::from_parameter(7), &7usize, |b, &n| {
+                b.iter(|| black_box(n + 1));
+            });
+            group.finish();
+        }
+        c.bench_function("top", |b| b.iter(|| black_box(1)));
+        assert_eq!(ran, 1, "test mode runs each body exactly once");
+        assert_eq!(BenchmarkId::new("f", 32).label, "f/32");
+        assert_eq!(BenchmarkId::from_parameter(7).label, "7");
+    }
+
+    #[test]
+    fn timing_mode_measures_something() {
+        let mut c = Criterion { test_mode: false };
+        c.bench_function("spin", |b| b.iter(|| black_box((0..100u64).sum::<u64>())));
+    }
+}

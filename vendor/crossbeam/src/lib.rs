@@ -1,0 +1,209 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Implements the subset this workspace uses — [`scope`] with
+//! [`Scope::spawn`]/[`ScopedJoinHandle::join`], and [`channel::bounded`]
+//! with clonable senders *and* receivers — directly on `std::thread::scope`
+//! and `std::sync::mpsc`. Semantics match crossbeam for the non-panicking
+//! paths; a panicking unjoined child aborts the scope with a panic (std
+//! behaviour) rather than an `Err` return.
+
+use std::any::Any;
+
+/// Scoped-thread error type (a boxed panic payload, as in crossbeam).
+pub type ScopeResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+/// A handle to a scope for spawning borrowed-data threads.
+///
+/// `Copy` so it can be smuggled into spawned closures (crossbeam passes
+/// `&Scope` to every spawned closure).
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// A handle to a spawned scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the thread and return its result (`Err` on panic).
+    pub fn join(self) -> ScopeResult<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread inside the scope. The closure receives the scope
+    /// itself (crossbeam's signature), enabling nested spawns.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&scope)),
+        }
+    }
+}
+
+/// Create a scope for spawning threads that borrow from the caller's stack.
+/// All unjoined threads are joined before `scope` returns.
+///
+/// # Panics
+/// Panics if an unjoined spawned thread panicked (crossbeam returns `Err`
+/// in that case; every call site in this workspace treats both as fatal).
+pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+pub mod channel {
+    //! Bounded MPMC-ish channels over `std::sync::mpsc` (receivers gain
+    //! clonability through an internal mutex; senders are mpsc-clonable).
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    /// Error returned when the receiving side has disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when the sending side has disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// The sending half of a bounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the value is accepted (or the channel disconnects).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// The receiving half of a bounded channel.
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives (or every sender disconnects).
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner
+                .lock()
+                .expect("channel mutex poisoned")
+                .recv()
+                .map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive; `Err` when empty or disconnected.
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            self.inner
+                .lock()
+                .expect("channel mutex poisoned")
+                .try_recv()
+                .map_err(|_| RecvError)
+        }
+    }
+
+    /// A bounded channel with capacity `cap` (send blocks when full).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender { inner: tx },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
+        )
+    }
+
+    /// An unbounded channel (send never blocks).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        // Large-capacity sync channel: the workspace only moves small,
+        // bounded metric payloads through unbounded channels.
+        bounded(1 << 20)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_spawn_join() {
+        let data = [1, 2, 3];
+        let sum = super::scope(|s| {
+            let h1 = s.spawn(|_| data.iter().sum::<i32>());
+            let h2 = s.spawn(|_| data.len() as i32);
+            h1.join().unwrap() + h2.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 9);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let r = super::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn bounded_channel_ring() {
+        // The cannon_threaded pattern: everyone sends into distinct
+        // capacity-1 inboxes, then receives.
+        let n = 4;
+        let (txs, rxs): (Vec<_>, Vec<_>) =
+            (0..n).map(|_| super::channel::bounded::<usize>(1)).unzip();
+        super::scope(|s| {
+            for i in 0..n {
+                let tx = txs[(i + 1) % n].clone();
+                let rx = rxs[i].clone();
+                s.spawn(move |_| {
+                    tx.send(i).unwrap();
+                    assert_eq!(rx.recv().unwrap(), (i + n - 1) % n);
+                });
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn receiver_clone_shares_stream() {
+        let (tx, rx) = super::channel::bounded::<u32>(8);
+        let rx2 = rx.clone();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let a = rx.recv().unwrap();
+        let b = rx2.recv().unwrap();
+        let mut got = [a, b];
+        got.sort_unstable();
+        assert_eq!(got, [1, 2]);
+    }
+}

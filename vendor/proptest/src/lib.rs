@@ -1,0 +1,602 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the subset of proptest this workspace uses: the [`Strategy`]
+//! trait with `prop_map` / `prop_flat_map` / `prop_filter` /
+//! `prop_filter_map`, integer-range and tuple strategies,
+//! [`collection::vec`], [`bool::ANY`], [`strategy::Just`], and the
+//! `proptest!` / `prop_assert!` / `prop_assert_eq!` / `prop_assume!`
+//! macros. Cases are generated from a deterministic RNG seeded from the
+//! test's module path, so failures reproduce across runs. There is **no
+//! shrinking** — a failing case reports the assertion message only.
+
+pub mod test_runner {
+    //! Config, error type and the deterministic case RNG.
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Per-test configuration (only `cases` is supported).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases each test must pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 64 keeps the randomized suites
+            // fast while still exercising plenty of inputs.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case ran and an assertion failed: the whole test fails.
+        Fail(String),
+        /// The case was rejected (`prop_assume!`): try another input.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A `Fail` with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A `Reject` with the given reason.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Deterministic RNG handed to strategies while generating cases.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Seeded from a stable hash of `name` (the test's path), so every
+        /// run of a given test sees the same input sequence.
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a; stable across runs and platforms, unlike DefaultHasher.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng {
+                inner: StdRng::seed_from_u64(h),
+            }
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// How many times a filtering combinator retries internally before
+    /// reporting a rejection to the outer case loop.
+    const FILTER_RETRIES: u32 = 64;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// `generate` returns `None` when the strategy rejected every candidate
+    /// it tried (e.g. a `prop_filter` predicate kept failing); the case
+    /// loop then counts a rejection and draws a fresh case.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draw one value, or `None` on rejection.
+        fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generate a value, build a second strategy from it, and draw
+        /// from that.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Keep only values satisfying `pred`.
+        fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            let _ = reason.into();
+            Filter { inner: self, pred }
+        }
+
+        /// Map and filter in one step: `None` from `f` rejects the value.
+        fn prop_filter_map<O, F>(self, reason: impl Into<String>, f: F) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> Option<O>,
+        {
+            let _ = reason.into();
+            FilterMap { inner: self, f }
+        }
+    }
+
+    /// Strategy yielding a fixed (cloned) value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> Option<O> {
+            self.inner.generate(rng).map(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> Option<S2::Value> {
+            let first = self.inner.generate(rng)?;
+            (self.f)(first).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            for _ in 0..FILTER_RETRIES {
+                if let Some(v) = self.inner.generate(rng) {
+                    if (self.pred)(&v) {
+                        return Some(v);
+                    }
+                }
+            }
+            None
+        }
+    }
+
+    /// See [`Strategy::prop_filter_map`].
+    #[derive(Clone)]
+    pub struct FilterMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for FilterMap<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Option<O>,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> Option<O> {
+            for _ in 0..FILTER_RETRIES {
+                if let Some(v) = self.inner.generate(rng) {
+                    if let Some(out) = (self.f)(v) {
+                        return Some(out);
+                    }
+                }
+            }
+            None
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($ty:ty),* $(,)?) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> Option<$ty> {
+                    Some(rng.gen_range(self.clone()))
+                }
+            }
+
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> Option<$ty> {
+                    Some(rng.gen_range(self.clone()))
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                    let ($($name,)+) = self;
+                    Some(($($name.generate(rng)?,)+))
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Length specifications accepted by [`vec`]: an exact `usize` or a
+    /// `Range<usize>` of lengths.
+    #[derive(Clone, Debug)]
+    pub enum SizeRange {
+        /// Exactly this many elements.
+        Exact(usize),
+        /// A uniformly drawn length in `[start, end)`.
+        Span(usize, usize),
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange::Exact(n)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange::Span(r.start, r.end)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let len = match self.size {
+                SizeRange::Exact(n) => n,
+                SizeRange::Span(lo, hi) => {
+                    if lo >= hi {
+                        lo
+                    } else {
+                        rng.gen_range(lo..hi)
+                    }
+                }
+            };
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                out.push(self.element.generate(rng)?);
+            }
+            Some(out)
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngCore;
+
+    /// Strategy for a uniformly random `bool`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// A uniformly random `bool`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = core::primitive::bool;
+        fn generate(&self, rng: &mut TestRng) -> Option<core::primitive::bool> {
+            Some(rng.next_u64() & 1 == 1)
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` surface.
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` followed by `#[test] fn name(arg in strategy,
+/// ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )* ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(20).saturating_add(100);
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= max_attempts,
+                    "proptest {}: too many rejected cases ({} attempts, {} accepted)",
+                    stringify!($name),
+                    attempts,
+                    accepted,
+                );
+                $(
+                    let $arg = match $crate::strategy::Strategy::generate(&($strat), &mut rng) {
+                        ::std::option::Option::Some(v) => v,
+                        ::std::option::Option::None => continue,
+                    };
+                )*
+                #[allow(clippy::redundant_closure_call)] // the closure scopes `?` in $body
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match result {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        continue;
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed at case {}: {}",
+                            stringify!($name),
+                            accepted + 1,
+                            msg,
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert inside a `proptest!` body; failure fails the whole test (with an
+/// optional formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right,
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+            )));
+        }
+    }};
+}
+
+/// Reject the current case unless `cond` holds; the runner draws a new one.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                format!("assumption failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -5i64..=5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..=5).contains(&y), "y out of range: {}", y);
+        }
+
+        #[test]
+        fn tuples_and_vec(v in collection::vec((0u64..10, crate::bool::ANY), 0..8)) {
+            prop_assert!(v.len() < 8);
+            for (n, _b) in v {
+                prop_assert!(n < 10);
+            }
+        }
+
+        #[test]
+        fn filters_and_maps(
+            v in collection::vec(-1i64..=1, 4)
+                .prop_filter("nonzero", |v| v.iter().any(|&c| c != 0))
+        ) {
+            prop_assert!(v.iter().any(|&c| c != 0));
+            prop_assert_eq!(v.len(), 4);
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u8..=255) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn filter_map_and_flat_map_compose() {
+        let mut rng = TestRng::deterministic("compose");
+        let s = (1usize..5)
+            .prop_flat_map(|n| collection::vec(0i64..10, n))
+            .prop_filter_map("nonempty sum", |v| {
+                let s: i64 = v.iter().sum();
+                if s >= 0 {
+                    Some(s)
+                } else {
+                    None
+                }
+            });
+        for _ in 0..50 {
+            let v = Strategy::generate(&s, &mut rng).expect("never rejects");
+            assert!(v >= 0);
+        }
+    }
+
+    #[test]
+    fn just_yields_constant() {
+        let mut rng = TestRng::deterministic("just");
+        assert_eq!(Strategy::generate(&Just(7), &mut rng), Some(7));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::deterministic("same-name");
+        let mut b = TestRng::deterministic("same-name");
+        let s = 0u64..1000;
+        for _ in 0..20 {
+            assert_eq!(
+                Strategy::generate(&s, &mut a),
+                Strategy::generate(&s, &mut b)
+            );
+        }
+    }
+}

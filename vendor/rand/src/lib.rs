@@ -1,0 +1,349 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements exactly the API surface the workspace uses —
+//! `StdRng`/`SeedableRng`, `Rng::gen_range`, `seq::SliceRandom`
+//! (`choose`/`choose_multiple`/`shuffle`) and
+//! `distributions::{Distribution, Uniform}` — on top of a deterministic
+//! xoshiro256** generator seeded through SplitMix64. It is *not* a
+//! cryptographic RNG and makes no statistical guarantees beyond what the
+//! workspace's randomized tests need; swap the real `rand` back in by
+//! editing `[workspace.dependencies]` when registry access is available.
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generators (only the `seed_from_u64` entry point is provided).
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from an integer range (`low..high` or `low..=high`).
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// A uniformly random `bool` with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    //! Concrete generators.
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (stand-in for rand's `StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // All-zero state would be a fixed point; SplitMix64 never
+            // produces four zeros from any seed, but guard anyway.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E3779B97F4A7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod distributions {
+    //! Uniform distributions over integer ranges.
+    use super::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A distribution sampled with an RNG.
+    pub trait Distribution<T> {
+        /// Draw one sample.
+        fn sample<R: Rng>(&self, rng: &mut R) -> T;
+    }
+
+    /// Types usable directly as `gen_range` arguments.
+    pub trait SampleRange<T> {
+        /// Draw one sample from the range.
+        fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+    }
+
+    /// Integer types [`Uniform`] can sample (the workspace only draws
+    /// integers).
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// One less than `self` (used to convert exclusive upper bounds).
+        fn dec(self) -> Self;
+
+        /// A uniform draw from `[low, high]` (both inclusive).
+        fn draw_inclusive<R: Rng>(low: Self, high: Self, rng: &mut R) -> Self;
+    }
+
+    /// Uniform distribution over `[low, high]`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Uniform<T> {
+        low: T,
+        high: T, // inclusive
+    }
+
+    impl<T: SampleUniform> Uniform<T> {
+        /// Uniform over `[low, high)`.
+        ///
+        /// # Panics
+        /// Panics if `low >= high`.
+        pub fn new(low: T, high: T) -> Self {
+            assert!(low < high, "Uniform::new requires low < high");
+            Uniform {
+                low,
+                high: high.dec(),
+            }
+        }
+
+        /// Uniform over `[low, high]`.
+        ///
+        /// # Panics
+        /// Panics if `low > high`.
+        pub fn new_inclusive(low: T, high: T) -> Self {
+            assert!(low <= high, "Uniform::new_inclusive requires low <= high");
+            Uniform { low, high }
+        }
+    }
+
+    impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+        fn sample<R: Rng>(&self, rng: &mut R) -> T {
+            T::draw_inclusive(self.low, self.high, rng)
+        }
+    }
+
+    macro_rules! impl_uniform_int {
+        ($($ty:ty => $unsigned:ty),* $(,)?) => {$(
+            impl SampleUniform for $ty {
+                fn dec(self) -> Self {
+                    self - 1
+                }
+
+                fn draw_inclusive<R: Rng>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                    // Unbiased-enough modulo sampling over the span width
+                    // (span fits in the unsigned companion type).
+                    let span = (high as $unsigned).wrapping_sub(low as $unsigned);
+                    if span == <$unsigned>::MAX {
+                        return rng.next_u64() as $ty;
+                    }
+                    let width = (span as u128) + 1;
+                    let hi = (rng.next_u64() as u128) << 64;
+                    let draw = (hi | rng.next_u64() as u128) % width;
+                    (low as $unsigned).wrapping_add(draw as $unsigned) as $ty
+                }
+            }
+
+            impl SampleRange<$ty> for Range<$ty> {
+                fn sample_from<R: Rng>(self, rng: &mut R) -> $ty {
+                    Uniform::new(self.start, self.end).sample(rng)
+                }
+            }
+
+            impl SampleRange<$ty> for RangeInclusive<$ty> {
+                fn sample_from<R: Rng>(self, rng: &mut R) -> $ty {
+                    Uniform::new_inclusive(*self.start(), *self.end()).sample(rng)
+                }
+            }
+        )*};
+    }
+
+    impl_uniform_int!(
+        i8 => u8, i16 => u16, i32 => u32, i64 => u64, i128 => u128, isize => usize,
+        u8 => u8, u16 => u16, u32 => u32, u64 => u64, u128 => u128, usize => usize,
+    );
+}
+
+pub mod seq {
+    //! Sequence-related sampling: the `SliceRandom` extension trait.
+    use super::Rng;
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// A uniformly random element, or `None` on an empty slice.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// `min(amount, len)` distinct elements in random order.
+        fn choose_multiple<R: Rng>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&Self::Item>;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+
+        fn choose_multiple<R: Rng>(&self, rng: &mut R, amount: usize) -> std::vec::IntoIter<&T> {
+            let amount = amount.min(self.len());
+            // Partial Fisher–Yates over an index vector.
+            let mut idx: Vec<usize> = (0..self.len()).collect();
+            for i in 0..amount {
+                let j = rng.gen_range(i..idx.len());
+                idx.swap(i, j);
+            }
+            idx[..amount]
+                .iter()
+                .map(|&i| &self[i])
+                .collect::<Vec<_>>()
+                .into_iter()
+        }
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: i64 = rng.gen_range(-9i64..=9);
+            assert!((-9..=9).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_values() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn uniform_inclusive_hits_endpoints() {
+        let dist = Uniform::new_inclusive(-2i64, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..1000 {
+            let v = dist.sample(&mut rng);
+            assert!((-2..=2).contains(&v));
+            lo |= v == -2;
+            hi |= v == 2;
+        }
+        assert!(lo && hi);
+    }
+
+    #[test]
+    fn choose_multiple_distinct_and_clamped() {
+        let v: Vec<u32> = (0..10).collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        let picked: Vec<u32> = v.choose_multiple(&mut rng, 4).copied().collect();
+        assert_eq!(picked.len(), 4);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "elements must be distinct");
+        let all: Vec<u32> = v.choose_multiple(&mut rng, 99).copied().collect();
+        assert_eq!(all.len(), 10, "amount clamps to slice length");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut v: Vec<u32> = (0..20).collect();
+        let mut rng = StdRng::seed_from_u64(9);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+}
