@@ -30,12 +30,12 @@ use fmm_cdag::RecursiveCdag;
 use fmm_core::altbasis::{karstadt_schwartz, multiply_alt_counted};
 use fmm_core::exec::multiply_fast_counted;
 use fmm_core::{bounds, catalog, lemmas};
-use fmm_memsim::cache::Policy;
-use fmm_memsim::{model, par, seq};
+use fmm_memsim::{model, par};
 use fmm_pebbling::families;
 use fmm_pebbling::game::{run_schedule, CostModel};
 use fmm_pebbling::optimal::{optimal_pebbling, recompute_gap};
 use fmm_pebbling::players::{belady_schedule, creation_order, demand_schedule, EvictionMode};
+use fmm_sweep::{run_collect, AlgKind, PolicyKind, RunConfig, RunMode, SweepSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -52,49 +52,45 @@ fn table1_sequential() {
         "{:<12} {:>6} {:>7} {:>12} {:>12} {:>12} {:>7}",
         "algorithm", "n", "M", "lower-bound", "schedule", "measured", "ratio"
     );
+    // The measured column runs through the sweep engine: one ad-hoc grid
+    // per (n, M) point covering all four families, executed on the worker
+    // pool and collected in memory.
     let algs = [
-        ("classical", bounds::OMEGA_CLASSICAL),
-        ("strassen", bounds::OMEGA_FAST),
-        ("winograd", bounds::OMEGA_FAST),
-        ("ks-altbasis", bounds::OMEGA_FAST),
+        (AlgKind::Classical, "classical"),
+        (AlgKind::Strassen, "strassen"),
+        (AlgKind::Winograd, "winograd"),
+        (AlgKind::Ks, "ks-altbasis"),
     ];
-    for (name, omega) in algs {
-        for (n, m) in [(32usize, 96usize), (64, 192), (64, 768)] {
-            let lb = bounds::sequential(n, m, omega);
-            let schedule = match name {
-                "classical" => model::blocked_classical_io(n, m),
-                "strassen" => model::recursive_fast_io(n, m, 7, 18),
-                "winograd" => model::recursive_fast_io(n, m, 7, 15),
-                _ => model::recursive_fast_io(n, m, 7, 12),
+    let pairs = [(32usize, 96usize), (64, 192), (64, 768)];
+    let cfg = RunConfig::default();
+    let mut measured = std::collections::BTreeMap::new();
+    for (n, m) in pairs {
+        let spec = SweepSpec {
+            name: format!("table1-seq-n{n}-m{m}"),
+            algs: algs.iter().map(|&(a, _)| a).collect(),
+            ns: vec![n],
+            ms: vec![m],
+            ps: vec![1],
+            policies: vec![PolicyKind::Lru],
+            modes: vec![RunMode::Cache],
+            reps: 1,
+        };
+        for rec in run_collect(&spec, &cfg) {
+            if let Some(meas) = rec.measurement() {
+                measured.insert((rec.cell.alg, n, m), meas.io as f64);
+            }
+        }
+    }
+    for (alg, name) in algs {
+        for (n, m) in pairs {
+            let lb = bounds::sequential(n, m, alg.omega());
+            let schedule = match alg {
+                AlgKind::Classical => model::blocked_classical_io(n, m),
+                AlgKind::Strassen => model::recursive_fast_io(n, m, 7, 18),
+                AlgKind::Winograd => model::recursive_fast_io(n, m, 7, 15),
+                AlgKind::Ks => model::recursive_fast_io(n, m, 7, 12),
             };
-            let tile = seq::natural_tile(m);
-            let measured = match name {
-                "classical" => {
-                    let (_, s) = seq::measure(n, m, Policy::Lru, |mem, a, b| {
-                        seq::classical_blocked(mem, a, b, tile)
-                    });
-                    s.io() as f64
-                }
-                "strassen" | "winograd" => {
-                    let alg = if name == "strassen" {
-                        catalog::strassen()
-                    } else {
-                        catalog::winograd()
-                    };
-                    let (_, s) = seq::measure(n, m, Policy::Lru, |mem, a, b| {
-                        seq::fast_recursive(mem, &alg, a, b, tile)
-                    });
-                    s.io() as f64
-                }
-                _ => {
-                    // The KS core through the same trace-simulated executor.
-                    let ks = karstadt_schwartz();
-                    let (_, s) = seq::measure(n, m, Policy::Lru, |mem, a, b| {
-                        seq::fast_recursive(mem, &ks.core, a, b, tile)
-                    });
-                    s.io() as f64
-                }
-            };
+            let measured = measured[&(alg, n, m)];
             println!(
                 "{name:<12} {n:>6} {m:>7} {:>12} {:>12} {:>12} {:>7.2}",
                 eng(lb),
@@ -457,37 +453,36 @@ fn policies() {
         "{:<22} {:>5} {:>9} {:>9} {:>9}",
         "schedule", "M", "LRU", "FIFO", "OPT"
     );
-    use fmm_memsim::trace::{opt_stats, replay};
-    let n = 32;
+    // The whole ablation is one sweep grid: 2 algorithms × 2 cache sizes
+    // × 3 policies, run through the engine and pivoted into the table.
+    let spec = SweepSpec {
+        name: "policies-ablation".into(),
+        algs: vec![AlgKind::Classical, AlgKind::Strassen],
+        ns: vec![32],
+        ms: vec![96, 384],
+        ps: vec![1],
+        policies: vec![PolicyKind::Lru, PolicyKind::Fifo, PolicyKind::Opt],
+        modes: vec![RunMode::Cache],
+        reps: 1,
+    };
+    let mut io = std::collections::BTreeMap::new();
+    for rec in run_collect(&spec, &RunConfig::default()) {
+        if let Some(meas) = rec.measurement() {
+            io.insert((rec.cell.alg, rec.cell.m, rec.cell.policy), meas.io);
+        }
+    }
     for m in [96usize, 384] {
-        let tile = seq::natural_tile(m);
-        let (_, trace) = seq::measure_traced(n, m, Policy::Lru, |mem, a, b| {
-            seq::classical_blocked(mem, a, b, tile)
-        });
-        let lru = replay(&trace, m, Policy::Lru);
-        let fifo = replay(&trace, m, fmm_memsim::cache::Policy::Fifo);
-        let opt = opt_stats(&trace, m);
-        println!(
-            "{:<22} {m:>5} {:>9} {:>9} {:>9}",
-            "classical-blocked",
-            lru.io(),
-            fifo.io(),
-            opt.io()
-        );
-        let alg = catalog::strassen();
-        let (_, trace) = seq::measure_traced(n, m, Policy::Lru, |mem, a, b| {
-            seq::fast_recursive(mem, &alg, a, b, tile)
-        });
-        let lru = replay(&trace, m, Policy::Lru);
-        let fifo = replay(&trace, m, fmm_memsim::cache::Policy::Fifo);
-        let opt = opt_stats(&trace, m);
-        println!(
-            "{:<22} {m:>5} {:>9} {:>9} {:>9}",
-            "strassen-recursive",
-            lru.io(),
-            fifo.io(),
-            opt.io()
-        );
+        for (alg, label) in [
+            (AlgKind::Classical, "classical-blocked"),
+            (AlgKind::Strassen, "strassen-recursive"),
+        ] {
+            println!(
+                "{label:<22} {m:>5} {:>9} {:>9} {:>9}",
+                io[&(alg, m, PolicyKind::Lru)],
+                io[&(alg, m, PolicyKind::Fifo)],
+                io[&(alg, m, PolicyKind::Opt)]
+            );
+        }
     }
     println!("\nOPT is the floor on every row; LRU and FIFO trade places depending");
     println!("on the schedule (FIFO can beat LRU on blocked sweeps). The lower bound");

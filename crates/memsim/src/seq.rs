@@ -459,7 +459,14 @@ pub fn fast_recursive(mem: &mut Mem, alg: &Bilinear2x2, a: &TMat, b: &TMat, cuto
     fast_rec(mem, alg, a, b, cutoff.max(1))
 }
 
+/// Default workload seed used by [`measure`] and [`measure_traced`] (and
+/// by every CLI entry point that does not pass `--seed`).
+pub const DEFAULT_WORKLOAD_SEED: u64 = 0xF00D;
+
 /// Measured I/O of one full run: build inputs, run `f`, flush.
+///
+/// Workload matrices come from [`DEFAULT_WORKLOAD_SEED`]; use
+/// [`measure_seeded`] for reproducible sweeps over different inputs.
 ///
 /// ```
 /// use fmm_memsim::{cache::Policy, seq};
@@ -473,10 +480,24 @@ pub fn measure<F>(n: usize, m_words: usize, policy: Policy, f: F) -> (Matrix<f64
 where
     F: FnOnce(&mut Mem, &TMat, &TMat) -> TMat,
 {
+    measure_seeded(n, m_words, policy, DEFAULT_WORKLOAD_SEED, f)
+}
+
+/// As [`measure`], with an explicit workload seed for the random inputs.
+pub fn measure_seeded<F>(
+    n: usize,
+    m_words: usize,
+    policy: Policy,
+    seed: u64,
+    f: F,
+) -> (Matrix<f64>, CacheStats)
+where
+    F: FnOnce(&mut Mem, &TMat, &TMat) -> TMat,
+{
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     let _span = fmm_obs::Span::enter("memsim.measure");
-    let mut rng = StdRng::seed_from_u64(0xF00D);
+    let mut rng = StdRng::seed_from_u64(seed);
     let a = Matrix::<f64>::random_small(n, n, &mut rng);
     let b = Matrix::<f64>::random_small(n, n, &mut rng);
     let mut mem = Mem::new(m_words, policy);
@@ -499,9 +520,23 @@ pub fn measure_traced<F>(
 where
     F: FnOnce(&mut Mem, &TMat, &TMat) -> TMat,
 {
+    measure_traced_seeded(n, m_words, policy, DEFAULT_WORKLOAD_SEED, f)
+}
+
+/// As [`measure_traced`], with an explicit workload seed.
+pub fn measure_traced_seeded<F>(
+    n: usize,
+    m_words: usize,
+    policy: Policy,
+    seed: u64,
+    f: F,
+) -> (CacheStats, Vec<Access>)
+where
+    F: FnOnce(&mut Mem, &TMat, &TMat) -> TMat,
+{
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    let mut rng = StdRng::seed_from_u64(0xF00D);
+    let mut rng = StdRng::seed_from_u64(seed);
     let a = Matrix::<f64>::random_small(n, n, &mut rng);
     let b = Matrix::<f64>::random_small(n, n, &mut rng);
     let mut mem = Mem::new_recording(m_words, policy);

@@ -206,6 +206,45 @@ impl Histogram {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Approximate `q`-th percentile (`q` in `0.0..=100.0`) from the
+    /// power-of-two buckets: the upper bound of the bucket holding the
+    /// rank-`⌈q/100·count⌉` observation, clamped to `[min, max]` so exact
+    /// extremes stay exact. Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q / 100.0) * self.count as f64)
+            .ceil()
+            .clamp(1.0, self.count as f64) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Bucket 0 holds zeros; bucket i ≥ 1 holds [2^(i-1), 2^i - 1].
+                let upper = if i == 0 {
+                    0
+                } else if i >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median observation (bucket-resolution; see [`Histogram::percentile`]).
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 95th-percentile observation (bucket-resolution).
+    pub fn p95(&self) -> u64 {
+        self.percentile(95.0)
+    }
 }
 
 /// One recorded metric value.
@@ -646,6 +685,43 @@ mod tests {
         b.merge(&a);
         assert_eq!((b.count, b.sum, b.min, b.max), (5, 1034, 0, 1024));
         assert_eq!(b.buckets.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn percentiles_from_buckets() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile(50.0), 0, "empty histogram");
+
+        // All observations equal: every percentile clamps to that value.
+        let mut h = Histogram::default();
+        for _ in 0..10 {
+            h.observe(100);
+        }
+        assert_eq!(h.p50(), 100);
+        assert_eq!(h.p95(), 100);
+        assert_eq!(h.percentile(0.0), 100);
+
+        // Spread observations: percentiles are monotone, bracketed by
+        // [min, max], and the tail reaches max exactly.
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 2, 4, 8, 16, 32, 64, 128, 1000] {
+            h.observe(v);
+        }
+        assert!(h.p50() <= h.p95());
+        assert!(h.p50() >= h.min && h.p95() <= h.max);
+        assert_eq!(h.percentile(100.0), 1000);
+        // p50 lands in the bucket of the 5th of 10 observations (value 8,
+        // bucket [8,15]); upper bound 15.
+        assert_eq!(h.p50(), 15);
+
+        // Zeros live in bucket 0.
+        let mut h = Histogram::default();
+        for _ in 0..4 {
+            h.observe(0);
+        }
+        h.observe(7);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p95(), 7);
     }
 
     #[test]

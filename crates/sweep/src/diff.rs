@@ -1,0 +1,216 @@
+//! Regression diffing: compare two result files cell-by-cell and report
+//! every metric that moved beyond a relative tolerance, plus cells that
+//! exist on only one side.
+
+use crate::checkpoint::{CellRecord, CellStatus};
+use std::collections::BTreeMap;
+
+/// One metric delta beyond tolerance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// The cell's stable key (`alg/nN/mM/pP/policy/mode/rR`).
+    pub key: String,
+    /// Which metric moved.
+    pub metric: &'static str,
+    /// Value in the baseline file.
+    pub before: f64,
+    /// Value in the candidate file.
+    pub after: f64,
+    /// `(after - before) / max(|before|, 1)` — signed relative change.
+    pub rel_change: f64,
+}
+
+/// The outcome of diffing two result files.
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    /// Cells compared on both sides.
+    pub compared: usize,
+    /// Metric deltas beyond tolerance, worst first.
+    pub regressions: Vec<Regression>,
+    /// Cell keys present only in the baseline.
+    pub missing: Vec<String>,
+    /// Cell keys present only in the candidate.
+    pub extra: Vec<String>,
+    /// Cells whose ok/error status flipped between the files.
+    pub status_changes: Vec<String>,
+}
+
+impl DiffReport {
+    /// True when nothing moved: same cells, same statuses, all metrics
+    /// within tolerance.
+    pub fn is_clean(&self) -> bool {
+        self.regressions.is_empty()
+            && self.missing.is_empty()
+            && self.extra.is_empty()
+            && self.status_changes.is_empty()
+    }
+}
+
+fn rel_change(before: f64, after: f64) -> f64 {
+    (after - before) / before.abs().max(1.0)
+}
+
+/// Compare `base` against `cand`, flagging any per-cell metric whose
+/// relative change exceeds `tol` (e.g. `0.0` = exact, `0.05` = 5%).
+/// `wall_ms` is deliberately never compared.
+pub fn diff(base: &[CellRecord], cand: &[CellRecord], tol: f64) -> DiffReport {
+    let index = |recs: &[CellRecord]| -> BTreeMap<String, CellRecord> {
+        recs.iter().map(|r| (r.cell.key(), r.clone())).collect()
+    };
+    let a = index(base);
+    let b = index(cand);
+    let mut report = DiffReport::default();
+    for key in a.keys() {
+        if !b.contains_key(key) {
+            report.missing.push(key.clone());
+        }
+    }
+    for key in b.keys() {
+        if !a.contains_key(key) {
+            report.extra.push(key.clone());
+        }
+    }
+    for (key, ra) in &a {
+        let Some(rb) = b.get(key) else { continue };
+        report.compared += 1;
+        match (&ra.status, &rb.status) {
+            (CellStatus::Ok(ma), CellStatus::Ok(mb)) => {
+                let metrics: [(&'static str, f64, f64); 7] = [
+                    ("io", ma.io as f64, mb.io as f64),
+                    ("loads", ma.loads as f64, mb.loads as f64),
+                    ("stores", ma.stores as f64, mb.stores as f64),
+                    ("words", ma.words as f64, mb.words as f64),
+                    ("recomputes", ma.recomputes as f64, mb.recomputes as f64),
+                    ("flops", ma.flops as f64, mb.flops as f64),
+                    ("ratio", ma.ratio, mb.ratio),
+                ];
+                for (metric, before, after) in metrics {
+                    let rel = rel_change(before, after);
+                    if rel.abs() > tol {
+                        report.regressions.push(Regression {
+                            key: key.clone(),
+                            metric,
+                            before,
+                            after,
+                            rel_change: rel,
+                        });
+                    }
+                }
+            }
+            (CellStatus::Error(_), CellStatus::Error(_)) => {}
+            _ => report.status_changes.push(key.clone()),
+        }
+    }
+    report
+        .regressions
+        .sort_by(|x, y| y.rel_change.abs().total_cmp(&x.rel_change.abs()));
+    report
+}
+
+/// Render the diff as the `sweep diff` text output.
+pub fn render(r: &DiffReport, tol: f64) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "compared {} cells (tolerance {:.2}%)",
+        r.compared,
+        tol * 100.0
+    );
+    for key in &r.missing {
+        let _ = writeln!(out, "  missing in candidate: {key}");
+    }
+    for key in &r.extra {
+        let _ = writeln!(out, "  extra in candidate:   {key}");
+    }
+    for key in &r.status_changes {
+        let _ = writeln!(out, "  status changed:       {key}");
+    }
+    for reg in &r.regressions {
+        let _ = writeln!(
+            out,
+            "  {} {}: {} -> {} ({:+.2}%)",
+            reg.key,
+            reg.metric,
+            reg.before,
+            reg.after,
+            reg.rel_change * 100.0
+        );
+    }
+    if r.is_clean() {
+        let _ = writeln!(out, "  no regressions");
+    } else {
+        let _ = writeln!(
+            out,
+            "  {} regression(s), {} missing, {} extra, {} status change(s)",
+            r.regressions.len(),
+            r.missing.len(),
+            r.extra.len(),
+            r.status_changes.len()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run_collect, RunConfig};
+    use crate::spec::SweepSpec;
+
+    #[test]
+    fn same_run_diffs_clean_at_zero_tolerance() {
+        let spec = SweepSpec::builtin("smoke").unwrap();
+        let cfg = RunConfig {
+            seed: 42,
+            jobs: 2,
+            ..RunConfig::default()
+        };
+        let a = run_collect(&spec, &cfg);
+        let b = run_collect(&spec, &cfg);
+        let d = diff(&a, &b, 0.0);
+        assert_eq!(d.compared, a.len());
+        assert!(d.is_clean(), "unexpected diff: {:?}", d.regressions);
+    }
+
+    #[test]
+    fn perturbed_metric_is_flagged_and_tolerance_absorbs_it() {
+        let spec = SweepSpec::builtin("smoke").unwrap();
+        let cfg = RunConfig {
+            seed: 42,
+            jobs: 1,
+            ..RunConfig::default()
+        };
+        let a = run_collect(&spec, &cfg);
+        let mut b = a.clone();
+        if let CellStatus::Ok(m) = &mut b[0].status {
+            m.io = (m.io as f64 * 1.03) as u64; // +3%
+        }
+        let strict = diff(&a, &b, 0.0);
+        assert!(strict.regressions.iter().any(|r| r.metric == "io"));
+        let loose = diff(&a, &b, 0.05);
+        assert!(loose.is_clean(), "5% tolerance must absorb a 3% delta");
+    }
+
+    #[test]
+    fn missing_extra_and_status_flips_are_reported() {
+        let spec = SweepSpec::builtin("smoke").unwrap();
+        let cfg = RunConfig {
+            seed: 42,
+            jobs: 1,
+            ..RunConfig::default()
+        };
+        let a = run_collect(&spec, &cfg);
+        let mut b = a.clone();
+        let dropped = b.pop().unwrap();
+        b[0].status = CellStatus::Error("synthetic".into());
+        let d = diff(&a, &b, 0.0);
+        assert_eq!(d.missing, vec![dropped.cell.key()]);
+        assert!(d.extra.is_empty());
+        assert_eq!(d.status_changes, vec![a[0].cell.key()]);
+        assert!(!d.is_clean());
+        let text = render(&d, 0.0);
+        assert!(text.contains("missing in candidate"));
+        assert!(text.contains("status changed"));
+    }
+}

@@ -1,0 +1,427 @@
+//! The worker pool: expand a spec, distribute cells over crossbeam scoped
+//! threads, isolate per-cell panics, and stream each finished cell to a
+//! sink (normally an append-only JSONL checkpoint).
+//!
+//! Determinism contract: with `jobs = 1` results arrive in cell-id order;
+//! with more workers the *set* of records is identical and only the file
+//! order (and wall times) may differ. Per-cell workload seeds derive from
+//! the root seed and the cell's stable id, never from scheduling.
+
+use crate::cell::{cell_seed, run_cell};
+use crate::checkpoint::{cell_line, header_line, CellRecord, CellStatus};
+use crate::spec::{Cell, SweepSpec};
+use std::collections::BTreeSet;
+use std::io::Write;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Root seed; per-cell seeds derive deterministically from it.
+    pub seed: u64,
+    /// Worker threads (0 = `available_parallelism`).
+    pub jobs: usize,
+    /// Execute at most this many pending cells, then stop (simulates an
+    /// interrupt; used by tests, CI, and incremental runs).
+    pub max_cells: Option<usize>,
+    /// Print one progress line per finished cell to stderr.
+    pub verbose: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            seed: fmm_memsim::seq::DEFAULT_WORKLOAD_SEED,
+            jobs: 0,
+            max_cells: None,
+            verbose: false,
+        }
+    }
+}
+
+impl RunConfig {
+    /// The effective worker count.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs > 0 {
+            self.jobs
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// What a run did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Cells executed this invocation.
+    pub executed: usize,
+    /// Of those, how many succeeded.
+    pub ok: usize,
+    /// Of those, how many errored or panicked.
+    pub errors: usize,
+    /// Cells skipped because the checkpoint already had them.
+    pub skipped: usize,
+    /// Cells left pending (interrupt via `max_cells`).
+    pub remaining: usize,
+}
+
+/// Execute `cells` on the worker pool, invoking `sink` for every finished
+/// record from the coordinating thread (records stream in completion
+/// order). This is the in-memory core; [`run_to_file`]/[`resume_file`]
+/// wrap it with checkpointing.
+pub fn execute<F>(cells: &[Cell], cfg: &RunConfig, mut sink: F) -> RunStats
+where
+    F: FnMut(&CellRecord),
+{
+    let limit = cfg.max_cells.unwrap_or(cells.len()).min(cells.len());
+    let todo = &cells[..limit];
+    let mut stats = RunStats {
+        remaining: cells.len() - limit,
+        ..RunStats::default()
+    };
+    if todo.is_empty() {
+        return stats;
+    }
+    let jobs = cfg.effective_jobs().min(todo.len());
+    let (job_tx, job_rx) = crossbeam::channel::bounded::<Cell>(todo.len());
+    for c in todo {
+        job_tx.send(c.clone()).expect("bounded(len) cannot be full");
+    }
+    drop(job_tx);
+    let (res_tx, res_rx) = crossbeam::channel::bounded::<CellRecord>(todo.len());
+    let root = cfg.seed;
+    crossbeam::scope(|s| {
+        for _ in 0..jobs {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            s.spawn(move |_| {
+                // The queue is fully loaded before workers start, so an
+                // empty try_recv means the sweep is drained.
+                while let Ok(cell) = job_rx.try_recv() {
+                    let seed = cell_seed(root, &cell);
+                    let start = Instant::now();
+                    let outcome = catch_unwind(AssertUnwindSafe(|| run_cell(&cell, seed)));
+                    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                    let status = match outcome {
+                        Ok(Ok(m)) => CellStatus::Ok(m),
+                        Ok(Err(e)) => CellStatus::Error(e),
+                        Err(panic) => {
+                            CellStatus::Error(format!("panic: {}", panic_message(panic.as_ref())))
+                        }
+                    };
+                    let rec = CellRecord {
+                        cell,
+                        seed,
+                        status,
+                        wall_ms,
+                    };
+                    if res_tx.send(rec).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        // Stream results as they complete: the checkpoint grows while
+        // workers are still busy, which is what makes resume-after-crash
+        // lose at most the in-flight cells.
+        for done in 0..todo.len() {
+            let rec = res_rx.recv().expect("workers outlive the queue");
+            match &rec.status {
+                CellStatus::Ok(_) => stats.ok += 1,
+                CellStatus::Error(_) => stats.errors += 1,
+            }
+            stats.executed += 1;
+            publish_cell_metrics(&rec);
+            if cfg.verbose {
+                eprintln!(
+                    "[{}/{}] cell {} {} ({:.1} ms)",
+                    done + 1,
+                    todo.len(),
+                    rec.cell.key(),
+                    match &rec.status {
+                        CellStatus::Ok(m) => format!("io={}", m.io),
+                        CellStatus::Error(e) => format!("ERROR: {e}"),
+                    },
+                    rec.wall_ms
+                );
+            }
+            sink(&rec);
+        }
+    })
+    .expect("sweep workers do not panic (cells are isolated)");
+    stats
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+fn publish_cell_metrics(rec: &CellRecord) {
+    if !fmm_obs::enabled() {
+        return;
+    }
+    match &rec.status {
+        CellStatus::Ok(m) => {
+            fmm_obs::add("sweep.cells.ok", &[], 1);
+            fmm_obs::observe("sweep.cell.wall_us", &[], (rec.wall_ms * 1e3) as u64);
+            fmm_obs::observe("sweep.cell.io", &[], m.io);
+        }
+        CellStatus::Error(_) => fmm_obs::add("sweep.cells.error", &[], 1),
+    }
+}
+
+/// Run a spec in memory and return the records sorted by cell id.
+/// This is the entry point the `tables` binary drives its loops through.
+pub fn run_collect(spec: &SweepSpec, cfg: &RunConfig) -> Vec<CellRecord> {
+    let cells = spec.expand();
+    let mut records = Vec::with_capacity(cells.len());
+    execute(&cells, cfg, |r| records.push(r.clone()));
+    records.sort_by_key(|r| r.cell.id);
+    records
+}
+
+/// Start a fresh checkpointed run: write the header, then stream cell
+/// lines (flushed per line). Fails if `path` already exists — `resume`
+/// is the verb for continuing.
+pub fn run_to_file(spec: &SweepSpec, cfg: &RunConfig, path: &str) -> Result<RunStats, String> {
+    if std::path::Path::new(path).exists() {
+        return Err(format!(
+            "'{path}' already exists; use `sweep resume` to continue it"
+        ));
+    }
+    let cells = spec.expand();
+    let mut file =
+        std::fs::File::create(path).map_err(|e| format!("cannot create '{path}': {e}"))?;
+    writeln!(file, "{}", header_line(spec, cfg.seed, cells.len()))
+        .map_err(|e| format!("write '{path}': {e}"))?;
+    file.flush().ok();
+    append_cells(&cells, spec, cfg, &mut file, path, 0)
+}
+
+/// Resume a checkpointed run: validate the header against `spec`, collect
+/// the ids of cells already done (ok **or** error — errors are
+/// deterministic, re-running them cannot help), and execute only the rest,
+/// appending to the same file with no second header.
+pub fn resume_file(spec: &SweepSpec, cfg: &RunConfig, path: &str) -> Result<RunStats, String> {
+    let (header, existing) = crate::checkpoint::load(path)?;
+    if header.spec_hash != spec.hash() {
+        return Err(format!(
+            "checkpoint spec hash {} does not match spec '{}' ({})",
+            header.spec_hash,
+            spec.name,
+            spec.hash()
+        ));
+    }
+    if cfg.seed != header.seed {
+        return Err(format!(
+            "checkpoint was started with seed {}, got --seed {}",
+            header.seed, cfg.seed
+        ));
+    }
+    let done: BTreeSet<usize> = existing.iter().map(|r| r.cell.id).collect();
+    let cells = spec.expand();
+    let pending: Vec<Cell> = cells
+        .iter()
+        .filter(|c| !done.contains(&c.id))
+        .cloned()
+        .collect();
+    let skipped = cells.len() - pending.len();
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("cannot append to '{path}': {e}"))?;
+    let mut stats = append_cells(&pending, spec, cfg, &mut file, path, skipped)?;
+    stats.skipped = skipped;
+    Ok(stats)
+}
+
+fn append_cells(
+    cells: &[Cell],
+    spec: &SweepSpec,
+    cfg: &RunConfig,
+    file: &mut std::fs::File,
+    path: &str,
+    _already: usize,
+) -> Result<RunStats, String> {
+    let hash = spec.hash();
+    let mut io_err: Option<String> = None;
+    let stats = execute(cells, cfg, |rec| {
+        if io_err.is_some() {
+            return;
+        }
+        let line = cell_line(&hash, rec);
+        if let Err(e) = writeln!(file, "{line}").and_then(|()| file.flush()) {
+            io_err = Some(format!("write '{path}': {e}"));
+        }
+    });
+    match io_err {
+        Some(e) => Err(e),
+        None => Ok(stats),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SweepSpec;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("fmm-sweep-engine-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(format!("{name}-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn run_collect_is_complete_and_deterministic() {
+        let spec = SweepSpec::builtin("smoke").unwrap();
+        let cfg = RunConfig {
+            seed: 9,
+            jobs: 3,
+            ..RunConfig::default()
+        };
+        let a = run_collect(&spec, &cfg);
+        let b = run_collect(&spec, &cfg);
+        assert_eq!(a.len(), spec.expand().len());
+        // Records (wall time aside) are identical across runs and jobs.
+        let strip = |v: &[CellRecord]| {
+            v.iter()
+                .map(|r| (r.cell.clone(), r.seed, r.status.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(strip(&a), strip(&b));
+        let single = run_collect(
+            &spec,
+            &RunConfig {
+                seed: 9,
+                jobs: 1,
+                ..RunConfig::default()
+            },
+        );
+        assert_eq!(strip(&a), strip(&single));
+    }
+
+    #[test]
+    fn checkpoint_resume_executes_zero_when_complete() {
+        let spec = SweepSpec::builtin("smoke").unwrap();
+        let path = tmp("complete");
+        let cfg = RunConfig {
+            seed: 5,
+            jobs: 2,
+            ..RunConfig::default()
+        };
+        let s = run_to_file(&spec, &cfg, &path).unwrap();
+        assert_eq!(s.executed, spec.expand().len());
+        let r = resume_file(&spec, &cfg, &path).unwrap();
+        assert_eq!(r.executed, 0, "resume after completion re-runs nothing");
+        assert_eq!(r.skipped, spec.expand().len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn interrupted_run_resumes_without_duplicates() {
+        let spec = SweepSpec::builtin("smoke").unwrap();
+        let total = spec.expand().len();
+        let path = tmp("interrupted");
+        let cfg_k = RunConfig {
+            seed: 5,
+            jobs: 1,
+            max_cells: Some(2),
+            ..RunConfig::default()
+        };
+        let s = run_to_file(&spec, &cfg_k, &path).unwrap();
+        assert_eq!(s.executed, 2);
+        assert_eq!(s.remaining, total - 2);
+        let cfg = RunConfig {
+            seed: 5,
+            jobs: 1,
+            ..RunConfig::default()
+        };
+        let r = resume_file(&spec, &cfg, &path).unwrap();
+        assert_eq!(r.skipped, 2);
+        assert_eq!(r.executed, total - 2);
+        let (_, recs) = crate::checkpoint::load(&path).unwrap();
+        let mut ids: Vec<usize> = recs.iter().map(|r| r.cell.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..total).collect::<Vec<_>>());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_wrong_spec_or_seed() {
+        let spec = SweepSpec::builtin("smoke").unwrap();
+        let path = tmp("reject");
+        let cfg = RunConfig {
+            seed: 5,
+            jobs: 1,
+            max_cells: Some(1),
+            ..RunConfig::default()
+        };
+        run_to_file(&spec, &cfg, &path).unwrap();
+        let other = SweepSpec::builtin("x1").unwrap();
+        assert!(resume_file(&other, &cfg, &path).is_err());
+        let wrong_seed = RunConfig {
+            seed: 6,
+            ..cfg.clone()
+        };
+        assert!(resume_file(&spec, &wrong_seed, &path).is_err());
+        // And a fresh run refuses to clobber the checkpoint.
+        assert!(run_to_file(&spec, &cfg, &path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn panicking_cells_are_isolated() {
+        // A parallel cell whose grid side does not divide n panics inside
+        // the Cannon simulator ("p must divide n"); the spec's expansion
+        // filter would normally drop it, but the engine must survive a
+        // panic regardless and record it as an error, then keep going.
+        use crate::spec::{AlgKind, Cell, PolicyKind, RunMode};
+        let cells = vec![
+            Cell {
+                id: 0,
+                alg: AlgKind::Classical,
+                n: 8,
+                m: 48,
+                p: 9, // side 3 does not divide n = 8 → simulator panics
+                policy: PolicyKind::Lru,
+                mode: RunMode::Cache,
+                rep: 0,
+            },
+            Cell {
+                id: 1,
+                alg: AlgKind::Classical,
+                n: 8,
+                m: 48,
+                p: 1,
+                policy: PolicyKind::Lru,
+                mode: RunMode::Cache,
+                rep: 0,
+            },
+        ];
+        let mut records = Vec::new();
+        let stats = execute(
+            &cells,
+            &RunConfig {
+                jobs: 1,
+                ..RunConfig::default()
+            },
+            |r| records.push(r.clone()),
+        );
+        assert_eq!(stats.executed, 2);
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.ok, 1);
+        assert!(matches!(records[0].status, CellStatus::Error(ref e) if e.contains("panic")));
+        assert!(matches!(records[1].status, CellStatus::Ok(_)));
+    }
+}

@@ -1,0 +1,77 @@
+//! The resumability contract, as a property: a sweep interrupted after k
+//! cells and then resumed must produce a checkpoint file byte-identical —
+//! modulo the `wall_ms` fields — to the same sweep run uninterrupted with
+//! the same seed. Holds for every k, including 0 (resume does everything)
+//! and `cells` (resume does nothing).
+
+use fmm_sweep::engine::{resume_file, run_to_file, RunConfig};
+use fmm_sweep::spec::{AlgKind, PolicyKind, RunMode, SweepSpec};
+use proptest::prelude::*;
+
+/// A deliberately small mixed grid: 4 sequential cache cells plus 2
+/// pebbling cells, cheap enough to run dozens of times under proptest.
+fn tiny_spec() -> SweepSpec {
+    SweepSpec {
+        name: "resume-prop".into(),
+        algs: vec![AlgKind::Classical, AlgKind::Strassen],
+        ns: vec![4, 8],
+        ms: vec![16],
+        ps: vec![1],
+        policies: vec![PolicyKind::Lru],
+        modes: vec![RunMode::Cache, RunMode::PebbleSr],
+        reps: 1,
+    }
+}
+
+fn tmp_path(tag: &str) -> String {
+    let dir = std::env::temp_dir().join("fmm-sweep-resume-prop");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}-{}.jsonl", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// Strip every `wall_ms` field — the single permitted difference.
+fn strip_wall(text: &str) -> String {
+    text.lines()
+        .map(|line| match line.rfind(",\"wall_ms\":") {
+            Some(i) => format!("{}}}", &line[..i]),
+            None => line.to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn interrupted_plus_resumed_equals_uninterrupted(k in 0usize..=6, seed in 0u64..1000) {
+        let spec = tiny_spec();
+        let total = spec.expand().len();
+        prop_assert_eq!(total, 6);
+        // jobs = 1 makes completion order deterministic (cell-id order),
+        // so whole files — not just line sets — must match.
+        let cfg = RunConfig { seed, jobs: 1, ..RunConfig::default() };
+
+        let full = tmp_path(&format!("full-{k}-{seed}"));
+        let _ = std::fs::remove_file(&full);
+        run_to_file(&spec, &cfg, &full).unwrap();
+
+        let split = tmp_path(&format!("split-{k}-{seed}"));
+        let _ = std::fs::remove_file(&split);
+        let cfg_k = RunConfig { max_cells: Some(k), ..cfg.clone() };
+        let first = run_to_file(&spec, &cfg_k, &split).unwrap();
+        prop_assert_eq!(first.executed, k);
+        let second = resume_file(&spec, &cfg, &split).unwrap();
+        prop_assert_eq!(second.skipped, k);
+        prop_assert_eq!(second.executed, total - k);
+
+        let a = strip_wall(&std::fs::read_to_string(&full).unwrap());
+        let b = strip_wall(&std::fs::read_to_string(&split).unwrap());
+        prop_assert_eq!(a, b);
+
+        std::fs::remove_file(&full).ok();
+        std::fs::remove_file(&split).ok();
+    }
+}

@@ -1,18 +1,29 @@
 //! `fastmm` — command-line driver for the workspace.
 //!
 //! ```text
-//! fastmm multiply --alg winograd --n 256 [--cutoff 16]
+//! fastmm multiply --alg winograd --n 256 [--cutoff 16] [--seed 42]
 //! fastmm bounds   --n 4096 --m 1024 [--p 49]
 //! fastmm verify   [--n 4]
-//! fastmm io       --alg strassen --n 32 --m 96
+//! fastmm io       --alg strassen --n 32 --m 96 [--seed 61453]
 //! fastmm pebble   --family tree --m 3 [--optimal]
 //! fastmm dot      --alg strassen --n 2 --out h2.dot
 //! fastmm report   metrics.jsonl
+//! fastmm sweep    run --spec table1 [--out sweep_table1.jsonl] [--jobs 4]
+//! fastmm sweep    resume --spec table1 --out sweep_table1.jsonl
+//! fastmm sweep    report --file sweep_table1.jsonl [--bench BENCH_sweep.json]
+//! fastmm sweep    diff --base a.jsonl --cand b.jsonl [--tol 0.01]
 //! ```
 //!
 //! Every command accepts a global `--metrics <path>` flag that enables
 //! full telemetry ([`fmm_obs`]) and writes the collected metrics as JSONL
 //! to `path` on exit; `fastmm report` renders such a file as a table.
+//!
+//! Workload seeds: commands that generate random inputs accept `--seed`.
+//! `multiply` defaults to 42; `io` and `sweep` default to the library's
+//! [`seq::DEFAULT_WORKLOAD_SEED`] (61453 = 0xF00D) so CLI runs reproduce
+//! library defaults exactly. Simulated I/O is data-oblivious — the seed
+//! varies the workload, not the traffic — but a fixed default keeps every
+//! artifact byte-reproducible.
 
 use fastmm::cdag::dot::to_dot;
 use fastmm::cdag::RecursiveCdag;
@@ -32,8 +43,15 @@ use rand::SeedableRng;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: fastmm <multiply|bounds|verify|io|pebble|dot|report> [flags]\n\
+const USAGE: &str = "usage: fastmm <multiply|bounds|verify|io|pebble|dot|report|sweep> [flags]\n\
        global flags: --metrics <path.jsonl>  (collect full telemetry, write JSONL on exit)";
+
+const SWEEP_USAGE: &str = "usage: fastmm sweep <run|resume|report|diff|specs> [flags]\n\
+       run    --spec <name> [--out <file>] [--seed <u64>] [--jobs <n>] [--max-cells <k>] [--verbose]\n\
+       resume --spec <name> --out <file> [--seed <u64>] [--jobs <n>]\n\
+       report --file <file> [--bench <path.json>]\n\
+       diff   --base <file> --cand <file> [--tol <fraction>]\n\
+       specs  (list the built-in sweep specs)";
 
 /// Parse `--flag [value]` pairs, rejecting anything not in `allowed` —
 /// a misspelled flag must fail loudly, not silently run with defaults.
@@ -192,14 +210,15 @@ fn cmd_verify(flags: &HashMap<String, String>) -> ExitCode {
 fn cmd_io(flags: &HashMap<String, String>) {
     let n = get_usize(flags, "n", 32);
     let m = get_usize(flags, "m", 96);
+    let seed = get_usize(flags, "seed", seq::DEFAULT_WORKLOAD_SEED as usize) as u64;
     let alg = algorithm(flags);
     let tile = seq::natural_tile(m);
     let (_, stats) = if alg.name == "classical" {
-        seq::measure(n, m, Policy::Lru, |mem, a, b| {
+        seq::measure_seeded(n, m, Policy::Lru, seed, |mem, a, b| {
             seq::classical_blocked(mem, a, b, tile)
         })
     } else {
-        seq::measure(n, m, Policy::Lru, |mem, a, b| {
+        seq::measure_seeded(n, m, Policy::Lru, seed, |mem, a, b| {
             seq::fast_recursive(mem, &alg, a, b, tile)
         })
     };
@@ -209,7 +228,10 @@ fn cmd_io(flags: &HashMap<String, String>) {
         bounds::OMEGA_FAST
     };
     let lb = bounds::sequential(n, m, omega);
-    println!("{} at n = {n}, M = {m} (LRU, tile {tile}):", alg.name);
+    println!(
+        "{} at n = {n}, M = {m} (LRU, tile {tile}, seed {seed}):",
+        alg.name
+    );
     println!(
         "  measured I/O:  {} ({} loads, {} stores)",
         stats.io(),
@@ -345,6 +367,159 @@ fn cmd_report(path: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `fastmm sweep <run|resume|report|diff|specs>` — drive the fmm-sweep
+/// orchestration engine from the CLI.
+fn cmd_sweep(args: &[String]) -> ExitCode {
+    use fastmm::sweep::{checkpoint, diff, engine, report, SweepSpec};
+    let Some(verb) = args.first() else {
+        eprintln!("{SWEEP_USAGE}");
+        return ExitCode::from(2);
+    };
+    let require = |flags: &HashMap<String, String>, key: &str| -> String {
+        flags.get(key).cloned().unwrap_or_else(|| {
+            eprintln!("sweep {verb} requires --{key}");
+            eprintln!("{SWEEP_USAGE}");
+            std::process::exit(2);
+        })
+    };
+    let load_spec = |name: &str| -> SweepSpec {
+        SweepSpec::builtin(name).unwrap_or_else(|| {
+            eprintln!(
+                "unknown spec '{name}' (built-ins: {})",
+                SweepSpec::builtin_names().join(", ")
+            );
+            std::process::exit(2);
+        })
+    };
+    match verb.as_str() {
+        "run" | "resume" => {
+            let flags = parse_flags(
+                &args[1..],
+                &["spec", "out", "seed", "jobs", "max-cells", "verbose"],
+            );
+            let spec = load_spec(&require(&flags, "spec"));
+            let out = flags
+                .get("out")
+                .cloned()
+                .unwrap_or_else(|| format!("sweep_{}.jsonl", spec.name));
+            let default_seed = if verb == "resume" {
+                // Unless overridden, continue with the seed the
+                // checkpoint was started with.
+                match checkpoint::load(&out) {
+                    Ok((h, _)) => h.seed,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                seq::DEFAULT_WORKLOAD_SEED
+            };
+            let cfg = engine::RunConfig {
+                seed: get_usize(&flags, "seed", default_seed as usize) as u64,
+                jobs: get_usize(&flags, "jobs", 0),
+                max_cells: flags
+                    .contains_key("max-cells")
+                    .then(|| get_usize(&flags, "max-cells", 0)),
+                verbose: flags.contains_key("verbose"),
+            };
+            let total = spec.expand().len();
+            let result = if verb == "run" {
+                engine::run_to_file(&spec, &cfg, &out)
+            } else {
+                engine::resume_file(&spec, &cfg, &out)
+            };
+            match result {
+                Ok(stats) => {
+                    println!(
+                        "sweep '{}' ({} cells): {} executed ({} ok, {} errors), \
+                         {} skipped, {} remaining -> {out}",
+                        spec.name,
+                        total,
+                        stats.executed,
+                        stats.ok,
+                        stats.errors,
+                        stats.skipped,
+                        stats.remaining
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("sweep {verb} failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "report" => {
+            let flags = parse_flags(&args[1..], &["file", "bench"]);
+            let path = require(&flags, "file");
+            let (header, records) = match checkpoint::load(&path) {
+                Ok(x) => x,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let summary = report::summarize(&records);
+            print!("{}", report::render(&header, &summary));
+            if let Some(bench) = flags.get("bench") {
+                let doc = report::bench_json(&header, &summary);
+                if let Err(e) = std::fs::write(bench, doc) {
+                    eprintln!("cannot write '{bench}': {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("\nbench summary written to {bench}");
+            }
+            ExitCode::SUCCESS
+        }
+        "diff" => {
+            let flags = parse_flags(&args[1..], &["base", "cand", "tol"]);
+            let base = require(&flags, "base");
+            let cand = require(&flags, "cand");
+            let tol: f64 = flags
+                .get("tol")
+                .map(|v| {
+                    v.parse().unwrap_or_else(|_| {
+                        eprintln!("--tol expects a fraction, got '{v}'");
+                        std::process::exit(2);
+                    })
+                })
+                .unwrap_or(0.0);
+            let load = |p: &str| match checkpoint::load(p) {
+                Ok((_, recs)) => recs,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            };
+            let d = diff::diff(&load(&base), &load(&cand), tol);
+            print!("{}", diff::render(&d, tol));
+            if d.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        "specs" => {
+            parse_flags(&args[1..], &[]);
+            for name in SweepSpec::builtin_names() {
+                let spec = SweepSpec::builtin(name).expect("builtin exists");
+                println!(
+                    "{name:<8} {:>4} cells  hash {}",
+                    spec.expand().len(),
+                    spec.hash()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown sweep verb '{other}'");
+            eprintln!("{SWEEP_USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
 /// Write the global registry as JSONL to `path`.
 fn write_metrics(path: &str) {
     let write = || -> std::io::Result<()> {
@@ -370,11 +545,27 @@ fn main() -> ExitCode {
         };
         return cmd_report(path);
     }
+    if cmd == "sweep" {
+        // The verbs parse their own flags; --metrics still works globally.
+        let metrics = args
+            .iter()
+            .position(|a| a == "--metrics")
+            .and_then(|i| args.get(i + 1))
+            .cloned();
+        if metrics.is_some() {
+            fastmm::obs::set_level(fastmm::obs::Level::Full);
+        }
+        let code = cmd_sweep(&args[1..]);
+        if let Some(path) = metrics {
+            write_metrics(&path);
+        }
+        return code;
+    }
     let allowed: &[&str] = match cmd.as_str() {
         "multiply" => &["alg", "n", "cutoff", "seed"],
         "bounds" => &["n", "m", "p"],
         "verify" => &["n"],
-        "io" => &["alg", "n", "m"],
+        "io" => &["alg", "n", "m", "seed"],
         "pebble" => &[
             "family", "m", "optimal", "len", "leaves", "rows", "cols", "n",
         ],
