@@ -1,0 +1,122 @@
+//! The memsim core fast paths in isolation: raw cache access throughput
+//! (slab LRU/FIFO vs the naive reference model), the streaming two-pass
+//! Belady OPT, and an end-to-end instrumented execution at a size the old
+//! `BTreeSet`/`HashMap` core could not touch interactively.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmm_core::catalog;
+use fmm_memsim::cache::{Cache, Policy};
+use fmm_memsim::reference::{self, Op};
+use fmm_memsim::seq;
+use fmm_memsim::trace::{opt_stats, Access};
+use std::hint::black_box;
+
+/// Deterministic hot/cold trace: ~70% of accesses in a working set around
+/// the capacity, the rest streaming over a huge cold range — the shape the
+/// instrumented executions actually produce.
+fn synthetic_trace(len: usize) -> Vec<Access> {
+    let mut x = 0x1234_5678_9abc_def0u64;
+    (0..len)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let addr = if x % 10 < 7 {
+                (x >> 32) % 700
+            } else {
+                (x >> 24) % 5_000_000
+            };
+            Access {
+                addr,
+                write: x.is_multiple_of(3),
+            }
+        })
+        .collect()
+}
+
+fn cache_access_throughput(c: &mut Criterion) {
+    let trace = synthetic_trace(200_000);
+    let mut group = c.benchmark_group("memsim_cache_access");
+    group.sample_size(20);
+    for (name, policy) in [("lru", Policy::Lru), ("fifo", Policy::Fifo)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |bch, &p| {
+            bch.iter(|| {
+                let mut cache = Cache::new(512, p);
+                for a in &trace {
+                    if a.write {
+                        cache.write(a.addr);
+                    } else {
+                        cache.read(a.addr);
+                    }
+                }
+                cache.flush();
+                black_box(cache.stats().io())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn reference_model_throughput(c: &mut Criterion) {
+    // The O(capacity)-per-access oracle, for the speedup denominator. Short
+    // trace: this is the model the fast core exists to replace.
+    let ops: Vec<Op> = synthetic_trace(20_000)
+        .into_iter()
+        .map(Op::Access)
+        .collect();
+    let mut group = c.benchmark_group("memsim_reference_model");
+    group.sample_size(10);
+    group.bench_function("lru_cap512", |bch| {
+        bch.iter(|| black_box(reference::replay_reference(&ops, 512, Policy::Lru)))
+    });
+    group.finish();
+}
+
+fn opt_belady_throughput(c: &mut Criterion) {
+    let trace = synthetic_trace(200_000);
+    let mut group = c.benchmark_group("memsim_opt_belady");
+    group.sample_size(10);
+    for cap in [64usize, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |bch, &cap| {
+            bch.iter(|| black_box(opt_stats(&trace, cap)))
+        });
+    }
+    group.finish();
+}
+
+fn end_to_end_instrumented(c: &mut Criterion) {
+    // The acceptance workload family (`fastmm io --alg strassen`), scaled
+    // to bench-sized n; the n = 256, M = 4096 point went from minutes to
+    // sub-second with the slab core (see BENCH_memsim.json).
+    let alg = catalog::strassen();
+    let mut group = c.benchmark_group("memsim_end_to_end");
+    group.sample_size(10);
+    for n in [32usize, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, &n| {
+            bch.iter(|| {
+                let (_, stats) = seq::measure(n, 1024, Policy::Lru, |mem, a, b| {
+                    seq::fast_recursive(mem, &alg, a, b, seq::natural_tile(1024))
+                });
+                black_box(stats.io())
+            })
+        });
+    }
+    group.bench_function("opt_n32", |bch| {
+        bch.iter(|| {
+            let stats = seq::measure_opt(32, 1024, |mem, a, b| {
+                seq::fast_recursive(mem, &alg, a, b, seq::natural_tile(1024))
+            });
+            black_box(stats.io())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    cache_access_throughput,
+    reference_model_throughput,
+    opt_belady_throughput,
+    end_to_end_instrumented
+);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Golden snapshot of the `tables` binary's Table I sequential section.
+//!
+//! The section is fully deterministic (fixed grid, fixed seeds, no wall
+//! times), so its exact text pins every measured counter that feeds the
+//! paper artifact. Regenerate after an intentional change with:
+//!
+//! ```text
+//! FMM_BLESS=1 cargo test -p fmm-bench --test golden_table1
+//! ```
+
+use std::fs;
+use std::path::Path;
+use std::process::Command;
+
+#[test]
+fn tables_table1_section_matches_golden() {
+    let out = Command::new(env!("CARGO_BIN_EXE_tables"))
+        .arg("--table1")
+        .output()
+        .expect("run tables --table1");
+    assert!(
+        out.status.success(),
+        "tables --table1 failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let actual = String::from_utf8(out.stdout).expect("tables output is UTF-8");
+
+    let golden = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/table1.txt");
+    if std::env::var_os("FMM_BLESS").is_some() {
+        fs::create_dir_all(golden.parent().unwrap()).unwrap();
+        fs::write(&golden, &actual).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&golden).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with FMM_BLESS=1 to create it",
+            golden.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "table1 output diverged; if intentional, regenerate with FMM_BLESS=1"
+    );
+}

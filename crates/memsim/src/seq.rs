@@ -13,7 +13,7 @@
 //!   sub-problem fits in cache, `Θ((n/√M)^{log₂7}·M)` I/O.
 
 use crate::cache::{Cache, CacheStats, EvictionStats, Policy};
-use crate::trace::Access;
+use crate::trace::{Access, NextUseBuilder, TraceSink};
 use fmm_core::bilinear::Bilinear2x2;
 use fmm_matrix::Matrix;
 
@@ -99,11 +99,28 @@ impl TMat {
     }
 }
 
+/// Number of [`Access`] records buffered before a sink sees them. Large
+/// enough to amortize the dynamic dispatch into the sink, small enough
+/// (64 KiB) to stay cache-resident.
+const TRACE_CHUNK: usize = 4096;
+
+/// Where the access stream goes, if anywhere.
+enum Sink {
+    /// Materialize the whole trace (small runs / tests / replay).
+    Record(Vec<Access>),
+    /// Stream to an external consumer through the chunk buffer.
+    Stream(Box<dyn TraceSink>),
+}
+
 /// The simulated memory: a bump allocator of addresses plus the cache.
 pub struct Mem {
     cache: Cache,
     next: u64,
-    trace: Option<Vec<Access>>,
+    /// Fixed-size chunk buffer between the executors and the sink; only
+    /// allocated (and only consulted beyond one branch) when a sink is
+    /// attached.
+    chunk: Vec<Access>,
+    sink: Option<Sink>,
     phases: Option<PhaseLog>,
 }
 
@@ -114,7 +131,8 @@ impl Mem {
         let mut mem = Mem {
             cache: Cache::new(m, policy),
             next: 0,
-            trace: None,
+            chunk: Vec::new(),
+            sink: None,
             phases: None,
         };
         if fmm_obs::detailed() {
@@ -125,11 +143,59 @@ impl Mem {
 
     /// As [`Mem::new`], additionally recording the full access trace so it
     /// can be replayed under the offline-optimal policy
-    /// ([`crate::trace::opt_stats`]).
+    /// ([`crate::trace::opt_stats`]). Prefer the streaming
+    /// [`measure_opt_seeded`] for large runs — it never materializes the
+    /// trace.
     pub fn new_recording(m: usize, policy: Policy) -> Self {
         let mut mem = Mem::new(m, policy);
-        mem.trace = Some(Vec::new());
+        mem.sink = Some(Sink::Record(Vec::new()));
+        mem.chunk.reserve_exact(TRACE_CHUNK);
         mem
+    }
+
+    /// Stream every subsequent access into `sink` through a fixed-size
+    /// chunk buffer. Replaces any previous sink (its buffered records are
+    /// delivered first).
+    pub fn attach_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.flush_chunk();
+        self.sink = Some(Sink::Stream(sink));
+        self.chunk.reserve_exact(TRACE_CHUNK);
+    }
+
+    /// Deliver buffered records and detach the current streaming sink.
+    pub fn detach_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.flush_chunk();
+        match self.sink.take() {
+            Some(Sink::Stream(s)) => Some(s),
+            other => {
+                self.sink = other;
+                None
+            }
+        }
+    }
+
+    /// Deliver any buffered chunk to the sink.
+    fn flush_chunk(&mut self) {
+        if self.chunk.is_empty() {
+            return;
+        }
+        match &mut self.sink {
+            Some(Sink::Record(v)) => v.extend_from_slice(&self.chunk),
+            Some(Sink::Stream(s)) => s.consume(&self.chunk),
+            None => {}
+        }
+        self.chunk.clear();
+    }
+
+    /// Route one access record toward the sink (no-op without one).
+    #[inline]
+    fn record(&mut self, addr: u64, write: bool) {
+        if self.sink.is_some() {
+            self.chunk.push(Access { addr, write });
+            if self.chunk.len() >= TRACE_CHUNK {
+                self.flush_chunk();
+            }
+        }
     }
 
     /// Explicitly enable (or disable) per-phase attribution, independent of
@@ -176,7 +242,14 @@ impl Mem {
 
     /// The recorded trace, if recording was enabled.
     pub fn take_trace(&mut self) -> Option<Vec<Access>> {
-        self.trace.take()
+        self.flush_chunk();
+        match self.sink.take() {
+            Some(Sink::Record(v)) => Some(v),
+            other => {
+                self.sink = other;
+                None
+            }
+        }
     }
 
     /// Allocate an uninitialized (zero) matrix in slow memory.
@@ -204,9 +277,7 @@ impl Mem {
     fn read(&mut self, m: &TMat, i: usize, j: usize) -> f64 {
         let addr = m.base + (i * m.cols + j) as u64;
         self.cache.read(addr);
-        if let Some(t) = &mut self.trace {
-            t.push(Access { addr, write: false });
-        }
+        self.record(addr, false);
         m.data[i * m.cols + j]
     }
 
@@ -214,9 +285,7 @@ impl Mem {
     fn write(&mut self, m: &mut TMat, i: usize, j: usize, v: f64) {
         let addr = m.base + (i * m.cols + j) as u64;
         self.cache.write(addr);
-        if let Some(t) = &mut self.trace {
-            t.push(Access { addr, write: true });
-        }
+        self.record(addr, true);
         m.data[i * m.cols + j] = v;
     }
 
@@ -548,6 +617,61 @@ where
     (stats, trace)
 }
 
+/// Measured I/O of one full run under the **offline-optimal**
+/// (Belady/MIN) replacement policy, computed in two streaming passes that
+/// never materialize the trace: pass 1 re-runs `f` feeding a
+/// [`NextUseBuilder`] (4 bytes of next-use index per access), pass 2
+/// re-runs `f` feeding the [`crate::trace::OptSim`] it froze into.
+/// Instrumented executions are deterministic, so both passes see the
+/// identical access stream (verified at runtime by the simulator).
+///
+/// This replaces `measure_traced` + [`crate::trace::opt_stats`] for large
+/// `n`, where a materialized `Vec<Access>` dwarfs the simulated memory.
+pub fn measure_opt_seeded<F>(n: usize, m_words: usize, seed: u64, f: F) -> CacheStats
+where
+    F: Fn(&mut Mem, &TMat, &TMat) -> TMat,
+{
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    let _span = fmm_obs::Span::enter("memsim.measure_opt");
+    let run_pass = |sink: Box<dyn TraceSink>| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::<f64>::random_small(n, n, &mut rng);
+        let b = Matrix::<f64>::random_small(n, n, &mut rng);
+        // The online policy is irrelevant here: only the access stream
+        // feeds the OPT computation.
+        let mut mem = Mem::new(m_words, Policy::Lru);
+        mem.attach_sink(sink);
+        let ta = mem.alloc_from(&a);
+        let tb = mem.alloc_from(&b);
+        let _ = f(&mut mem, &ta, &tb);
+        mem.detach_sink();
+    };
+    let builder = Rc::new(RefCell::new(NextUseBuilder::new()));
+    run_pass(Box::new(builder.clone()));
+    let builder = Rc::try_unwrap(builder)
+        .ok()
+        .expect("sole owner")
+        .into_inner();
+    let sim = Rc::new(RefCell::new(builder.into_sim(m_words)));
+    run_pass(Box::new(sim.clone()));
+    Rc::try_unwrap(sim)
+        .ok()
+        .expect("sole owner")
+        .into_inner()
+        .finish()
+}
+
+/// As [`measure_opt_seeded`] with the [`DEFAULT_WORKLOAD_SEED`].
+pub fn measure_opt<F>(n: usize, m_words: usize, f: F) -> CacheStats
+where
+    F: Fn(&mut Mem, &TMat, &TMat) -> TMat,
+{
+    measure_opt_seeded(n, m_words, DEFAULT_WORKLOAD_SEED, f)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -703,6 +827,34 @@ mod tests {
         assert_eq!(off_stats, on_stats, "phase recording must not perturb I/O");
         assert!(off_phases.is_empty());
         assert!(!on_phases.is_empty());
+    }
+
+    #[test]
+    fn streaming_opt_matches_recorded_opt() {
+        // The two-pass streaming OPT must equal opt_stats over the
+        // materialized trace, for every algorithm family.
+        let alg = catalog::strassen();
+        type Kernel = Box<dyn Fn(&mut Mem, &TMat, &TMat) -> TMat>;
+        let cases: [(&str, Kernel); 3] = [
+            (
+                "naive",
+                Box::new(|m: &mut Mem, a: &TMat, b: &TMat| classical_naive(m, a, b)),
+            ),
+            (
+                "blocked",
+                Box::new(|m: &mut Mem, a: &TMat, b: &TMat| classical_blocked(m, a, b, 4)),
+            ),
+            (
+                "fast",
+                Box::new(move |m: &mut Mem, a: &TMat, b: &TMat| fast_recursive(m, &alg, a, b, 4)),
+            ),
+        ];
+        for (name, f) in &cases {
+            let (_, trace) = measure_traced(16, 48, Policy::Lru, |m, a, b| f(m, a, b));
+            let recorded = crate::trace::opt_stats(&trace, 48);
+            let streamed = measure_opt(16, 48, |m, a, b| f(m, a, b));
+            assert_eq!(streamed, recorded, "{name}");
+        }
     }
 
     #[test]

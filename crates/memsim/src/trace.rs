@@ -1,14 +1,43 @@
-//! Offline-optimal (Belady/MIN) replacement on recorded traces.
+//! Offline-optimal (Belady/MIN) replacement, streaming trace plumbing.
 //!
 //! The online simulator in [`crate::cache`] implements LRU/FIFO; the
-//! *optimal offline* policy needs the future, so it is computed here as a
-//! post-processor over a recorded access trace. Comparing LRU against OPT
-//! on the same schedule separates "the schedule moves this much data" from
-//! "the replacement policy wastes this much" — an ablation the lower
-//! bounds themselves are agnostic to (they hold under any policy).
+//! *optimal offline* policy needs the future, so it is computed here.
+//! Comparing LRU against OPT on the same schedule separates "the schedule
+//! moves this much data" from "the replacement policy wastes this much" —
+//! an ablation the lower bounds themselves are agnostic to (they hold
+//! under any policy).
+//!
+//! ## Streaming two-pass design
+//!
+//! The old implementation materialized the whole trace as `Vec<Access>`
+//! (16 bytes per access) and drove a `BTreeSet<(usize, u64)>` (an
+//! O(log M) tree operation per access), which capped the LRU-vs-OPT
+//! ablation at toy sizes. The rewrite splits OPT into two streaming
+//! passes that never hold `Access` records:
+//!
+//! 1. [`NextUseBuilder`] consumes the access stream once and records, per
+//!    interned address, the ordered list of positions at which it is
+//!    touched (4 bytes per access).
+//! 2. [`OptSim`] consumes the *same* stream again (instrumented
+//!    executions are deterministic, so the second pass is a re-run) and
+//!    simulates Belady eviction with O(1) amortized work per access: the
+//!    resident set is indexed by a `pos_owner` bucket array mapping each
+//!    future trace position to the line whose next use it is (each
+//!    position is the next use of at most one line, so buckets hold at
+//!    most one id), a `never` stack of resident lines with no future
+//!    use, and a lazy-deletion binary max-heap of filed positions that
+//!    yields the farthest-next-use victim in O(log M) amortized — stale
+//!    heap entries are recognized in O(1) by their empty bucket and
+//!    discarded on pop, so no ordered container is ever rebalanced on
+//!    the hit path.
+//!
+//! [`opt_stats`] keeps the historical slice-based API as a thin wrapper
+//! over the two passes. The naive `BTreeSet` implementation survives as
+//! [`crate::reference::opt_stats_reference`], the oracle the differential
+//! tests pin this one to.
 
 use crate::cache::CacheStats;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BinaryHeap, HashMap};
 
 /// One recorded access.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -19,6 +48,245 @@ pub struct Access {
     pub write: bool,
 }
 
+/// A consumer of access-trace chunks. Instrumented executions feed
+/// [`Access`] records through a fixed-size chunk buffer (see
+/// [`crate::seq::Mem::attach_sink`]) instead of materializing the trace,
+/// so a sink sees the stream in order, in batches.
+pub trait TraceSink {
+    /// Consume the next chunk of the access stream.
+    fn consume(&mut self, chunk: &[Access]);
+}
+
+/// Shared-ownership adapter: lets a caller hand a sink to an instrumented
+/// execution (which wants an owned `Box<dyn TraceSink>`) while keeping a
+/// handle to collect the result afterwards.
+impl<T: TraceSink> TraceSink for std::rc::Rc<std::cell::RefCell<T>> {
+    fn consume(&mut self, chunk: &[Access]) {
+        self.borrow_mut().consume(chunk);
+    }
+}
+
+/// Sentinel: "no position" / "no id".
+const NONE32: u32 = u32::MAX;
+
+/// Pass 1 of streaming OPT: intern addresses and record, per address, the
+/// ordered positions at which it is accessed. One `u32` per access plus
+/// one interner entry per *distinct* address — far below the 16 bytes per
+/// access of a materialized trace.
+#[derive(Default)]
+pub struct NextUseBuilder {
+    ids: HashMap<u64, u32>,
+    positions: Vec<Vec<u32>>,
+    len: u32,
+}
+
+impl NextUseBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the next access of the stream.
+    #[inline]
+    pub fn push(&mut self, addr: u64) {
+        let next_id = self.positions.len() as u32;
+        let id = *self.ids.entry(addr).or_insert(next_id);
+        if id == next_id {
+            self.positions.push(Vec::new());
+        }
+        self.positions[id as usize].push(self.len);
+        self.len = self
+            .len
+            .checked_add(1)
+            .expect("trace longer than u32::MAX accesses");
+    }
+
+    /// Number of accesses recorded so far.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether anything has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Freeze into the pass-2 simulator.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn into_sim(self, capacity: usize) -> OptSim {
+        assert!(capacity > 0, "cache capacity must be positive");
+        let n_ids = self.positions.len();
+        OptSim {
+            capacity,
+            ids: self.ids,
+            positions: self.positions,
+            cursor: vec![0; n_ids],
+            resident: vec![false; n_ids],
+            dirty: vec![false; n_ids],
+            pos_owner: vec![NONE32; self.len as usize + 1],
+            never: Vec::new(),
+            heap: BinaryHeap::new(),
+            t: 0,
+            len: 0,
+            stats: CacheStats::default(),
+        }
+    }
+}
+
+impl TraceSink for NextUseBuilder {
+    fn consume(&mut self, chunk: &[Access]) {
+        for a in chunk {
+            self.push(a.addr);
+        }
+    }
+}
+
+/// Pass 2 of streaming OPT: Belady/MIN simulation of a fully associative
+/// cache of `capacity` words with write-allocate-without-fetch,
+/// dirty-writeback accounting and a final flush ([`OptSim::finish`]).
+///
+/// The stream fed to [`OptSim::access`] must be *identical* to the one
+/// the [`NextUseBuilder`] saw; a divergence panics with a diagnostic
+/// rather than silently producing wrong counts.
+pub struct OptSim {
+    capacity: usize,
+    ids: HashMap<u64, u32>,
+    positions: Vec<Vec<u32>>,
+    /// Per id: index into `positions[id]` of the *current* occurrence.
+    cursor: Vec<u32>,
+    resident: Vec<bool>,
+    dirty: Vec<bool>,
+    /// For each future trace position, the resident id whose next use it
+    /// is (`NONE32` if none) — the "bucket" side of victim selection.
+    pos_owner: Vec<u32>,
+    /// Resident ids with no future use: any of them is an optimal victim
+    /// (the counters come out the same whichever is evicted, because a
+    /// never-again-used line costs its dirty writeback exactly once —
+    /// now, or at the final flush).
+    never: Vec<u32>,
+    /// Filed next-use positions, max first, with lazy deletion: an entry
+    /// whose bucket in `pos_owner` has been retired (hit reached it, or
+    /// the line was already evicted) is stale and skipped on pop. Every
+    /// position enters the heap at most once, so total heap work is
+    /// O(len · log M) regardless of how victim selection interleaves
+    /// with retirement.
+    heap: BinaryHeap<u32>,
+    /// Current trace position.
+    t: u32,
+    len: usize,
+    stats: CacheStats,
+}
+
+impl OptSim {
+    /// Feed the next access of the (re-run) stream.
+    #[inline]
+    pub fn access(&mut self, addr: u64, write: bool) {
+        let id = *self
+            .ids
+            .get(&addr)
+            .unwrap_or_else(|| panic!("OPT pass 2 diverged: address {addr} never seen in pass 1"));
+        let i = id as usize;
+        let cur = self.cursor[i] as usize;
+        let here = self.positions[i].get(cur).copied();
+        assert!(
+            here == Some(self.t),
+            "OPT pass 2 diverged at position {}: address {addr} expected at {:?}",
+            self.t,
+            here,
+        );
+        self.cursor[i] = (cur + 1) as u32;
+        let nu = self.positions[i].get(cur + 1).copied();
+
+        self.stats.accesses += 1;
+        if self.resident[i] {
+            self.stats.hits += 1;
+            self.dirty[i] |= write;
+            // This access *is* the line's recorded next use: retire that
+            // bucket and file the new one.
+            self.pos_owner[self.t as usize] = NONE32;
+            self.file_next_use(id, nu);
+        } else {
+            if !write {
+                self.stats.loads += 1;
+            }
+            if self.len >= self.capacity {
+                self.evict();
+            }
+            self.resident[i] = true;
+            self.dirty[i] = write;
+            self.len += 1;
+            self.file_next_use(id, nu);
+        }
+        self.t += 1;
+    }
+
+    #[inline]
+    fn file_next_use(&mut self, id: u32, nu: Option<u32>) {
+        match nu {
+            Some(p) => {
+                debug_assert_eq!(self.pos_owner[p as usize], NONE32);
+                self.pos_owner[p as usize] = id;
+                self.heap.push(p);
+            }
+            None => self.never.push(id),
+        }
+    }
+
+    /// Evict the farthest-next-use resident line: the `never` stack
+    /// first, else pop the heap past stale entries (empty bucket ⇒
+    /// retired) to the live maximum. Buckets are occupied iff their
+    /// owner is resident with exactly that next use, so a non-empty
+    /// bucket never needs a second validity check.
+    fn evict(&mut self) {
+        let victim = match self.never.pop() {
+            Some(v) => v,
+            None => loop {
+                let p = self.heap.pop().expect(
+                    "no eviction candidate: every resident line must be in `never` or own a bucket",
+                ) as usize;
+                if self.pos_owner[p] != NONE32 {
+                    let v = self.pos_owner[p];
+                    self.pos_owner[p] = NONE32;
+                    break v;
+                }
+            },
+        };
+        let v = victim as usize;
+        debug_assert!(self.resident[v]);
+        self.resident[v] = false;
+        if self.dirty[v] {
+            self.stats.stores += 1;
+        }
+        self.len -= 1;
+    }
+
+    /// Final flush: write back resident dirty lines and return the
+    /// accumulated statistics.
+    pub fn finish(mut self) -> CacheStats {
+        for i in 0..self.resident.len() {
+            if self.resident[i] && self.dirty[i] {
+                self.stats.stores += 1;
+            }
+        }
+        self.stats
+    }
+
+    /// Statistics so far (without the final flush).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+impl TraceSink for OptSim {
+    fn consume(&mut self, chunk: &[Access]) {
+        for a in chunk {
+            self.access(a.addr, a.write);
+        }
+    }
+}
+
 /// Simulate the optimal offline (Belady/MIN) policy over `trace` with a
 /// fully associative cache of `capacity` words, write-allocate without
 /// fetch, dirty-writeback accounting and a final flush.
@@ -26,53 +294,15 @@ pub struct Access {
 /// # Panics
 /// Panics if `capacity == 0`.
 pub fn opt_stats(trace: &[Access], capacity: usize) -> CacheStats {
-    assert!(capacity > 0, "cache capacity must be positive");
-    // next_use[i] = index of the next access to the same address after i.
-    const NEVER: usize = usize::MAX;
-    let mut next_use = vec![NEVER; trace.len()];
-    let mut last_pos: HashMap<u64, usize> = HashMap::new();
-    for (i, a) in trace.iter().enumerate().rev() {
-        next_use[i] = last_pos.get(&a.addr).copied().unwrap_or(NEVER);
-        last_pos.insert(a.addr, i);
+    let mut builder = NextUseBuilder::new();
+    for a in trace {
+        builder.push(a.addr);
     }
-
-    let mut stats = CacheStats::default();
-    // Resident set ordered by next use (farthest last); plus per-address
-    // state.
-    let mut resident: BTreeSet<(usize, u64)> = BTreeSet::new();
-    let mut state: HashMap<u64, (usize, bool)> = HashMap::new(); // next_use, dirty
-
-    for (i, a) in trace.iter().enumerate() {
-        stats.accesses += 1;
-        let nu = next_use[i];
-        if let Some(&(old_nu, dirty)) = state.get(&a.addr) {
-            stats.hits += 1;
-            resident.remove(&(old_nu, a.addr));
-            resident.insert((nu, a.addr));
-            state.insert(a.addr, (nu, dirty || a.write));
-        } else {
-            if !a.write {
-                stats.loads += 1;
-            }
-            if resident.len() >= capacity {
-                let &(victim_nu, victim) = resident.iter().next_back().expect("nonempty");
-                resident.remove(&(victim_nu, victim));
-                let (_, dirty) = state.remove(&victim).expect("victim resident");
-                if dirty {
-                    stats.stores += 1;
-                }
-            }
-            resident.insert((nu, a.addr));
-            state.insert(a.addr, (nu, a.write));
-        }
+    let mut sim = builder.into_sim(capacity);
+    for a in trace {
+        sim.access(a.addr, a.write);
     }
-    // Final flush.
-    for (_, (_, dirty)) in state {
-        if dirty {
-            stats.stores += 1;
-        }
-    }
-    stats
+    sim.finish()
 }
 
 /// Replay a trace through the *online* simulator for a like-for-like
@@ -176,5 +406,47 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = opt_stats(&[], 0);
+    }
+
+    #[test]
+    fn two_pass_streaming_matches_slice_api() {
+        let mut x = 7u64;
+        let trace: Vec<Access> = (0..400)
+            .map(|_| {
+                x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                Access {
+                    addr: (x >> 40) % 31,
+                    write: x & 4 == 0,
+                }
+            })
+            .collect();
+        for cap in [1usize, 3, 7, 32] {
+            let slice = opt_stats(&trace, cap);
+            // Streamed in uneven chunks through the TraceSink interface.
+            let mut b = NextUseBuilder::new();
+            for chunk in trace.chunks(13) {
+                b.consume(chunk);
+            }
+            let mut sim = b.into_sim(cap);
+            for chunk in trace.chunks(29) {
+                sim.consume(chunk);
+            }
+            assert_eq!(sim.finish(), slice, "cap={cap}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "diverged")]
+    fn pass_divergence_detected() {
+        let mut b = NextUseBuilder::new();
+        b.push(1);
+        b.push(2);
+        let mut sim = b.into_sim(4);
+        sim.access(2, false); // wrong order vs pass 1
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        assert_eq!(opt_stats(&[], 4), CacheStats::default());
     }
 }

@@ -1,0 +1,186 @@
+//! Differential reference-model harness.
+//!
+//! The optimized simulator core (slab LRU/FIFO with an open-addressing
+//! intern table, bucket-pointer Belady OPT) must be **byte-identical** in
+//! its counters to the deliberately naive models in `fmm_memsim::reference`
+//! on arbitrary traces — mixed reads/writes/mid-trace flushes, uniform and
+//! skewed address distributions, capacities 1..64. The reference models
+//! are the oracle and are kept forever; any divergence is a bug in the
+//! fast core, never grounds to adjust the oracle.
+
+use fmm_memsim::cache::Policy;
+use fmm_memsim::reference::{self, Op};
+use fmm_memsim::trace::{opt_stats, replay, Access};
+use proptest::prelude::*;
+
+/// Uniform addresses over a range comparable to the capacity (plenty of
+/// conflict pressure), with a ~2% sprinkling of mid-trace flushes.
+fn uniform_ops(max_addr: u64, len: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (0u8..50, 0..max_addr, proptest::bool::ANY).prop_map(|(sel, addr, write)| {
+            if sel == 0 {
+                Op::Flush
+            } else {
+                Op::Access(Access { addr, write })
+            }
+        }),
+        0..len,
+    )
+}
+
+/// Skewed: a small hot set takes most accesses, a huge cold range the
+/// rest — the regime real blocked/recursive schedules produce (hot tile
+/// plus streaming traffic), and the one that stresses intern-table
+/// collision handling with far-apart addresses.
+fn skewed_ops(len: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (0u8..50, 0u64..1_000_000_000, proptest::bool::ANY).prop_map(
+            |(sel, raw, write)| match sel {
+                0 => Op::Flush,
+                1..=39 => Op::Access(Access {
+                    addr: raw % 6,
+                    write,
+                }),
+                _ => Op::Access(Access { addr: raw, write }),
+            },
+        ),
+        0..len,
+    )
+}
+
+fn accesses_only(ops: &[Op]) -> Vec<Access> {
+    ops.iter()
+        .filter_map(|op| match op {
+            Op::Access(a) => Some(*a),
+            Op::Flush => None,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Tentpole exactness: CacheStats AND EvictionStats identical between
+    /// the optimized core and the naive model, both policies, uniform
+    /// addresses, capacities 1..64.
+    #[test]
+    fn online_core_matches_reference_uniform(ops in uniform_ops(96, 400), cap in 1usize..64) {
+        for policy in [Policy::Lru, Policy::Fifo] {
+            let (rs, re) = reference::replay_reference(&ops, cap, policy);
+            let (ps, pe) = reference::replay_production(&ops, cap, policy);
+            prop_assert_eq!(rs, ps, "CacheStats diverge: cap={} {:?}", cap, policy);
+            prop_assert_eq!(re, pe, "EvictionStats diverge: cap={} {:?}", cap, policy);
+        }
+    }
+
+    /// Same, under the skewed hot/cold distribution.
+    #[test]
+    fn online_core_matches_reference_skewed(ops in skewed_ops(400), cap in 1usize..64) {
+        for policy in [Policy::Lru, Policy::Fifo] {
+            let (rs, re) = reference::replay_reference(&ops, cap, policy);
+            let (ps, pe) = reference::replay_production(&ops, cap, policy);
+            prop_assert_eq!(rs, ps, "CacheStats diverge: cap={} {:?}", cap, policy);
+            prop_assert_eq!(re, pe, "EvictionStats diverge: cap={} {:?}", cap, policy);
+        }
+    }
+
+    /// The bucket-pointer OPT equals the BTreeSet oracle exactly.
+    #[test]
+    fn opt_matches_reference(ops in uniform_ops(48, 400), cap in 1usize..64) {
+        let trace = accesses_only(&ops);
+        prop_assert_eq!(
+            opt_stats(&trace, cap),
+            reference::opt_stats_reference(&trace, cap),
+            "cap={}", cap
+        );
+    }
+
+    /// And under skew (exercises interning of far-apart addresses).
+    #[test]
+    fn opt_matches_reference_skewed(ops in skewed_ops(400), cap in 1usize..64) {
+        let trace = accesses_only(&ops);
+        prop_assert_eq!(
+            opt_stats(&trace, cap),
+            reference::opt_stats_reference(&trace, cap),
+            "cap={}", cap
+        );
+    }
+
+    /// OPT dominance: opt ≤ every online policy's I/O, any trace/capacity.
+    #[test]
+    fn opt_floors_online_policies(ops in uniform_ops(48, 400), cap in 1usize..64) {
+        let trace = accesses_only(&ops);
+        let opt = opt_stats(&trace, cap);
+        for policy in [Policy::Lru, Policy::Fifo] {
+            let online = replay(&trace, cap, policy);
+            prop_assert!(
+                opt.io() <= online.io(),
+                "cap={} {:?}: OPT {} > online {}",
+                cap, policy, opt.io(), online.io()
+            );
+        }
+    }
+
+    /// OPT is monotone non-increasing in capacity.
+    #[test]
+    fn opt_monotone_in_capacity(ops in uniform_ops(48, 300), cap in 1usize..32, bump in 1usize..32) {
+        let trace = accesses_only(&ops);
+        let small = opt_stats(&trace, cap);
+        let big = opt_stats(&trace, cap + bump);
+        prop_assert!(
+            big.io() <= small.io(),
+            "capacity {} io {} vs capacity {} io {}",
+            cap, small.io(), cap + bump, big.io()
+        );
+    }
+}
+
+/// Deterministic long-trace differential run at realistic length. The
+/// naive reference is O(capacity) per access, so this is release-only
+/// (the `test-release` CI job runs ignored tests; `cargo test` in debug
+/// skips it).
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "reference model too slow in debug; run with --release"
+)]
+fn long_trace_differential() {
+    let mut x = 0x1234_5678_9abc_def0u64;
+    let mut step = move || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        x
+    };
+    let mut ops = Vec::with_capacity(300_000);
+    for _ in 0..300_000 {
+        let r = step();
+        let addr = if r % 10 < 7 {
+            (r >> 32) % 700 // hot region around the capacity
+        } else {
+            (r >> 24) % 5_000_000 // cold streaming traffic
+        };
+        if r % 997 == 0 {
+            ops.push(Op::Flush);
+        } else {
+            ops.push(Op::Access(Access {
+                addr,
+                write: r % 3 == 0,
+            }));
+        }
+    }
+    for cap in [1usize, 2, 63, 512] {
+        for policy in [Policy::Lru, Policy::Fifo] {
+            let (rs, re) = reference::replay_reference(&ops, cap, policy);
+            let (ps, pe) = reference::replay_production(&ops, cap, policy);
+            assert_eq!(rs, ps, "CacheStats diverge: cap={cap} {policy:?}");
+            assert_eq!(re, pe, "EvictionStats diverge: cap={cap} {policy:?}");
+        }
+        let trace = accesses_only(&ops);
+        assert_eq!(
+            opt_stats(&trace, cap),
+            reference::opt_stats_reference(&trace, cap),
+            "OPT diverges: cap={cap}"
+        );
+    }
+}

@@ -2,50 +2,10 @@
 //! naive reference model, OPT as a universal floor, and structural
 //! invariants of the distributed runs.
 
-use fmm_memsim::cache::{Cache, CacheStats, Policy};
+use fmm_memsim::cache::{Cache, Policy};
+use fmm_memsim::reference::{self, Op};
 use fmm_memsim::trace::{opt_stats, replay, Access};
 use proptest::prelude::*;
-
-/// A deliberately naive reference implementation of the LRU
-/// write-allocate/write-back cache, kept as different in structure from the
-/// production one as possible (vectors + linear scans).
-fn reference_lru(trace: &[Access], capacity: usize) -> CacheStats {
-    let mut stats = CacheStats::default();
-    // (addr, dirty, last_touch)
-    let mut lines: Vec<(u64, bool, u64)> = Vec::new();
-    let mut clock = 0u64;
-    for a in trace {
-        stats.accesses += 1;
-        clock += 1;
-        if let Some(line) = lines.iter_mut().find(|l| l.0 == a.addr) {
-            line.1 |= a.write;
-            line.2 = clock;
-            stats.hits += 1;
-            continue;
-        }
-        if !a.write {
-            stats.loads += 1;
-        }
-        if lines.len() >= capacity {
-            let (idx, _) = lines
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.2)
-                .expect("nonempty");
-            let victim = lines.swap_remove(idx);
-            if victim.1 {
-                stats.stores += 1;
-            }
-        }
-        lines.push((a.addr, a.write, clock));
-    }
-    for line in lines {
-        if line.1 {
-            stats.stores += 1;
-        }
-    }
-    stats
-}
 
 fn trace_strategy() -> impl Strategy<Value = Vec<Access>> {
     proptest::collection::vec(
@@ -68,7 +28,10 @@ proptest! {
             }
         }
         cache.flush();
-        prop_assert_eq!(cache.stats(), reference_lru(&trace, cap));
+        let ops: Vec<Op> = trace.iter().map(|&a| Op::Access(a)).collect();
+        let (ref_stats, ref_evict) = reference::replay_reference(&ops, cap, Policy::Lru);
+        prop_assert_eq!(cache.stats(), ref_stats);
+        prop_assert_eq!(cache.eviction_stats(), ref_evict);
     }
 
     #[test]

@@ -8,7 +8,6 @@ use fmm_core::altbasis::karstadt_schwartz;
 use fmm_core::{bounds, catalog, Bilinear2x2};
 use fmm_matrix::Matrix;
 use fmm_memsim::cache::Policy;
-use fmm_memsim::trace::opt_stats;
 use fmm_memsim::{par, seq};
 use fmm_pebbling::game::run_schedule;
 use fmm_pebbling::players::{demand_schedule, EvictionMode};
@@ -95,10 +94,9 @@ fn run_cache_cell(cell: &Cell, seed: u64) -> Result<Measurement, String> {
     let stats = match cell.policy {
         PolicyKind::Lru => seq::measure_seeded(n, m, Policy::Lru, seed, run).1,
         PolicyKind::Fifo => seq::measure_seeded(n, m, Policy::Fifo, seed, run).1,
-        PolicyKind::Opt => {
-            let (_, trace) = seq::measure_traced_seeded(n, m, Policy::Lru, seed, run);
-            opt_stats(&trace, m)
-        }
+        // Streaming two-pass Belady: no materialized trace, so OPT cells
+        // scale to the same n as the online policies.
+        PolicyKind::Opt => seq::measure_opt_seeded(n, m, seed, run),
     };
     let bound = bounds::sequential(n, m, cell.alg.omega());
     Ok(Measurement {

@@ -4,7 +4,7 @@
 //! fastmm multiply --alg winograd --n 256 [--cutoff 16] [--seed 42]
 //! fastmm bounds   --n 4096 --m 1024 [--p 49]
 //! fastmm verify   [--n 4]
-//! fastmm io       --alg strassen --n 32 --m 96 [--seed 61453]
+//! fastmm io       --alg strassen --n 32 --m 96 [--policy lru|fifo|opt] [--seed 61453]
 //! fastmm pebble   --family tree --m 3 [--optimal]
 //! fastmm dot      --alg strassen --n 2 --out h2.dot
 //! fastmm report   metrics.jsonl
@@ -213,14 +213,24 @@ fn cmd_io(flags: &HashMap<String, String>) {
     let seed = get_usize(flags, "seed", seq::DEFAULT_WORKLOAD_SEED as usize) as u64;
     let alg = algorithm(flags);
     let tile = seq::natural_tile(m);
-    let (_, stats) = if alg.name == "classical" {
-        seq::measure_seeded(n, m, Policy::Lru, seed, |mem, a, b| {
+    let policy = flags.get("policy").map(String::as_str).unwrap_or("lru");
+    let run = |mem: &mut seq::Mem, a: &seq::TMat, b: &seq::TMat| -> seq::TMat {
+        if alg.name == "classical" {
             seq::classical_blocked(mem, a, b, tile)
-        })
-    } else {
-        seq::measure_seeded(n, m, Policy::Lru, seed, |mem, a, b| {
+        } else {
             seq::fast_recursive(mem, &alg, a, b, tile)
-        })
+        }
+    };
+    let stats = match policy {
+        "lru" => seq::measure_seeded(n, m, Policy::Lru, seed, run).1,
+        "fifo" => seq::measure_seeded(n, m, Policy::Fifo, seed, run).1,
+        // Offline-optimal replacement, streamed in two passes — no
+        // recorded trace, so it runs at the same n as the online policies.
+        "opt" => seq::measure_opt_seeded(n, m, seed, run),
+        other => {
+            eprintln!("unknown policy '{other}' (lru|fifo|opt)");
+            std::process::exit(2);
+        }
     };
     let omega = if alg.name == "classical" {
         bounds::OMEGA_CLASSICAL
@@ -229,8 +239,9 @@ fn cmd_io(flags: &HashMap<String, String>) {
     };
     let lb = bounds::sequential(n, m, omega);
     println!(
-        "{} at n = {n}, M = {m} (LRU, tile {tile}, seed {seed}):",
-        alg.name
+        "{} at n = {n}, M = {m} ({}, tile {tile}, seed {seed}):",
+        alg.name,
+        policy.to_uppercase()
     );
     println!(
         "  measured I/O:  {} ({} loads, {} stores)",
@@ -565,7 +576,7 @@ fn main() -> ExitCode {
         "multiply" => &["alg", "n", "cutoff", "seed"],
         "bounds" => &["n", "m", "p"],
         "verify" => &["n"],
-        "io" => &["alg", "n", "m", "seed"],
+        "io" => &["alg", "n", "m", "seed", "policy"],
         "pebble" => &[
             "family", "m", "optimal", "len", "leaves", "rows", "cols", "n",
         ],

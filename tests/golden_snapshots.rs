@@ -1,0 +1,57 @@
+//! Golden-file snapshot tests for the human-facing report surfaces.
+//!
+//! The sweep report over the committed `sweep_table1.jsonl` is a function
+//! of the measured counters alone, so any simulator refactor that silently
+//! shifts a single number changes this text and fails here. The one
+//! nondeterministic line — `cell wall time (us): ...` — is stripped before
+//! comparison.
+//!
+//! To regenerate after an *intentional* change:
+//!
+//! ```text
+//! FMM_BLESS=1 cargo test --test golden_snapshots
+//! ```
+
+use fmm_sweep::{checkpoint, report};
+use std::fs;
+use std::path::Path;
+
+/// Drop wall-clock lines: the only part of the report that varies run to
+/// run on identical inputs.
+fn normalize(text: &str) -> String {
+    text.lines()
+        .filter(|l| !l.starts_with("cell wall time"))
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n"
+}
+
+fn check_golden(actual: &str, golden_path: &Path) {
+    if std::env::var_os("FMM_BLESS").is_some() {
+        fs::create_dir_all(golden_path.parent().unwrap()).unwrap();
+        fs::write(golden_path, actual).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(golden_path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with FMM_BLESS=1 to create it",
+            golden_path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "report text diverged from {}; if the change is intentional, \
+         regenerate with FMM_BLESS=1",
+        golden_path.display()
+    );
+}
+
+#[test]
+fn sweep_report_on_committed_table1_matches_golden() {
+    let (header, records) =
+        checkpoint::load("sweep_table1.jsonl").expect("committed sweep_table1.jsonl must parse");
+    let summary = report::summarize(&records);
+    let text = normalize(&report::render(&header, &summary));
+    check_golden(&text, Path::new("tests/golden/sweep_table1_report.txt"));
+}

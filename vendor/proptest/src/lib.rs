@@ -487,6 +487,20 @@ macro_rules! prop_assert_eq {
             )));
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right,
+                format!($($fmt)+),
+            )));
+        }
+    }};
 }
 
 /// Inequality assertion inside a `proptest!` body.
