@@ -22,6 +22,7 @@
 pub mod cache;
 pub mod model;
 pub mod par;
+pub mod par_faults;
 pub mod par_threads;
 pub mod reference;
 pub mod seq;

@@ -39,19 +39,27 @@ pub struct NetStats {
     pub total_words: u64,
     /// Number of point-to-point messages.
     pub messages: u64,
+    /// Of `total_words`, the words moved only because of faults: dropped
+    /// delivery attempts, duplicated deliveries, checkpoint snapshots and
+    /// restores, and recomputation re-fetches. A fault-free run has zero;
+    /// a faulty run's `total_words - recovery_words` equals the fault-free
+    /// total, which is what lets recovery overhead be compared directly
+    /// against the Table I lower bounds.
+    pub recovery_words: u64,
 }
 
 impl NetStats {
-    fn new(p: usize) -> Self {
+    pub(crate) fn new(p: usize) -> Self {
         NetStats {
             per_proc: vec![0; p],
             total_words: 0,
             messages: 0,
+            recovery_words: 0,
         }
     }
 
     /// Record a transfer of `words` from `from` to `to`.
-    fn transfer(&mut self, from: usize, to: usize, words: u64) {
+    pub(crate) fn transfer(&mut self, from: usize, to: usize, words: u64) {
         if from == to || words == 0 {
             return;
         }
@@ -63,9 +71,26 @@ impl NetStats {
 
     /// Charge `words` of traffic to one processor without a peer (used for
     /// collective redistributions accounted analytically).
-    fn charge(&mut self, proc: usize, words: u64) {
+    pub(crate) fn charge(&mut self, proc: usize, words: u64) {
         self.per_proc[proc] += words;
         self.total_words += words;
+    }
+
+    /// As [`NetStats::transfer`], additionally booking the words under
+    /// `recovery_words` — traffic that exists only because of a fault.
+    pub(crate) fn transfer_recovery(&mut self, from: usize, to: usize, words: u64) {
+        if from == to || words == 0 {
+            return;
+        }
+        self.transfer(from, to, words);
+        self.recovery_words += words;
+    }
+
+    /// As [`NetStats::charge`], booked under `recovery_words` (snapshot
+    /// writes to and restores from stable storage, analytic re-fetches).
+    pub(crate) fn charge_recovery(&mut self, proc: usize, words: u64) {
+        self.charge(proc, words);
+        self.recovery_words += words;
     }
 
     /// Maximum per-processor communication — the quantity the parallel
@@ -77,13 +102,14 @@ impl NetStats {
     /// Publish this run's traffic to the global telemetry registry:
     /// totals under a `schedule` label, per-processor words when the level
     /// is `full`. No-op when telemetry is off.
-    fn publish(&self, schedule: &str) {
+    pub(crate) fn publish(&self, schedule: &str) {
         if !fmm_obs::enabled() {
             return;
         }
         let labels = [("schedule", schedule.to_string())];
         fmm_obs::add("memsim.net.total_words", &labels, self.total_words);
         fmm_obs::add("memsim.net.messages", &labels, self.messages);
+        fmm_obs::add("memsim.net.recovery_words", &labels, self.recovery_words);
         fmm_obs::gauge(
             "memsim.net.max_per_proc",
             &labels,

@@ -9,10 +9,13 @@
 //! implementations must agree on both the product and the total
 //! communication volume, which the tests check.
 
+use crossbeam::channel::RecvTimeoutError;
+use fmm_faults::{backoff_micros, channel_id, FaultPlan, FaultStats};
 use fmm_matrix::multiply::multiply_naive;
 use fmm_matrix::ops::add_assign;
 use fmm_matrix::{Matrix, Scalar};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Result of a threaded distributed run.
 pub struct ThreadedRun<T> {
@@ -147,6 +150,275 @@ pub fn cannon_threaded<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, p: usize) -> Thr
     }
 }
 
+/// Result of a fault-injected threaded run.
+#[derive(Debug)]
+pub struct FaultyThreadedRun<T: Scalar> {
+    /// The product matrix (byte-identical to the fault-free run: retries
+    /// repair every simulated loss).
+    pub product: Matrix<T>,
+    /// Total words that crossed the network, retransmissions and
+    /// duplicates included.
+    pub total_words: u64,
+    /// Words attributable to faults alone (wasted attempts + duplicates);
+    /// `total_words − recovery_words` equals the fault-free volume.
+    pub recovery_words: u64,
+    /// Total send attempts.
+    pub messages: u64,
+    /// Aggregated fault counters across all workers.
+    pub faults: FaultStats,
+}
+
+/// A block in flight, tagged with the shift round that produced it so
+/// receivers can tell a live block from a stale duplicate.
+struct Envelope<T> {
+    seq: usize,
+    data: T,
+}
+
+/// Per-message deadline for [`cannon_threaded_faulty`] receivers. A
+/// worker whose neighbour died (retry budget exhausted) observes silence,
+/// not a hang: the deadline converts it into an error and the scope
+/// drains. Generous relative to the µs-scale backoff sleeps.
+const RECV_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Cannon's algorithm, one thread per processor, with a lossy network
+/// simulated at the send side: each logical send consults the
+/// [`FaultPlan`] and may be dropped (the attempt's words are charged as
+/// recovery, the sender backs off deterministically and retries, up to
+/// the plan's budget) or duplicated (the extra copy charged as recovery;
+/// receivers discard stale duplicates by sequence number). Every receive
+/// carries a deadline, so an exhausted retry budget surfaces as an `Err`
+/// from every affected worker instead of a deadlock.
+///
+/// Fault rolls are keyed by `(channel, round, attempt)`, never by thread
+/// timing, so the product *and* the full counter triple
+/// `(total_words, recovery_words, messages)` are deterministic for a
+/// given plan.
+///
+/// # Panics
+/// Panics if `p == 0` or `p` does not divide `n`.
+pub fn cannon_threaded_faulty<T: Scalar>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    p: usize,
+    plan: &FaultPlan,
+) -> Result<FaultyThreadedRun<T>, String> {
+    let n = a.rows();
+    assert!(p > 0 && n.is_multiple_of(p), "p must divide n");
+    assert!(
+        a.is_square() && b.is_square() && b.rows() == n,
+        "need equal squares"
+    );
+    let bs = n / p;
+    let nprocs = p * p;
+    let block_words = (bs * bs) as u64;
+    let words = AtomicU64::new(0);
+    let recovery = AtomicU64::new(0);
+    let messages = AtomicU64::new(0);
+
+    let take = |m: &Matrix<T>, bi: usize, bj: usize| -> Matrix<T> {
+        Matrix::from_fn(bs, bs, |i, j| m[(bi * bs + i, bj * bs + j)])
+    };
+    let proc = |i: usize, j: usize| i * p + j;
+    // Capacity 2p: at most one live block plus one duplicate per round can
+    // sit in an inbox (stale duplicates are only drained lazily), so sends
+    // never block even on a slow receiver — backoff sleeps are the only
+    // waits on the send path.
+    let (a_tx, a_rx): (Vec<_>, Vec<_>) = (0..nprocs)
+        .map(|_| crossbeam::channel::bounded::<Envelope<Matrix<T>>>(2 * p))
+        .unzip();
+    let (b_tx, b_rx): (Vec<_>, Vec<_>) = (0..nprocs)
+        .map(|_| crossbeam::channel::bounded::<Envelope<Matrix<T>>>(2 * p))
+        .unzip();
+
+    // What each worker hands back: its accumulator plus local fault
+    // counters, or a description of why the network let it down.
+    type WorkerResult<T> = Result<(Matrix<T>, FaultStats), String>;
+    let mut results: Vec<Option<WorkerResult<T>>> = (0..nprocs).map(|_| None).collect();
+
+    crossbeam::scope(|s| {
+        let mut handles = Vec::with_capacity(nprocs);
+        for i in 0..p {
+            for j in 0..p {
+                let mut a_blk = take(a, i, (i + j) % p);
+                let mut b_blk = take(b, (i + j) % p, j);
+                let a_out = a_tx[proc(i, (j + p - 1) % p)].clone();
+                let a_in = a_rx[proc(i, j)].clone();
+                let b_out = b_tx[proc((i + p - 1) % p, j)].clone();
+                let b_in = b_rx[proc(i, j)].clone();
+                let words = &words;
+                let recovery = &recovery;
+                let messages = &messages;
+                handles.push(
+                    s.spawn(move |_| -> Result<(Matrix<T>, FaultStats), String> {
+                        let me = proc(i, j);
+                        let mut stats = FaultStats::default();
+                        // One lossy logical send: roll per attempt, back off
+                        // between retries, deliver (plus a possible duplicate).
+                        let send = |out: &crossbeam::channel::Sender<Envelope<Matrix<T>>>,
+                                    dir: u64,
+                                    to: usize,
+                                    step: usize,
+                                    blk: &Matrix<T>,
+                                    stats: &mut FaultStats|
+                         -> Result<(), String> {
+                            let ch = channel_id(dir, me, to);
+                            let budget = plan.max_retries();
+                            let mut attempt = 0u32;
+                            loop {
+                                if plan.drops(ch, step, attempt) {
+                                    stats.drops += 1;
+                                    words.fetch_add(block_words, Ordering::Relaxed);
+                                    recovery.fetch_add(block_words, Ordering::Relaxed);
+                                    messages.fetch_add(1, Ordering::Relaxed);
+                                    if attempt >= budget {
+                                        return Err(format!(
+                                            "proc {me}: {}",
+                                            fmm_faults::LinkDead {
+                                                channel: ch,
+                                                round: step,
+                                                attempts: attempt + 1,
+                                            }
+                                        ));
+                                    }
+                                    attempt += 1;
+                                    stats.retries += 1;
+                                    std::thread::sleep(Duration::from_micros(backoff_micros(
+                                        attempt,
+                                    )));
+                                    continue;
+                                }
+                                break;
+                            }
+                            words.fetch_add(block_words, Ordering::Relaxed);
+                            messages.fetch_add(1, Ordering::Relaxed);
+                            out.send(Envelope {
+                                seq: step,
+                                data: blk.clone(),
+                            })
+                            .map_err(|_| format!("proc {me}: peer {to} hung up"))?;
+                            if plan.duplicates(ch, step) {
+                                stats.dups += 1;
+                                words.fetch_add(block_words, Ordering::Relaxed);
+                                recovery.fetch_add(block_words, Ordering::Relaxed);
+                                messages.fetch_add(1, Ordering::Relaxed);
+                                out.send(Envelope {
+                                    seq: step,
+                                    data: blk.clone(),
+                                })
+                                .map_err(|_| format!("proc {me}: peer {to} hung up"))?;
+                            }
+                            Ok(())
+                        };
+                        // Deadline-bounded receive of the round-`step` block;
+                        // stale duplicates from earlier rounds are discarded.
+                        let recv = |inbox: &crossbeam::channel::Receiver<Envelope<Matrix<T>>>,
+                                    step: usize|
+                         -> Result<Matrix<T>, String> {
+                            loop {
+                                let env =
+                                    inbox.recv_timeout(RECV_DEADLINE).map_err(|e| match e {
+                                        RecvTimeoutError::Timeout => {
+                                            format!(
+                                                "proc {me}: recv deadline expired in round {step}"
+                                            )
+                                        }
+                                        RecvTimeoutError::Disconnected => {
+                                            format!("proc {me}: neighbour gone in round {step}")
+                                        }
+                                    })?;
+                                if env.seq == step {
+                                    return Ok(env.data);
+                                }
+                                debug_assert!(env.seq < step, "future block cannot arrive early");
+                            }
+                        };
+                        let mut acc: Matrix<T> = Matrix::zeros(bs, bs);
+                        for step in 0..p {
+                            let prod = multiply_naive(&a_blk, &b_blk);
+                            add_assign(&mut acc, &prod);
+                            if step + 1 == p {
+                                break;
+                            }
+                            send(
+                                &a_out,
+                                0,
+                                proc(i, (j + p - 1) % p),
+                                step,
+                                &a_blk,
+                                &mut stats,
+                            )?;
+                            send(
+                                &b_out,
+                                1,
+                                proc((i + p - 1) % p, j),
+                                step,
+                                &b_blk,
+                                &mut stats,
+                            )?;
+                            a_blk = recv(&a_in, step)?;
+                            b_blk = recv(&b_in, step)?;
+                        }
+                        Ok((acc, stats))
+                    }),
+                );
+            }
+        }
+        for (idx, h) in handles.into_iter().enumerate() {
+            results[idx] = Some(match h.join() {
+                Ok(r) => r,
+                Err(_) => Err(format!("proc {idx}: worker panicked")),
+            });
+        }
+    })
+    .expect("thread scope failed");
+
+    let mut faults = FaultStats::default();
+    let mut blocks: Vec<Matrix<T>> = Vec::with_capacity(nprocs);
+    let mut errors: Vec<String> = Vec::new();
+    for r in results.into_iter().map(|r| r.expect("joined")) {
+        match r {
+            Ok((acc, s)) => {
+                faults.merge(&s);
+                blocks.push(acc);
+            }
+            Err(e) => errors.push(e),
+        }
+    }
+    if !errors.is_empty() {
+        return Err(errors.join("; "));
+    }
+
+    if fmm_obs::enabled() {
+        let labels = [("schedule", "cannon-threaded-faulty".to_string())];
+        fmm_obs::add(
+            "memsim.net.total_words",
+            &labels,
+            words.load(Ordering::Relaxed),
+        );
+        fmm_obs::add(
+            "memsim.net.recovery_words",
+            &labels,
+            recovery.load(Ordering::Relaxed),
+        );
+        fmm_obs::add(
+            "memsim.net.messages",
+            &labels,
+            messages.load(Ordering::Relaxed),
+        );
+        faults.publish("cannon-threaded-faulty");
+    }
+
+    let product = Matrix::from_fn(n, n, |i, j| blocks[proc(i / bs, j / bs)][(i % bs, j % bs)]);
+    Ok(FaultyThreadedRun {
+        product,
+        total_words: words.into_inner(),
+        recovery_words: recovery.into_inner(),
+        messages: messages.into_inner(),
+        faults,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,5 +479,49 @@ mod tests {
         assert_eq!(run.product, expect);
         assert_eq!(run.total_words, 0);
         assert_eq!(run.messages, 0);
+    }
+
+    #[test]
+    fn faulty_inert_plan_matches_fault_free() {
+        let (a, b, expect) = inputs(12, 59);
+        let clean = cannon_threaded(&a, &b, 3);
+        let plan = fmm_faults::FaultSpec::default().plan();
+        let run = cannon_threaded_faulty(&a, &b, 3, &plan).unwrap();
+        assert_eq!(run.product, expect);
+        assert_eq!(run.total_words, clean.total_words);
+        assert_eq!(run.messages, clean.messages);
+        assert_eq!(run.recovery_words, 0);
+        assert_eq!(run.faults, FaultStats::default());
+    }
+
+    #[test]
+    fn faulty_drops_and_dups_are_repaired_and_charged() {
+        let (a, b, expect) = inputs(12, 61);
+        let clean = cannon_threaded(&a, &b, 3);
+        let plan = fmm_faults::FaultSpec::parse("seed=8,drop=0.25,dup=0.15")
+            .unwrap()
+            .plan();
+        let run = cannon_threaded_faulty(&a, &b, 3, &plan).unwrap();
+        assert_eq!(run.product, expect, "retries must repair every loss");
+        assert!(run.faults.drops + run.faults.dups > 0, "faults must fire");
+        assert_eq!(run.faults.retries, run.faults.drops);
+        assert_eq!(
+            run.total_words - run.recovery_words,
+            clean.total_words,
+            "non-recovery traffic must equal the fault-free volume"
+        );
+    }
+
+    #[test]
+    fn faulty_exhausted_retries_error_without_deadlock() {
+        let (a, b, _) = inputs(8, 67);
+        let plan = fmm_faults::FaultSpec::parse("drop=1.0,retries=1")
+            .unwrap()
+            .plan();
+        let err = cannon_threaded_faulty(&a, &b, 2, &plan).unwrap_err();
+        assert!(
+            err.contains("dead") || err.contains("deadline") || err.contains("gone"),
+            "unexpected error: {err}"
+        );
     }
 }

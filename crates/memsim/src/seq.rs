@@ -122,6 +122,10 @@ pub struct Mem {
     chunk: Vec<Access>,
     sink: Option<Sink>,
     phases: Option<PhaseLog>,
+    /// Fault injection: wipe the fast level every `.0` accesses (the
+    /// sequential analogue of a crash losing fast memory). `.1` counts
+    /// accesses since the last wipe, `.2` counts wipes fired.
+    fault_flush: Option<(u64, u64, u64)>,
 }
 
 impl Mem {
@@ -134,6 +138,7 @@ impl Mem {
             chunk: Vec::new(),
             sink: None,
             phases: None,
+            fault_flush: None,
         };
         if fmm_obs::detailed() {
             mem.record_phases(true);
@@ -273,11 +278,44 @@ impl Mem {
         t
     }
 
+    /// Inject periodic fast-memory loss: every `every` accesses the fast
+    /// level is flushed (dirty lines written back, everything evicted), as
+    /// if the machine crashed and restarted with a cold cache. The extra
+    /// I/O relative to an uninjected run is the sequential recovery cost —
+    /// the words the schedule must re-move to recompute what was resident.
+    ///
+    /// # Panics
+    /// Panics if `every == 0`.
+    pub fn inject_flush_every(&mut self, every: u64) {
+        assert!(every > 0, "flush period must be positive");
+        self.fault_flush = Some((every, 0, 0));
+    }
+
+    /// Number of injected fast-memory wipes fired so far.
+    pub fn fault_flushes(&self) -> u64 {
+        self.fault_flush.map(|(_, _, fired)| fired).unwrap_or(0)
+    }
+
+    /// Advance the fault clock by one access, wiping the fast level when
+    /// the period elapses.
+    #[inline]
+    fn fault_tick(&mut self) {
+        if let Some((every, ref mut since, ref mut fired)) = self.fault_flush {
+            *since += 1;
+            if *since >= every {
+                *since = 0;
+                *fired += 1;
+                self.cache.flush();
+            }
+        }
+    }
+
     #[inline]
     fn read(&mut self, m: &TMat, i: usize, j: usize) -> f64 {
         let addr = m.base + (i * m.cols + j) as u64;
         self.cache.read(addr);
         self.record(addr, false);
+        self.fault_tick();
         m.data[i * m.cols + j]
     }
 
@@ -286,6 +324,7 @@ impl Mem {
         let addr = m.base + (i * m.cols + j) as u64;
         self.cache.write(addr);
         self.record(addr, true);
+        self.fault_tick();
         m.data[i * m.cols + j] = v;
     }
 
@@ -319,6 +358,9 @@ impl Mem {
         let deltas = merge_deltas(self.phases.take().map(|log| log.deltas).unwrap_or_default());
         if fmm_obs::enabled() {
             publish_cache_metrics(stats, evict, &deltas);
+            if let Some((_, _, fired)) = self.fault_flush {
+                fmm_obs::add("memsim.cache.fault_flushes", &[], fired);
+            }
         }
         (stats, deltas)
     }
@@ -576,6 +618,39 @@ where
     let result = c.to_matrix();
     let stats = mem.finish();
     (result, stats)
+}
+
+/// As [`measure_seeded`], with periodic fast-memory loss injected every
+/// `flush_every` accesses ([`Mem::inject_flush_every`]). Returns the
+/// product, the cache statistics, and the number of wipes fired. The
+/// recovery I/O of the schedule is this run's `io()` minus the same
+/// configuration's fault-free `io()`.
+pub fn measure_faulty_seeded<F>(
+    n: usize,
+    m_words: usize,
+    policy: Policy,
+    seed: u64,
+    flush_every: u64,
+    f: F,
+) -> (Matrix<f64>, CacheStats, u64)
+where
+    F: FnOnce(&mut Mem, &TMat, &TMat) -> TMat,
+{
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let _span = fmm_obs::Span::enter("memsim.measure_faulty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = Matrix::<f64>::random_small(n, n, &mut rng);
+    let b = Matrix::<f64>::random_small(n, n, &mut rng);
+    let mut mem = Mem::new(m_words, policy);
+    mem.inject_flush_every(flush_every);
+    let ta = mem.alloc_from(&a);
+    let tb = mem.alloc_from(&b);
+    let c = f(&mut mem, &ta, &tb);
+    let result = c.to_matrix();
+    let flushes = mem.fault_flushes();
+    let stats = mem.finish();
+    (result, stats, flushes)
 }
 
 /// As [`measure`], additionally returning the access trace (for replay
@@ -855,6 +930,45 @@ mod tests {
             let streamed = measure_opt(16, 48, |m, a, b| f(m, a, b));
             assert_eq!(streamed, recorded, "{name}");
         }
+    }
+
+    #[test]
+    fn injected_flushes_cost_io_but_not_correctness() {
+        let (_, _, expect) = reference(16);
+        let (clean, base) = measure(16, 192, Policy::Lru, |m, a, b| {
+            classical_blocked(m, a, b, 8)
+        });
+        assert!(clean.approx_eq(&expect, 1e-9));
+        let (got, faulty, fired) = measure_faulty_seeded(
+            16,
+            192,
+            Policy::Lru,
+            DEFAULT_WORKLOAD_SEED,
+            512,
+            |m, a, b| classical_blocked(m, a, b, 8),
+        );
+        assert!(got.approx_eq(&expect, 1e-9), "wipes must not corrupt data");
+        assert!(fired > 0, "the period must have elapsed at least once");
+        assert!(
+            faulty.io() > base.io(),
+            "losing fast memory must cost recovery I/O: {} vs {}",
+            faulty.io(),
+            base.io()
+        );
+    }
+
+    #[test]
+    fn injected_flushes_are_deterministic() {
+        let run = || {
+            measure_faulty_seeded(16, 96, Policy::Lru, 42, 300, |m, a, b| {
+                classical_blocked(m, a, b, 4)
+            })
+        };
+        let (c1, s1, f1) = run();
+        let (c2, s2, f2) = run();
+        assert!(c1.approx_eq(&c2, 0.0));
+        assert_eq!(s1, s2);
+        assert_eq!(f1, f2);
     }
 
     #[test]

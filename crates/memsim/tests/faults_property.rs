@@ -1,0 +1,85 @@
+//! Property tests for the fault-injection layer: for *any* seeded fault
+//! plan the retry shim can survive, the faulty runs must be undetectable
+//! in the answer and fully accounted in the counters.
+//!
+//! Two families:
+//!
+//! * the threaded network ([`fmm_memsim::par_threads::cannon_threaded_faulty`]):
+//!   fault-free product, deterministic `(total_words, recovery_words,
+//!   messages)` triple across repeated runs (thread scheduling must not
+//!   leak into the accounting), and the invariant
+//!   `total_words − recovery_words == fault_free.total_words`;
+//! * the round-based simulators ([`fmm_memsim::par_faults`]): the same
+//!   properties for random crash/drop/dup plans under both recovery
+//!   strategies.
+
+use fmm_faults::{FaultSpec, Recovery};
+use fmm_matrix::multiply::multiply_naive;
+use fmm_matrix::Matrix;
+use fmm_memsim::par_threads::{cannon_threaded, cannon_threaded_faulty};
+use fmm_memsim::{par, par_faults};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn inputs(n: usize, seed: u64) -> (Matrix<i64>, Matrix<i64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = Matrix::<i64>::random_small(n, n, &mut rng);
+    let b = Matrix::<i64>::random_small(n, n, &mut rng);
+    (a, b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Threaded Cannon under a lossy network: the product equals the
+    /// naive reference, and the counter triple is a pure function of the
+    /// plan (two runs agree exactly despite real thread interleaving).
+    #[test]
+    fn threaded_faulty_is_exact_and_deterministic(
+        seed in 0u64..1000,
+        p in 2usize..=4,
+        workload in 0u64..100,
+    ) {
+        let n = 12; // divisible by every grid side in range
+        let (a, b) = inputs(n, workload);
+        let expect = multiply_naive(&a, &b);
+        let clean = cannon_threaded(&a, &b, p);
+        // Rates low enough that an 8-retry budget essentially never
+        // exhausts; if it ever does, that run errors and is skipped
+        // (the determinism claim is per successful plan).
+        let spec = format!("seed={seed},drop=0.1,dup=0.05,retries=8");
+        let plan = FaultSpec::parse(&spec).unwrap().plan();
+        let x = cannon_threaded_faulty(&a, &b, p, &plan).unwrap();
+        let y = cannon_threaded_faulty(&a, &b, p, &plan).unwrap();
+        prop_assert_eq!(&x.product, &expect);
+        prop_assert_eq!(&y.product, &expect);
+        prop_assert_eq!(
+            (x.total_words, x.recovery_words, x.messages),
+            (y.total_words, y.recovery_words, y.messages)
+        );
+        prop_assert_eq!(x.faults, y.faults);
+        prop_assert_eq!(x.total_words - x.recovery_words, clean.total_words);
+    }
+
+    /// Round-based Cannon under random crashes + losses recovers exactly
+    /// with both strategies, and the recovery words are exactly the
+    /// surplus over the fault-free volume.
+    #[test]
+    fn roundbased_faulty_recovers_under_both_strategies(
+        seed in 0u64..1000,
+        p in 2usize..=4,
+        period in 1usize..=3,
+    ) {
+        let n = 12;
+        let (a, b) = inputs(n, 7);
+        let (expect, base) = par::cannon(&a, &b, p);
+        let spec = format!("seed={seed},crash=0.15,drop=0.1,dup=0.05,retries=8");
+        for recovery in [Recovery::Recompute, Recovery::Checkpoint { period }] {
+            let plan = FaultSpec::parse(&spec).unwrap().plan();
+            let run = par_faults::cannon_faulty(&a, &b, p, &plan, recovery).unwrap();
+            prop_assert_eq!(&run.product, &expect);
+            prop_assert_eq!(run.net.total_words - run.net.recovery_words, base.total_words);
+        }
+    }
+}

@@ -45,6 +45,10 @@ pub enum CellStatus {
     Ok(Measurement),
     /// Panicked or returned an error; the message is retained.
     Error(String),
+    /// Exceeded the per-cell wall-clock budget. Unlike errors (which are
+    /// deterministic), a timeout says nothing about the cell itself, so
+    /// `resume` re-runs timed-out cells.
+    TimedOut,
 }
 
 /// One checkpoint line: the cell, its derived seed, its outcome, and the
@@ -66,7 +70,7 @@ impl CellRecord {
     pub fn measurement(&self) -> Option<&Measurement> {
         match &self.status {
             CellStatus::Ok(m) => Some(m),
-            CellStatus::Error(_) => None,
+            CellStatus::Error(_) | CellStatus::TimedOut => None,
         }
     }
 }
@@ -122,6 +126,9 @@ pub fn cell_line(spec_hash: &str, r: &CellRecord) -> String {
                 ",\"status\":\"error\",\"error\":\"{}\"",
                 escape(e)
             ));
+        }
+        CellStatus::TimedOut => {
+            line.push_str(",\"status\":\"timeout\"");
         }
     }
     line.push_str(&format!(",\"wall_ms\":{:.3}}}", r.wall_ms));
@@ -185,6 +192,7 @@ fn parse_cell_record(map: &BTreeMap<String, Value>) -> Result<(String, CellRecor
             ratio: get_num(map, "ratio")?,
         }),
         "error" => CellStatus::Error(get_str(map, "error")?.to_string()),
+        "timeout" => CellStatus::TimedOut,
         other => return Err(format!("unknown status '{other}'")),
     };
     Ok((
@@ -198,51 +206,133 @@ fn parse_cell_record(map: &BTreeMap<String, Value>) -> Result<(String, CellRecor
     ))
 }
 
+/// A torn trailing record tolerated by [`parse_file_lenient`]: the
+/// process died mid-`write`, leaving a final line that is not valid JSON
+/// (or not a complete record). Everything before `valid_bytes` parsed
+/// cleanly; truncating the file there makes it strictly valid again.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TornTail {
+    /// 1-based line number of the torn line.
+    pub line: usize,
+    /// Byte offset of the start of the torn line — the length the file
+    /// should be truncated to before appending.
+    pub valid_bytes: u64,
+    /// Why the line failed to parse.
+    pub reason: String,
+}
+
+/// Parse one checkpoint line into `header`/`records`. Errors carry no
+/// line prefix; callers add it.
+fn parse_one(
+    line: &str,
+    header: &mut Option<Header>,
+    records: &mut Vec<CellRecord>,
+) -> Result<(), String> {
+    let map = parse_line(line).ok_or("malformed JSON")?;
+    match get_str(&map, "type")? {
+        "header" => {
+            if header.is_some() {
+                return Err("duplicate header".into());
+            }
+            *header = Some(parse_header(&map)?);
+        }
+        "cell" => {
+            let h = header.as_ref().ok_or("cell before header")?;
+            let (hash, rec) = parse_cell_record(&map)?;
+            if hash != h.spec_hash {
+                return Err(format!(
+                    "spec hash {hash} does not match header {}",
+                    h.spec_hash
+                ));
+            }
+            records.push(rec);
+        }
+        other => return Err(format!("unknown type '{other}'")),
+    }
+    Ok(())
+}
+
+fn parse_inner(
+    text: &str,
+    lenient: bool,
+) -> Result<(Header, Vec<CellRecord>, Option<TornTail>), String> {
+    // Track byte offsets so a torn tail can report where to truncate.
+    let mut lines: Vec<(usize, &str)> = Vec::new();
+    let mut offset = 0usize;
+    for raw in text.split_inclusive('\n') {
+        lines.push((offset, raw.trim_end_matches(['\n', '\r'])));
+        offset += raw.len();
+    }
+    let last_nonempty = lines.iter().rposition(|(_, l)| !l.trim().is_empty());
+    let mut header: Option<Header> = None;
+    let mut records = Vec::new();
+    for (idx, (start, line)) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Err(e) = parse_one(line, &mut header, &mut records) {
+            // Only the final non-empty line can be a torn write: an
+            // append-only file corrupts at the tail or not at all. A bad
+            // line anywhere else means real damage — refuse to guess.
+            if lenient && Some(idx) == last_nonempty {
+                if let Some(h) = header {
+                    return Ok((
+                        h,
+                        records,
+                        Some(TornTail {
+                            line: idx + 1,
+                            valid_bytes: *start as u64,
+                            reason: e,
+                        }),
+                    ));
+                }
+            }
+            return Err(format!("line {}: {e}", idx + 1));
+        }
+    }
+    let header = header.ok_or("missing header line")?;
+    Ok((header, records, None))
+}
+
 /// Parse a whole checkpoint file: the header plus every cell record, in
 /// file order. Every line must parse and carry the header's spec hash —
 /// a checkpoint is a machine-readable artifact, not a log to be skimmed.
 pub fn parse_file(text: &str) -> Result<(Header, Vec<CellRecord>), String> {
-    let mut header: Option<Header> = None;
-    let mut records = Vec::new();
-    for (lineno, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        let map = parse_line(line).ok_or_else(|| format!("line {}: malformed JSON", lineno + 1))?;
-        let kind = get_str(&map, "type").map_err(|e| format!("line {}: {e}", lineno + 1))?;
-        match kind {
-            "header" => {
-                if header.is_some() {
-                    return Err(format!("line {}: duplicate header", lineno + 1));
-                }
-                header = Some(parse_header(&map).map_err(|e| format!("line {}: {e}", lineno + 1))?);
-            }
-            "cell" => {
-                let h = header
-                    .as_ref()
-                    .ok_or_else(|| format!("line {}: cell before header", lineno + 1))?;
-                let (hash, rec) =
-                    parse_cell_record(&map).map_err(|e| format!("line {}: {e}", lineno + 1))?;
-                if hash != h.spec_hash {
-                    return Err(format!(
-                        "line {}: spec hash {hash} does not match header {}",
-                        lineno + 1,
-                        h.spec_hash
-                    ));
-                }
-                records.push(rec);
-            }
-            other => return Err(format!("line {}: unknown type '{other}'", lineno + 1)),
-        }
+    parse_inner(text, false).map(|(h, r, _)| (h, r))
+}
+
+/// As [`parse_file`], but tolerate a torn **final** line (the signature a
+/// crash mid-append leaves behind). The torn line's record is lost — its
+/// cell simply re-runs on resume. Corruption anywhere else is still an
+/// error.
+pub fn parse_file_lenient(
+    text: &str,
+) -> Result<(Header, Vec<CellRecord>, Option<TornTail>), String> {
+    parse_inner(text, true)
+}
+
+/// Collapse duplicate cell ids to the **latest** record in file order.
+/// Duplicates are legitimate: a resume re-runs timed-out cells, appending
+/// a second record for the same id; the later one supersedes.
+pub fn latest_by_id(records: &[CellRecord]) -> Vec<CellRecord> {
+    let mut latest: BTreeMap<usize, &CellRecord> = BTreeMap::new();
+    for r in records {
+        latest.insert(r.cell.id, r);
     }
-    let header = header.ok_or("missing header line")?;
-    Ok((header, records))
+    latest.into_values().cloned().collect()
 }
 
 /// Load and parse a checkpoint file from disk.
 pub fn load(path: &str) -> Result<(Header, Vec<CellRecord>), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
     parse_file(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Load a checkpoint from disk, tolerating a torn trailing line
+/// ([`parse_file_lenient`]).
+pub fn load_lenient(path: &str) -> Result<(Header, Vec<CellRecord>, Option<TornTail>), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    parse_file_lenient(&text).map_err(|e| format!("{path}: {e}"))
 }
 
 #[cfg(test)]
@@ -317,6 +407,66 @@ mod tests {
         assert!(parse_file(&format!("{hdr}\n{{\"type\":\"cell\"")).is_err());
         // Missing header entirely.
         assert!(parse_file("").is_err());
+    }
+
+    #[test]
+    fn timeout_records_round_trip() {
+        let spec = SweepSpec::builtin("smoke").unwrap();
+        let mut rec = sample_record(3, true);
+        rec.status = CellStatus::TimedOut;
+        let text = format!(
+            "{}\n{}\n",
+            header_line(&spec, 7, 6),
+            cell_line(&spec.hash(), &rec)
+        );
+        let (_, recs) = parse_file(&text).expect("valid file");
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].status, CellStatus::TimedOut);
+        assert_eq!(recs[0].measurement(), None);
+    }
+
+    #[test]
+    fn lenient_parse_tolerates_only_a_torn_tail() {
+        let spec = SweepSpec::builtin("smoke").unwrap();
+        let hdr = header_line(&spec, 1, 6);
+        let c0 = cell_line(&spec.hash(), &sample_record(0, true));
+        let c1 = cell_line(&spec.hash(), &sample_record(1, false));
+        // A complete file has no torn tail.
+        let whole = format!("{hdr}\n{c0}\n{c1}\n");
+        let (_, recs, torn) = parse_file_lenient(&whole).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(torn, None);
+        // Cutting the final line anywhere inside it yields a TornTail
+        // whose valid_bytes points at the line's start.
+        let tail_start = hdr.len() + 1 + c0.len() + 1;
+        for cut in [1, c1.len() / 2, c1.len() - 1] {
+            let maimed = &whole[..tail_start + cut];
+            let (_, recs, torn) =
+                parse_file_lenient(maimed).unwrap_or_else(|e| panic!("cut at {cut}: {e}"));
+            assert_eq!(recs.len(), 1, "cut at {cut}");
+            let torn = torn.unwrap();
+            assert_eq!(torn.valid_bytes, tail_start as u64);
+            assert_eq!(torn.line, 3);
+        }
+        // Strict parsing still refuses the same damage.
+        assert!(parse_file(&whole[..tail_start + 5]).is_err());
+        // Corruption before the tail is never tolerated.
+        let mid_corrupt = format!("{hdr}\n{}\n{c1}\n", &c0[..c0.len() / 2]);
+        assert!(parse_file_lenient(&mid_corrupt).is_err());
+        // A torn header is fatal too: there is nothing to resume into.
+        assert!(parse_file_lenient(&hdr[..hdr.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn latest_by_id_keeps_the_last_record() {
+        let mut early = sample_record(0, true);
+        early.status = CellStatus::TimedOut;
+        let late = sample_record(0, true);
+        let other = sample_record(1, false);
+        let deduped = latest_by_id(&[early, other.clone(), late.clone()]);
+        assert_eq!(deduped.len(), 2);
+        assert_eq!(deduped[0], late);
+        assert_eq!(deduped[1], other);
     }
 
     #[test]

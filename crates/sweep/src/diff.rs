@@ -52,10 +52,15 @@ fn rel_change(before: f64, after: f64) -> f64 {
 
 /// Compare `base` against `cand`, flagging any per-cell metric whose
 /// relative change exceeds `tol` (e.g. `0.0` = exact, `0.05` = 5%).
-/// `wall_ms` is deliberately never compared.
+/// `wall_ms` is deliberately never compared. Duplicate cell ids on either
+/// side (timed-out cells re-run by a resume) collapse to the latest
+/// record before comparing.
 pub fn diff(base: &[CellRecord], cand: &[CellRecord], tol: f64) -> DiffReport {
     let index = |recs: &[CellRecord]| -> BTreeMap<String, CellRecord> {
-        recs.iter().map(|r| (r.cell.key(), r.clone())).collect()
+        crate::checkpoint::latest_by_id(recs)
+            .iter()
+            .map(|r| (r.cell.key(), r.clone()))
+            .collect()
     };
     let a = index(base);
     let b = index(cand);
@@ -98,6 +103,7 @@ pub fn diff(base: &[CellRecord], cand: &[CellRecord], tol: f64) -> DiffReport {
                 }
             }
             (CellStatus::Error(_), CellStatus::Error(_)) => {}
+            (CellStatus::TimedOut, CellStatus::TimedOut) => {}
             _ => report.status_changes.push(key.clone()),
         }
     }

@@ -13,7 +13,7 @@ use crate::spec::{Cell, SweepSpec};
 use std::collections::BTreeSet;
 use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -27,6 +27,17 @@ pub struct RunConfig {
     pub max_cells: Option<usize>,
     /// Print one progress line per finished cell to stderr.
     pub verbose: bool,
+    /// Per-cell wall-clock budget in milliseconds. A cell that exceeds it
+    /// is recorded as [`CellStatus::TimedOut`] and the sweep moves on; the
+    /// runaway computation is abandoned on a detached thread (it cannot
+    /// be cancelled, but it can no longer hold the sweep hostage).
+    pub cell_timeout_ms: Option<u64>,
+    /// Re-run a cell that errored or timed out up to this many extra
+    /// times, with deterministic backoff between attempts.
+    pub cell_retries: u32,
+    /// Test hook: make cell `.0` sleep `.1` milliseconds before running,
+    /// simulating a hung cell without needing a pathological input.
+    pub inject_hang: Option<(usize, u64)>,
 }
 
 impl Default for RunConfig {
@@ -36,6 +47,9 @@ impl Default for RunConfig {
             jobs: 0,
             max_cells: None,
             verbose: false,
+            cell_timeout_ms: None,
+            cell_retries: 0,
+            inject_hang: None,
         }
     }
 }
@@ -66,6 +80,13 @@ pub struct RunStats {
     pub skipped: usize,
     /// Cells left pending (interrupt via `max_cells`).
     pub remaining: usize,
+    /// Cells that exceeded the per-cell wall-clock budget.
+    pub timeouts: usize,
+    /// Extra attempts spent on retrying failed or timed-out cells.
+    pub retried: usize,
+    /// Cells whose result never arrived because the worker pool drained
+    /// early (a worker died outside the per-cell isolation).
+    pub lost: usize,
 }
 
 /// Execute `cells` on the worker pool, invoking `sink` for every finished
@@ -88,52 +109,74 @@ where
     let jobs = cfg.effective_jobs().min(todo.len());
     let (job_tx, job_rx) = crossbeam::channel::bounded::<Cell>(todo.len());
     for c in todo {
-        job_tx.send(c.clone()).expect("bounded(len) cannot be full");
+        if job_tx.send(c.clone()).is_err() {
+            // Cannot happen (capacity == len, receiver alive), but a
+            // closed queue is not worth a panic: the unsent cells simply
+            // count as lost and the sweep reports the shortfall.
+            break;
+        }
     }
     drop(job_tx);
-    let (res_tx, res_rx) = crossbeam::channel::bounded::<CellRecord>(todo.len());
-    let root = cfg.seed;
-    crossbeam::scope(|s| {
+    let (res_tx, res_rx) = crossbeam::channel::bounded::<(CellRecord, u32)>(todo.len());
+    let scope_result = crossbeam::scope(|s| {
+        let mut handles = Vec::with_capacity(jobs);
         for _ in 0..jobs {
             let job_rx = job_rx.clone();
             let res_tx = res_tx.clone();
-            s.spawn(move |_| {
+            handles.push(s.spawn(move |_| {
                 // The queue is fully loaded before workers start, so an
                 // empty try_recv means the sweep is drained.
                 while let Ok(cell) = job_rx.try_recv() {
-                    let seed = cell_seed(root, &cell);
+                    let seed = cell_seed(cfg.seed, &cell);
                     let start = Instant::now();
-                    let outcome = catch_unwind(AssertUnwindSafe(|| run_cell(&cell, seed)));
+                    let mut status = run_one(&cell, seed, cfg);
+                    let mut attempts = 0u32;
+                    while attempts < cfg.cell_retries && !matches!(status, CellStatus::Ok(_)) {
+                        attempts += 1;
+                        std::thread::sleep(Duration::from_micros(fmm_faults::backoff_micros(
+                            attempts,
+                        )));
+                        status = run_one(&cell, seed, cfg);
+                    }
                     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-                    let status = match outcome {
-                        Ok(Ok(m)) => CellStatus::Ok(m),
-                        Ok(Err(e)) => CellStatus::Error(e),
-                        Err(panic) => {
-                            CellStatus::Error(format!("panic: {}", panic_message(panic.as_ref())))
-                        }
-                    };
                     let rec = CellRecord {
                         cell,
                         seed,
                         status,
                         wall_ms,
                     };
-                    if res_tx.send(rec).is_err() {
+                    if res_tx.send((rec, attempts)).is_err() {
                         return;
                     }
                 }
-            });
+            }));
         }
+        // The coordinator's own sender must go: once every worker exits,
+        // the channel disconnects and the drain loop below observes it
+        // instead of blocking forever.
+        drop(res_tx);
         // Stream results as they complete: the checkpoint grows while
         // workers are still busy, which is what makes resume-after-crash
-        // lose at most the in-flight cells.
+        // lose at most the in-flight cells. A disconnect before all
+        // results arrive means a worker died outside the per-cell
+        // isolation — drain what exists and report the shortfall rather
+        // than tearing the sweep down.
         for done in 0..todo.len() {
-            let rec = res_rx.recv().expect("workers outlive the queue");
+            let Ok((rec, attempts)) = res_rx.recv() else {
+                stats.lost = todo.len() - done;
+                eprintln!(
+                    "sweep: worker pool drained early; {} cell(s) unaccounted for",
+                    stats.lost
+                );
+                break;
+            };
             match &rec.status {
                 CellStatus::Ok(_) => stats.ok += 1,
                 CellStatus::Error(_) => stats.errors += 1,
+                CellStatus::TimedOut => stats.timeouts += 1,
             }
             stats.executed += 1;
+            stats.retried += attempts as usize;
             publish_cell_metrics(&rec);
             if cfg.verbose {
                 eprintln!(
@@ -144,15 +187,66 @@ where
                     match &rec.status {
                         CellStatus::Ok(m) => format!("io={}", m.io),
                         CellStatus::Error(e) => format!("ERROR: {e}"),
+                        CellStatus::TimedOut => "TIMED OUT".to_string(),
                     },
                     rec.wall_ms
                 );
             }
             sink(&rec);
         }
-    })
-    .expect("sweep workers do not panic (cells are isolated)");
+        // Join explicitly so a worker panic is observed here (and folded
+        // into `lost`) instead of detonating the scope teardown.
+        for h in handles {
+            if h.join().is_err() {
+                eprintln!("sweep: a worker thread panicked outside cell isolation");
+            }
+        }
+    });
+    if scope_result.is_err() {
+        eprintln!("sweep: worker scope failed; results above are partial");
+    }
     stats
+}
+
+/// Run one cell with panic isolation and, when configured, a wall-clock
+/// budget. Timeout mode runs the cell on a detached thread: if the budget
+/// expires the thread is abandoned (its eventual result is discarded) —
+/// the one safe way to contain code that may never return.
+fn run_one(cell: &Cell, seed: u64, cfg: &RunConfig) -> CellStatus {
+    let hang_ms = cfg
+        .inject_hang
+        .and_then(|(id, ms)| (id == cell.id).then_some(ms));
+    let Some(budget) = cfg.cell_timeout_ms else {
+        if let Some(ms) = hang_ms {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        return run_guarded(cell, seed);
+    };
+    let (tx, rx) = std::sync::mpsc::sync_channel(1);
+    let cell = cell.clone();
+    let spawned = std::thread::Builder::new()
+        .name(format!("sweep-cell-{}", cell.id))
+        .spawn(move || {
+            if let Some(ms) = hang_ms {
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+            let _ = tx.send(run_guarded(&cell, seed));
+        });
+    if spawned.is_err() {
+        return CellStatus::Error("cannot spawn cell thread".into());
+    }
+    match rx.recv_timeout(Duration::from_millis(budget)) {
+        Ok(status) => status,
+        Err(_) => CellStatus::TimedOut,
+    }
+}
+
+fn run_guarded(cell: &Cell, seed: u64) -> CellStatus {
+    match catch_unwind(AssertUnwindSafe(|| run_cell(cell, seed))) {
+        Ok(Ok(m)) => CellStatus::Ok(m),
+        Ok(Err(e)) => CellStatus::Error(e),
+        Err(panic) => CellStatus::Error(format!("panic: {}", panic_message(panic.as_ref()))),
+    }
 }
 
 fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
@@ -176,6 +270,7 @@ fn publish_cell_metrics(rec: &CellRecord) {
             fmm_obs::observe("sweep.cell.io", &[], m.io);
         }
         CellStatus::Error(_) => fmm_obs::add("sweep.cells.error", &[], 1),
+        CellStatus::TimedOut => fmm_obs::add("sweep.cells.timeout", &[], 1),
     }
 }
 
@@ -209,10 +304,15 @@ pub fn run_to_file(spec: &SweepSpec, cfg: &RunConfig, path: &str) -> Result<RunS
 
 /// Resume a checkpointed run: validate the header against `spec`, collect
 /// the ids of cells already done (ok **or** error — errors are
-/// deterministic, re-running them cannot help), and execute only the rest,
-/// appending to the same file with no second header.
+/// deterministic, re-running them cannot help; timed-out cells are *not*
+/// done and re-run), and execute only the rest, appending to the same
+/// file with no second header.
+///
+/// A torn trailing line (crash mid-append) is tolerated: the file is
+/// truncated back to its last valid record, a warning names the damage,
+/// and the torn cell re-runs like any other pending cell.
 pub fn resume_file(spec: &SweepSpec, cfg: &RunConfig, path: &str) -> Result<RunStats, String> {
-    let (header, existing) = crate::checkpoint::load(path)?;
+    let (header, existing, torn) = crate::checkpoint::load_lenient(path)?;
     if header.spec_hash != spec.hash() {
         return Err(format!(
             "checkpoint spec hash {} does not match spec '{}' ({})",
@@ -227,7 +327,13 @@ pub fn resume_file(spec: &SweepSpec, cfg: &RunConfig, path: &str) -> Result<RunS
             header.seed, cfg.seed
         ));
     }
-    let done: BTreeSet<usize> = existing.iter().map(|r| r.cell.id).collect();
+    // Duplicate ids are possible (a timed-out cell re-run by an earlier
+    // resume); only the latest record per id counts.
+    let done: BTreeSet<usize> = crate::checkpoint::latest_by_id(&existing)
+        .iter()
+        .filter(|r| !matches!(r.status, crate::checkpoint::CellStatus::TimedOut))
+        .map(|r| r.cell.id)
+        .collect();
     let cells = spec.expand();
     let pending: Vec<Cell> = cells
         .iter()
@@ -239,6 +345,15 @@ pub fn resume_file(spec: &SweepSpec, cfg: &RunConfig, path: &str) -> Result<RunS
         .append(true)
         .open(path)
         .map_err(|e| format!("cannot append to '{path}': {e}"))?;
+    if let Some(t) = &torn {
+        eprintln!(
+            "sweep: '{path}' line {}: torn trailing record ({}); truncating and re-running \
+             that cell",
+            t.line, t.reason
+        );
+        file.set_len(t.valid_bytes)
+            .map_err(|e| format!("cannot repair '{path}': {e}"))?;
+    }
     let mut stats = append_cells(&pending, spec, cfg, &mut file, path, skipped)?;
     stats.skipped = skipped;
     Ok(stats)
@@ -378,6 +493,143 @@ mod tests {
         // And a fresh run refuses to clobber the checkpoint.
         assert!(run_to_file(&spec, &cfg, &path).is_err());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn hung_cell_times_out_and_sweep_continues() {
+        let spec = SweepSpec::builtin("smoke").unwrap();
+        let cells = spec.expand();
+        let cfg = RunConfig {
+            seed: 5,
+            jobs: 2,
+            cell_timeout_ms: Some(100),
+            inject_hang: Some((cells[0].id, 10_000)),
+            ..RunConfig::default()
+        };
+        let mut records = Vec::new();
+        let stats = execute(&cells, &cfg, |r| records.push(r.clone()));
+        assert_eq!(stats.executed, cells.len(), "sweep must run to completion");
+        assert_eq!(stats.timeouts, 1);
+        assert_eq!(stats.ok, cells.len() - 1);
+        let timed: Vec<_> = records
+            .iter()
+            .filter(|r| matches!(r.status, CellStatus::TimedOut))
+            .collect();
+        assert_eq!(timed.len(), 1);
+        assert_eq!(timed[0].cell.id, cells[0].id);
+    }
+
+    #[test]
+    fn timed_out_cells_rerun_on_resume() {
+        let spec = SweepSpec::builtin("smoke").unwrap();
+        let total = spec.expand().len();
+        let path = tmp("timeout-resume");
+        let hang_id = spec.expand()[1].id;
+        let cfg_hang = RunConfig {
+            seed: 5,
+            jobs: 1,
+            cell_timeout_ms: Some(100),
+            inject_hang: Some((hang_id, 10_000)),
+            ..RunConfig::default()
+        };
+        let s = run_to_file(&spec, &cfg_hang, &path).unwrap();
+        assert_eq!(s.timeouts, 1);
+        // Resume without the hang: only the timed-out cell re-runs.
+        let cfg = RunConfig {
+            seed: 5,
+            jobs: 1,
+            ..RunConfig::default()
+        };
+        let r = resume_file(&spec, &cfg, &path).unwrap();
+        assert_eq!(r.executed, 1, "only the timed-out cell is pending");
+        assert_eq!(r.skipped, total - 1);
+        assert_eq!(r.ok, 1);
+        // The file now has a duplicate id; the latest record wins and is Ok.
+        let (_, recs) = crate::checkpoint::load(&path).unwrap();
+        assert_eq!(recs.len(), total + 1);
+        let latest = crate::checkpoint::latest_by_id(&recs);
+        assert_eq!(latest.len(), total);
+        assert!(latest.iter().all(|r| matches!(r.status, CellStatus::Ok(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_repaired_on_resume() {
+        use std::io::Write as _;
+        let spec = SweepSpec::builtin("smoke").unwrap();
+        let total = spec.expand().len();
+        let path = tmp("torn-tail");
+        let cfg = RunConfig {
+            seed: 5,
+            jobs: 1,
+            max_cells: Some(3),
+            ..RunConfig::default()
+        };
+        run_to_file(&spec, &cfg, &path).unwrap();
+        // Kill a write mid-line: chop the last record's line at an
+        // arbitrary byte, leaving no trailing newline.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let last_start = text.trim_end().rfind('\n').unwrap() + 1;
+        let cut = last_start + (text.len() - last_start) / 2;
+        std::fs::write(&path, &text[..cut]).unwrap();
+        // Strict load refuses the damage; resume repairs it and re-runs
+        // the torn cell along with the rest.
+        assert!(crate::checkpoint::load(&path).is_err());
+        let cfg_all = RunConfig {
+            seed: 5,
+            jobs: 1,
+            ..RunConfig::default()
+        };
+        let r = resume_file(&spec, &cfg_all, &path).unwrap();
+        assert_eq!(r.skipped, 2, "two intact records survive");
+        assert_eq!(r.executed, total - 2);
+        // The repaired file is strictly valid and complete.
+        let (_, recs) = crate::checkpoint::load(&path).unwrap();
+        let mut ids: Vec<usize> = recs.iter().map(|r| r.cell.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..total).collect::<Vec<_>>());
+        // And garbage in the middle of the file is still fatal.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines[1] = "{\"type\":\"cell\",\"spe";
+        let mut f = std::fs::File::create(&path).unwrap();
+        for l in &lines {
+            writeln!(f, "{l}").unwrap();
+        }
+        drop(f);
+        assert!(resume_file(&spec, &cfg_all, &path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failing_cells_are_retried_with_bounded_attempts() {
+        use crate::spec::{AlgKind, Cell, PolicyKind, RunMode};
+        // This cell panics deterministically (grid side 3 does not divide
+        // n = 8), so every retry fails too: the engine must spend exactly
+        // `cell_retries` extra attempts and then record the error.
+        let cells = vec![Cell {
+            id: 0,
+            alg: AlgKind::Classical,
+            n: 8,
+            m: 48,
+            p: 9,
+            policy: PolicyKind::Lru,
+            mode: RunMode::Cache,
+            rep: 0,
+        }];
+        let mut records = Vec::new();
+        let stats = execute(
+            &cells,
+            &RunConfig {
+                jobs: 1,
+                cell_retries: 2,
+                ..RunConfig::default()
+            },
+            |r| records.push(r.clone()),
+        );
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.retried, 2);
+        assert!(matches!(records[0].status, CellStatus::Error(_)));
     }
 
     #[test]

@@ -53,6 +53,8 @@ pub struct Summary {
     pub ok: usize,
     /// Cells that errored (message kept per cell in the checkpoint).
     pub errors: usize,
+    /// Cells whose latest record is a timeout (still pending a re-run).
+    pub timeouts: usize,
     /// Fitted exponents per sequential (alg, M) family.
     pub exponents: Vec<ExponentRow>,
     /// Smallest measured/bound ratio with its cell key.
@@ -80,16 +82,22 @@ fn is_seq_fit_cell(cell: &Cell) -> bool {
         && cell.n * cell.n >= 16 * cell.m
 }
 
-/// Fold records into a [`Summary`].
+/// Fold records into a [`Summary`]. Duplicate cell ids (a resume re-ran a
+/// timed-out cell) collapse to the latest record first.
 pub fn summarize(records: &[CellRecord]) -> Summary {
     let mut s = Summary::default();
+    let records = crate::checkpoint::latest_by_id(records);
     // (alg, m) -> sorted-by-n (n, io) samples for exponent fitting.
     let mut families: BTreeMap<(AlgKind, usize), Vec<(f64, f64)>> = BTreeMap::new();
-    for rec in records {
+    for rec in &records {
         let m = match &rec.status {
             CellStatus::Ok(m) => m,
             CellStatus::Error(_) => {
                 s.errors += 1;
+                continue;
+            }
+            CellStatus::TimedOut => {
+                s.timeouts += 1;
                 continue;
             }
         };
@@ -156,6 +164,13 @@ pub fn render(header: &Header, s: &Summary) -> String {
         "sweep '{}' (hash {}, seed {}): {} ok, {} errors of {} cells",
         header.spec, header.spec_hash, header.seed, s.ok, s.errors, header.cells
     );
+    if s.timeouts > 0 {
+        let _ = writeln!(
+            out,
+            "  {} cell(s) timed out — still pending; `sweep resume` re-runs them",
+            s.timeouts
+        );
+    }
     if !s.exponents.is_empty() {
         let _ = writeln!(out, "\nfitted I/O exponents (io ~ n^e at fixed M, LRU):");
         let _ = writeln!(
@@ -247,6 +262,7 @@ pub fn bench_json(header: &Header, s: &Summary) -> String {
     let _ = writeln!(out, "  \"cells_total\": {},", header.cells);
     let _ = writeln!(out, "  \"cells_ok\": {},", s.ok);
     let _ = writeln!(out, "  \"cells_error\": {},", s.errors);
+    let _ = writeln!(out, "  \"cells_timeout\": {},", s.timeouts);
     out.push_str("  \"exponents\": [\n");
     for (i, row) in s.exponents.iter().enumerate() {
         let _ = write!(

@@ -5,10 +5,12 @@
 //! fastmm bounds   --n 4096 --m 1024 [--p 49]
 //! fastmm verify   [--n 4]
 //! fastmm io       --alg strassen --n 32 --m 96 [--policy lru|fifo|opt] [--seed 61453]
+//! fastmm io       --alg strassen --n 32 --m 96 --faults "flush-every=4096"
+//! fastmm faults   --schedule cannon --n 16 --p 4 --spec "seed=7,drop=0.01" --recovery checkpoint:2
 //! fastmm pebble   --family tree --m 3 [--optimal]
 //! fastmm dot      --alg strassen --n 2 --out h2.dot
 //! fastmm report   metrics.jsonl
-//! fastmm sweep    run --spec table1 [--out sweep_table1.jsonl] [--jobs 4]
+//! fastmm sweep    run --spec table1 [--out sweep_table1.jsonl] [--jobs 4] [--cell-timeout ms]
 //! fastmm sweep    resume --spec table1 --out sweep_table1.jsonl
 //! fastmm sweep    report --file sweep_table1.jsonl [--bench BENCH_sweep.json]
 //! fastmm sweep    diff --base a.jsonl --cand b.jsonl [--tol 0.01]
@@ -43,15 +45,23 @@ use rand::SeedableRng;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: fastmm <multiply|bounds|verify|io|pebble|dot|report|sweep> [flags]\n\
+const USAGE: &str =
+    "usage: fastmm <multiply|bounds|verify|io|faults|pebble|dot|report|sweep> [flags]\n\
        global flags: --metrics <path.jsonl>  (collect full telemetry, write JSONL on exit)";
 
 const SWEEP_USAGE: &str = "usage: fastmm sweep <run|resume|report|diff|specs> [flags]\n\
-       run    --spec <name> [--out <file>] [--seed <u64>] [--jobs <n>] [--max-cells <k>] [--verbose]\n\
-       resume --spec <name> --out <file> [--seed <u64>] [--jobs <n>]\n\
+       run    --spec <name> [--out <file>] [--seed <u64>] [--jobs <n>] [--max-cells <k>]\n\
+              [--cell-timeout <ms>] [--retry-cells <n>] [--verbose]\n\
+       resume --spec <name> --out <file> [--seed <u64>] [--jobs <n>] [--cell-timeout <ms>]\n\
        report --file <file> [--bench <path.json>]\n\
        diff   --base <file> --cand <file> [--tol <fraction>]\n\
        specs  (list the built-in sweep specs)";
+
+const FAULTS_USAGE: &str =
+    "usage: fastmm faults [--schedule cannon|3d|caps|cannon-threaded] [--n <order>]\n\
+       [--p <grid>] [--levels <k>] [--alg strassen|winograd] [--seed <u64>]\n\
+       [--spec \"seed=7,crash=0.02,drop=0.01,dup=0.005,retries=8,crash@3:1\"]\n\
+       [--recovery recompute|checkpoint:<period>|none]";
 
 /// Parse `--flag [value]` pairs, rejecting anything not in `allowed` —
 /// a misspelled flag must fail loudly, not silently run with defaults.
@@ -85,6 +95,19 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> HashMap<String, String> {
     if flags.get("metrics").map(String::as_str) == Some("true") {
         eprintln!("--metrics expects a file path");
         std::process::exit(2);
+    }
+    if let Some(path) = flags.get("metrics") {
+        // Fail fast on an unwritable destination instead of running the
+        // whole command and losing the telemetry at exit. Append mode so
+        // the probe never clobbers an existing file.
+        if let Err(e) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            eprintln!("cannot open metrics path '{path}': {e}");
+            std::process::exit(2);
+        }
     }
     flags
 }
@@ -221,6 +244,10 @@ fn cmd_io(flags: &HashMap<String, String>) {
             seq::fast_recursive(mem, &alg, a, b, tile)
         }
     };
+    if let Some(spec_str) = flags.get("faults") {
+        cmd_io_faulty(spec_str, n, m, seed, &alg, tile, policy, run);
+        return;
+    }
     let stats = match policy {
         "lru" => seq::measure_seeded(n, m, Policy::Lru, seed, run).1,
         "fifo" => seq::measure_seeded(n, m, Policy::Fifo, seed, run).1,
@@ -251,6 +278,250 @@ fn cmd_io(flags: &HashMap<String, String>) {
     );
     println!("  lower bound:   {lb:.0}");
     println!("  ratio:         {:.2}", stats.io() as f64 / lb);
+}
+
+/// `fastmm io --faults "<spec>"` — run the same workload twice, clean
+/// and with seeded cache-wipe faults, and report the recovery I/O the
+/// injected flushes cost. The fault spec must set `flush-every=<N>`.
+#[allow(clippy::too_many_arguments)]
+fn cmd_io_faulty<F>(
+    spec_str: &str,
+    n: usize,
+    m: usize,
+    seed: u64,
+    alg: &Bilinear2x2,
+    tile: usize,
+    policy: &str,
+    run: F,
+) where
+    F: FnOnce(&mut seq::Mem, &seq::TMat, &seq::TMat) -> seq::TMat + Copy,
+{
+    use fastmm::faults::FaultSpec;
+    let spec = match FaultSpec::parse(spec_str) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bad --faults spec: {e}");
+            std::process::exit(2);
+        }
+    };
+    let Some(every) = spec.flush_every else {
+        eprintln!("io --faults requires flush-every=<N> in the spec (got '{spec_str}')");
+        std::process::exit(2);
+    };
+    let cache_policy = match policy {
+        "lru" => Policy::Lru,
+        "fifo" => Policy::Fifo,
+        other => {
+            eprintln!("io --faults supports --policy lru|fifo (got '{other}')");
+            std::process::exit(2);
+        }
+    };
+    let (clean_product, clean) = {
+        let (prod, stats) = seq::measure_seeded(n, m, cache_policy, seed, run);
+        (prod, stats)
+    };
+    let (faulty_product, faulty, flushes) =
+        seq::measure_faulty_seeded(n, m, cache_policy, seed, every, run);
+    let recovery = faulty.io().saturating_sub(clean.io());
+    println!(
+        "{} at n = {n}, M = {m} ({}, tile {tile}, seed {seed}) under faults flush-every={every}:",
+        alg.name,
+        policy.to_uppercase()
+    );
+    println!(
+        "  product:       {}",
+        if faulty_product == clean_product {
+            "matches fault-free run"
+        } else {
+            "DIVERGES FROM FAULT-FREE RUN"
+        }
+    );
+    println!("  clean I/O:     {}", clean.io());
+    println!(
+        "  faulty I/O:    {} ({flushes} cache flush(es) injected)",
+        faulty.io()
+    );
+    println!(
+        "  recovery I/O:  {recovery} (+{:.2}%)",
+        100.0 * recovery as f64 / clean.io().max(1) as f64
+    );
+    if faulty_product != clean_product {
+        std::process::exit(1);
+    }
+}
+
+/// `fastmm faults` — run a distributed schedule under a seeded fault
+/// plan, verify the recovered product against the fault-free run, and
+/// report the communication cost of the faults.
+fn cmd_faults(flags: &HashMap<String, String>) -> ExitCode {
+    use fastmm::faults::{FaultSpec, FaultStats, Recovery};
+    use fastmm::memsim::{par, par_faults, par_threads};
+
+    let schedule = flags
+        .get("schedule")
+        .map(String::as_str)
+        .unwrap_or("cannon");
+    let spec_str = flags
+        .get("spec")
+        .map(String::as_str)
+        .unwrap_or("seed=7,crash=0.05,drop=0.02,dup=0.01,retries=8");
+    let spec = match FaultSpec::parse(spec_str) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bad --spec: {e}");
+            eprintln!("{FAULTS_USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let recovery = match flags.get("recovery").map(String::as_str) {
+        None => Recovery::Recompute,
+        Some(s) => match Recovery::parse(s) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("bad --recovery: {e}");
+                eprintln!("{FAULTS_USAGE}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let plan = spec.plan();
+    let seed = get_usize(flags, "seed", 42) as u64;
+
+    // A shared workload: the faulty run must reproduce this product.
+    let make = |n: usize| -> (Matrix<i64>, Matrix<i64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (
+            Matrix::<i64>::random_small(n, n, &mut rng),
+            Matrix::<i64>::random_small(n, n, &mut rng),
+        )
+    };
+    // (clean product, clean total words) and the faulty run's
+    // (product, total, recovery, stats), normalised across schedules.
+    struct Outcome {
+        matches: bool,
+        clean_words: u64,
+        total_words: u64,
+        recovery_words: u64,
+        faults: FaultStats,
+        detail: String,
+    }
+    let outcome = match schedule {
+        "cannon" | "3d" => {
+            let p = get_usize(flags, "p", if schedule == "cannon" { 4 } else { 2 });
+            let n = get_usize(flags, "n", 16);
+            let (a, b) = make(n);
+            let (clean, clean_net) = if schedule == "cannon" {
+                par::cannon(&a, &b, p)
+            } else {
+                par::replicated_3d(&a, &b, p)
+            };
+            let faulty = if schedule == "cannon" {
+                par_faults::cannon_faulty(&a, &b, p, &plan, recovery)
+            } else {
+                par_faults::replicated_3d_faulty(&a, &b, p, &plan, recovery)
+            };
+            match faulty {
+                Ok(r) => Outcome {
+                    matches: r.product == clean,
+                    clean_words: clean_net.total_words,
+                    total_words: r.net.total_words,
+                    recovery_words: r.net.recovery_words,
+                    faults: r.faults,
+                    detail: format!("n = {n}, p = {p}"),
+                },
+                Err(e) => {
+                    eprintln!("faults {schedule}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        "caps" => {
+            let n = get_usize(flags, "n", 16);
+            let levels = get_usize(flags, "levels", 2);
+            let alg = algorithm(flags);
+            let (a, b) = make(n);
+            let (clean, clean_net) = par::caps_strassen(&alg, &a, &b, levels);
+            match par_faults::caps_strassen_faulty(&alg, &a, &b, levels, &plan, recovery) {
+                Ok(r) => Outcome {
+                    matches: r.product == clean,
+                    clean_words: clean_net.total_words,
+                    total_words: r.net.total_words,
+                    recovery_words: r.net.recovery_words,
+                    faults: r.faults,
+                    detail: format!("{}, n = {n}, levels = {levels}", alg.name),
+                },
+                Err(e) => {
+                    eprintln!("faults caps: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        "cannon-threaded" => {
+            let p = get_usize(flags, "p", 4);
+            let n = get_usize(flags, "n", 16);
+            let (a, b) = make(n);
+            let clean = par_threads::cannon_threaded(&a, &b, p);
+            match par_threads::cannon_threaded_faulty(&a, &b, p, &plan) {
+                Ok(r) => Outcome {
+                    matches: r.product == clean.product,
+                    clean_words: clean.total_words,
+                    total_words: r.total_words,
+                    recovery_words: r.recovery_words,
+                    faults: r.faults,
+                    detail: format!("n = {n}, p = {p}, retry/backoff shim"),
+                },
+                Err(e) => {
+                    eprintln!("faults cannon-threaded: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown schedule '{other}' (cannon|3d|caps|cannon-threaded)");
+            eprintln!("{FAULTS_USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let f = &outcome.faults;
+    println!(
+        "fault injection: {schedule} ({}), spec {}, recovery {}",
+        outcome.detail,
+        spec.canonical(),
+        recovery.as_string()
+    );
+    println!(
+        "  product:         {}",
+        if outcome.matches {
+            "matches fault-free run"
+        } else {
+            "DIVERGES FROM FAULT-FREE RUN"
+        }
+    );
+    println!(
+        "  total words:     {} (fault-free {})",
+        outcome.total_words, outcome.clean_words
+    );
+    println!(
+        "  recovery words:  {} (+{:.2}%)",
+        outcome.recovery_words,
+        100.0 * outcome.recovery_words as f64 / outcome.clean_words.max(1) as f64
+    );
+    println!(
+        "  faults:          {} crash(es), {} drop(s), {} dup(s), {} retry(ies), \
+         {} checkpoint(s), {} restore(s)",
+        f.crashes, f.drops, f.dups, f.retries, f.checkpoints, f.restores
+    );
+    if f.unrecovered > 0 {
+        println!("  unrecovered:     {} (recovery = none)", f.unrecovered);
+    }
+    // Recovery::None is *expected* to corrupt the product when a crash
+    // fired — that is the demonstration. Everything else must match.
+    let expected_mismatch = matches!(recovery, Recovery::None) && f.unrecovered > 0;
+    if outcome.matches || expected_mismatch {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn cmd_pebble(flags: &HashMap<String, String>) {
@@ -293,18 +564,22 @@ fn cmd_pebble(flags: &HashMap<String, String>) {
     }
 }
 
-fn cmd_dot(flags: &HashMap<String, String>) {
+fn cmd_dot(flags: &HashMap<String, String>) -> ExitCode {
     let n = get_usize(flags, "n", 2);
     let alg = algorithm(flags);
     let h = RecursiveCdag::build(&alg.to_base(), n);
     let dot = to_dot(&h.graph, &format!("{}_H{n}", alg.name));
     match flags.get("out") {
         Some(path) => {
-            std::fs::write(path, dot).expect("write DOT file");
+            if let Err(e) = std::fs::write(path, dot) {
+                eprintln!("cannot write '{path}': {e}");
+                return ExitCode::from(2);
+            }
             println!("wrote {path}");
         }
         None => print!("{dot}"),
     }
+    ExitCode::SUCCESS
 }
 
 /// Render a JSONL metrics file (written by `--metrics`) as a table.
@@ -406,7 +681,17 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         "run" | "resume" => {
             let flags = parse_flags(
                 &args[1..],
-                &["spec", "out", "seed", "jobs", "max-cells", "verbose"],
+                &[
+                    "spec",
+                    "out",
+                    "seed",
+                    "jobs",
+                    "max-cells",
+                    "verbose",
+                    "cell-timeout",
+                    "retry-cells",
+                    "inject-hang",
+                ],
             );
             let spec = load_spec(&require(&flags, "spec"));
             let out = flags
@@ -415,17 +700,31 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
                 .unwrap_or_else(|| format!("sweep_{}.jsonl", spec.name));
             let default_seed = if verb == "resume" {
                 // Unless overridden, continue with the seed the
-                // checkpoint was started with.
-                match checkpoint::load(&out) {
-                    Ok((h, _)) => h.seed,
+                // checkpoint was started with. Lenient load: a torn tail
+                // is the resume engine's job to repair, not a reason to
+                // refuse the resume.
+                match checkpoint::load_lenient(&out) {
+                    Ok((h, _, _)) => h.seed,
                     Err(e) => {
                         eprintln!("{e}");
-                        return ExitCode::FAILURE;
+                        return ExitCode::from(2);
                     }
                 }
             } else {
                 seq::DEFAULT_WORKLOAD_SEED
             };
+            // Undocumented test hook (CI's fault-smoke job): make cell
+            // IDX sleep MS milliseconds, so a timeout can be provoked on
+            // purpose. Grammar: --inject-hang IDX:MS
+            let inject_hang = flags.get("inject-hang").map(|v| {
+                let parsed = v
+                    .split_once(':')
+                    .and_then(|(i, ms)| Some((i.parse().ok()?, ms.parse().ok()?)));
+                parsed.unwrap_or_else(|| {
+                    eprintln!("--inject-hang expects <cell>:<millis>, got '{v}'");
+                    std::process::exit(2);
+                })
+            });
             let cfg = engine::RunConfig {
                 seed: get_usize(&flags, "seed", default_seed as usize) as u64,
                 jobs: get_usize(&flags, "jobs", 0),
@@ -433,6 +732,11 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
                     .contains_key("max-cells")
                     .then(|| get_usize(&flags, "max-cells", 0)),
                 verbose: flags.contains_key("verbose"),
+                cell_timeout_ms: flags
+                    .contains_key("cell-timeout")
+                    .then(|| get_usize(&flags, "cell-timeout", 0) as u64),
+                cell_retries: get_usize(&flags, "retry-cells", 0) as u32,
+                inject_hang,
             };
             let total = spec.expand().len();
             let result = if verb == "run" {
@@ -443,13 +747,14 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
             match result {
                 Ok(stats) => {
                     println!(
-                        "sweep '{}' ({} cells): {} executed ({} ok, {} errors), \
-                         {} skipped, {} remaining -> {out}",
+                        "sweep '{}' ({} cells): {} executed ({} ok, {} errors, \
+                         {} timed out), {} skipped, {} remaining -> {out}",
                         spec.name,
                         total,
                         stats.executed,
                         stats.ok,
                         stats.errors,
+                        stats.timeouts,
                         stats.skipped,
                         stats.remaining
                     );
@@ -457,7 +762,7 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("sweep {verb} failed: {e}");
-                    ExitCode::FAILURE
+                    ExitCode::from(2)
                 }
             }
         }
@@ -468,7 +773,7 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
                 Ok(x) => x,
                 Err(e) => {
                     eprintln!("{e}");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(2);
                 }
             };
             let summary = report::summarize(&records);
@@ -477,7 +782,7 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
                 let doc = report::bench_json(&header, &summary);
                 if let Err(e) = std::fs::write(bench, doc) {
                     eprintln!("cannot write '{bench}': {e}");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(2);
                 }
                 println!("\nbench summary written to {bench}");
             }
@@ -500,7 +805,7 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
                 Ok((_, recs)) => recs,
                 Err(e) => {
                     eprintln!("{e}");
-                    std::process::exit(1);
+                    std::process::exit(2);
                 }
             };
             let d = diff::diff(&load(&base), &load(&cand), tol);
@@ -531,15 +836,24 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
     }
 }
 
-/// Write the global registry as JSONL to `path`.
-fn write_metrics(path: &str) {
+/// Write the global registry as JSONL to `path`. Returns `false` (after
+/// a one-line error) when the file cannot be written — `parse_flags`
+/// validated the path up front, so this only trips if the destination
+/// vanished mid-run.
+fn write_metrics(path: &str) -> bool {
     let write = || -> std::io::Result<()> {
         let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
         fastmm::obs::global().write_jsonl(&mut out)
     };
     match write() {
-        Ok(()) => eprintln!("metrics written to {path}"),
-        Err(e) => eprintln!("cannot write metrics to '{path}': {e}"),
+        Ok(()) => {
+            eprintln!("metrics written to {path}");
+            true
+        }
+        Err(e) => {
+            eprintln!("cannot write metrics to '{path}': {e}");
+            false
+        }
     }
 }
 
@@ -568,7 +882,9 @@ fn main() -> ExitCode {
         }
         let code = cmd_sweep(&args[1..]);
         if let Some(path) = metrics {
-            write_metrics(&path);
+            if !write_metrics(&path) {
+                return ExitCode::from(2);
+            }
         }
         return code;
     }
@@ -576,7 +892,10 @@ fn main() -> ExitCode {
         "multiply" => &["alg", "n", "cutoff", "seed"],
         "bounds" => &["n", "m", "p"],
         "verify" => &["n"],
-        "io" => &["alg", "n", "m", "seed", "policy"],
+        "io" => &["alg", "n", "m", "seed", "policy", "faults"],
+        "faults" => &[
+            "schedule", "alg", "n", "p", "levels", "spec", "recovery", "seed",
+        ],
         "pebble" => &[
             "family", "m", "optimal", "len", "leaves", "rows", "cols", "n",
         ],
@@ -605,18 +924,18 @@ fn main() -> ExitCode {
             cmd_io(&flags);
             ExitCode::SUCCESS
         }
+        "faults" => cmd_faults(&flags),
         "pebble" => {
             cmd_pebble(&flags);
             ExitCode::SUCCESS
         }
-        "dot" => {
-            cmd_dot(&flags);
-            ExitCode::SUCCESS
-        }
+        "dot" => cmd_dot(&flags),
         _ => unreachable!("command validated above"),
     };
     if let Some(path) = flags.get("metrics") {
-        write_metrics(path);
+        if !write_metrics(path) {
+            return ExitCode::from(2);
+        }
     }
     code
 }

@@ -1,0 +1,202 @@
+//! CLI failure-path and fault-injection contract tests, run against the
+//! real `fastmm` binary.
+//!
+//! The contract under test: every user mistake (bad flag, bad spec,
+//! unreadable/unwritable path) dies with exit code 2 and a one-line
+//! error on stderr — never a panic backtrace — and the fault-injection
+//! commands report recovered products plus deterministic counters.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fastmm(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fastmm"))
+        .args(args)
+        .output()
+        .expect("spawn fastmm")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// A scratch path that does not survive the test.
+fn scratch(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("fastmm_cli_{}_{name}", std::process::id()));
+    p
+}
+
+#[track_caller]
+fn assert_exit_2_clean(out: &Output) {
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(out));
+    let err = stderr(out);
+    assert!(
+        !err.contains("panicked"),
+        "expected a clean error, got a panic:\n{err}"
+    );
+    assert!(!err.trim().is_empty(), "exit 2 must explain itself");
+}
+
+#[test]
+fn unknown_flag_exits_2() {
+    let out = fastmm(&["io", "--n", "8", "--m", "64", "--polciy", "lru"]);
+    assert_exit_2_clean(&out);
+    assert!(stderr(&out).contains("unknown flag '--polciy'"));
+}
+
+#[test]
+fn unknown_command_exits_2() {
+    let out = fastmm(&["frobnicate"]);
+    assert_exit_2_clean(&out);
+    assert!(stderr(&out).contains("unknown command"));
+}
+
+#[test]
+fn dot_unwritable_out_exits_2_without_backtrace() {
+    let out = fastmm(&["dot", "--n", "2", "--out", "/nonexistent-dir/h.dot"]);
+    assert_exit_2_clean(&out);
+    assert!(stderr(&out).contains("cannot write"));
+}
+
+#[test]
+fn metrics_unwritable_path_exits_2_before_running() {
+    let out = fastmm(&[
+        "io",
+        "--n",
+        "8",
+        "--m",
+        "64",
+        "--metrics",
+        "/nonexistent-dir/m.jsonl",
+    ]);
+    assert_exit_2_clean(&out);
+    assert!(stderr(&out).contains("cannot open metrics path"));
+    // Fail-fast: the command must not have run first.
+    assert!(stdout(&out).is_empty(), "stdout: {}", stdout(&out));
+}
+
+#[test]
+fn metrics_missing_value_exits_2() {
+    let out = fastmm(&["io", "--n", "8", "--m", "64", "--metrics"]);
+    assert_exit_2_clean(&out);
+    assert!(stderr(&out).contains("--metrics expects a file path"));
+}
+
+#[test]
+fn sweep_report_unreadable_file_exits_2() {
+    let out = fastmm(&["sweep", "report", "--file", "/no/such/sweep.jsonl"]);
+    assert_exit_2_clean(&out);
+    assert!(stderr(&out).contains("cannot read"));
+}
+
+#[test]
+fn sweep_diff_unreadable_file_exits_2() {
+    let out = fastmm(&[
+        "sweep",
+        "diff",
+        "--base",
+        "/no/such/a.jsonl",
+        "--cand",
+        "/no/such/b.jsonl",
+    ]);
+    assert_exit_2_clean(&out);
+}
+
+#[test]
+fn faults_bad_spec_exits_2() {
+    let out = fastmm(&["faults", "--spec", "crash=2.0"]);
+    assert_exit_2_clean(&out);
+    assert!(stderr(&out).contains("probability outside [0,1]"));
+}
+
+#[test]
+fn faults_bad_recovery_exits_2() {
+    let out = fastmm(&["faults", "--recovery", "hope"]);
+    assert_exit_2_clean(&out);
+}
+
+#[test]
+fn faults_unknown_schedule_exits_2() {
+    let out = fastmm(&["faults", "--schedule", "mesh"]);
+    assert_exit_2_clean(&out);
+    assert!(stderr(&out).contains("unknown schedule"));
+}
+
+#[test]
+fn io_faults_requires_flush_every() {
+    let out = fastmm(&["io", "--n", "8", "--m", "64", "--faults", "seed=3"]);
+    assert_exit_2_clean(&out);
+    assert!(stderr(&out).contains("flush-every"));
+}
+
+#[test]
+fn faults_recovers_product_and_is_deterministic() {
+    let args = [
+        "faults",
+        "--schedule",
+        "cannon",
+        "--n",
+        "12",
+        "--p",
+        "3",
+        "--spec",
+        "seed=7,crash=0.1,drop=0.05,dup=0.02,retries=8",
+        "--recovery",
+        "checkpoint:2",
+    ];
+    let a = fastmm(&args);
+    assert_eq!(a.status.code(), Some(0), "stderr: {}", stderr(&a));
+    let text = stdout(&a);
+    assert!(text.contains("matches fault-free run"), "{text}");
+    assert!(text.contains("recovery words"), "{text}");
+    // Identical invocation, identical counters — byte for byte.
+    let b = fastmm(&args);
+    assert_eq!(stdout(&b), text, "same seed must reproduce the same run");
+}
+
+#[test]
+fn io_faults_reports_recovery_io() {
+    let out = fastmm(&[
+        "io",
+        "--n",
+        "16",
+        "--m",
+        "64",
+        "--faults",
+        "flush-every=512",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("matches fault-free run"), "{text}");
+    assert!(text.contains("recovery I/O"), "{text}");
+}
+
+#[test]
+fn sweep_injected_hang_times_out_and_sweep_continues() {
+    let out_path = scratch("hang.jsonl");
+    let _ = std::fs::remove_file(&out_path);
+    let out = fastmm(&[
+        "sweep",
+        "run",
+        "--spec",
+        "smoke",
+        "--out",
+        out_path.to_str().unwrap(),
+        "--max-cells",
+        "2",
+        "--jobs",
+        "1",
+        "--cell-timeout",
+        "150",
+        "--inject-hang",
+        "0:10000",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("1 timed out"), "{}", stdout(&out));
+    let _ = std::fs::remove_file(&out_path);
+}

@@ -75,6 +75,15 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No value arrived before the deadline.
+        Timeout,
+        /// Every sender disconnected and the channel is empty.
+        Disconnected,
+    }
+
     /// The sending half of a bounded channel.
     pub struct Sender<T> {
         inner: mpsc::SyncSender<T>,
@@ -118,6 +127,19 @@ pub mod channel {
                 .expect("channel mutex poisoned")
                 .recv()
                 .map_err(|_| RecvError)
+        }
+
+        /// Block until a value arrives, the deadline passes, or every
+        /// sender disconnects.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.inner
+                .lock()
+                .expect("channel mutex poisoned")
+                .recv_timeout(timeout)
+                .map_err(|e| match e {
+                    mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                    mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+                })
         }
 
         /// Non-blocking receive; `Err` when empty or disconnected.
@@ -192,6 +214,23 @@ mod tests {
             }
         })
         .unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_times_out_and_delivers() {
+        use std::time::Duration;
+        let (tx, rx) = super::channel::bounded::<u32>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(super::channel::RecvTimeoutError::Timeout)
+        );
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(7));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(super::channel::RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]
