@@ -25,6 +25,14 @@
 //! * [`FaultStats`] and [`backoff_micros`] — the counters every faulty
 //!   run reports, and the deterministic exponential backoff schedule the
 //!   retry shims share.
+//! * [`cancel`] — cooperative cancellation ([`CancelToken`]: shared flag
+//!   plus optional deadline) polled by the simulators' hot loops, so the
+//!   job server and the sweep engine can stop work at loop granularity
+//!   instead of abandoning detached threads.
+
+pub mod cancel;
+
+pub use cancel::{CancelReason, CancelToken, Cancelled};
 
 /// splitmix64 — the standard 64-bit finalizing mixer.
 #[inline]

@@ -188,6 +188,9 @@ pub fn cannon<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, p: usize) -> (Matrix<T>, 
 
     let mut cblocks: Vec<Matrix<T>> = (0..nprocs).map(|_| Matrix::zeros(bs, bs)).collect();
     for step in 0..p {
+        // Cooperative cancellation: a deadline or shutdown stops the
+        // schedule at the next round boundary.
+        fmm_faults::cancel::poll();
         // Local multiply-accumulate.
         for i in 0..p {
             for j in 0..p {
@@ -249,6 +252,7 @@ pub fn replicated_3d<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, p: usize) -> (Matr
     let mut partial: Vec<Matrix<T>> = vec![Matrix::zeros(0, 0); nprocs];
     let bcast_a_mark = net.total_words;
     for i in 0..p {
+        fmm_faults::cancel::poll();
         for l in 0..p {
             let ab = take(a, i, l);
             // Owner (i,l,0) seeds the chain at (i,0,l), which relays along j.
@@ -264,6 +268,7 @@ pub fn replicated_3d<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, p: usize) -> (Matr
     net.publish_round("3d", 0, bcast_a_mark);
     let bcast_b_mark = net.total_words;
     for l in 0..p {
+        fmm_faults::cancel::poll();
         for j in 0..p {
             let bb = take(b, l, j);
             net.transfer(proc(l, j, 0), proc(0, j, l), block_words);
@@ -333,6 +338,9 @@ pub fn caps_strassen<T: Scalar>(
         net: &mut NetStats,
     ) -> Matrix<T> {
         let gsize = group.end - group.start;
+        // One poll per BFS node: cancellation reaches the recursion
+        // before each redistribution step and each local base multiply.
+        fmm_faults::cancel::poll();
         if gsize == 1 {
             // Local computation (choose the fast algorithm locally too).
             return multiply_fast(alg, a, b, 1);

@@ -170,6 +170,9 @@ pub fn cannon_faulty<T: Scalar>(
     let mut snapshots: Vec<Option<Snapshot<T>>> = (0..nprocs).map(|_| None).collect();
 
     for step in 0..p {
+        // Cooperative cancellation: deadlines/shutdown stop the schedule
+        // at the next round boundary.
+        fmm_faults::cancel::poll();
         // Scheduled checkpoint: every live processor snapshots its state
         // (3 blocks to stable storage) at the start of the round.
         if let Recovery::Checkpoint { period } = recovery {
@@ -348,6 +351,7 @@ pub fn replicated_3d_faulty<T: Scalar>(
     // Phase 0: broadcast A along j-fibers as relay chains.
     let mut ablk: Vec<Matrix<T>> = vec![Matrix::zeros(0, 0); nprocs];
     for i in 0..p {
+        fmm_faults::cancel::poll();
         for l in 0..p {
             let ab = take(a, i, l);
             deliver(
@@ -423,6 +427,7 @@ pub fn replicated_3d_faulty<T: Scalar>(
     // Phase 1: broadcast B along i-fibers, multiply into partials.
     let mut partial: Vec<Matrix<T>> = vec![Matrix::zeros(0, 0); nprocs];
     for l in 0..p {
+        fmm_faults::cancel::poll();
         for j in 0..p {
             let bb = take(b, l, j);
             deliver(
@@ -630,6 +635,8 @@ pub fn caps_strassen_faulty<T: Scalar>(
         faults: &mut FaultStats,
     ) -> Result<Matrix<T>, LinkDead> {
         let gsize = group.end - group.start;
+        // Cancellation reaches every BFS node of the recursion.
+        fmm_faults::cancel::poll();
         if gsize == 1 {
             return Ok(multiply_fast(alg, a, b, 1));
         }

@@ -126,11 +126,20 @@ pub struct Mem {
     /// sequential analogue of a crash losing fast memory). `.1` counts
     /// accesses since the last wipe, `.2` counts wipes fired.
     fault_flush: Option<(u64, u64, u64)>,
+    /// Cooperative cancellation: the scoped [`fmm_faults::CancelToken`]
+    /// captured at construction (if any), polled every
+    /// [`fmm_faults::cancel::POLL_STRIDE`] accesses. `.1` is the access
+    /// countdown to the next poll.
+    cancel: Option<(fmm_faults::CancelToken, u32)>,
 }
 
 impl Mem {
     /// Memory with a fast level of `m` words. Per-phase attribution is
-    /// automatically on when the telemetry level is `full`.
+    /// automatically on when the telemetry level is `full`. If the
+    /// current thread has a scoped [`fmm_faults::CancelToken`]
+    /// ([`fmm_faults::cancel::enter`]), the instrumented execution polls
+    /// it and unwinds with the `Cancelled` sentinel once it fires — this
+    /// is how per-job deadlines and graceful shutdown reach the hot loop.
     pub fn new(m: usize, policy: Policy) -> Self {
         let mut mem = Mem {
             cache: Cache::new(m, policy),
@@ -139,6 +148,7 @@ impl Mem {
             sink: None,
             phases: None,
             fault_flush: None,
+            cancel: fmm_faults::cancel::current().map(|t| (t, fmm_faults::cancel::POLL_STRIDE)),
         };
         if fmm_obs::detailed() {
             mem.record_phases(true);
@@ -306,6 +316,13 @@ impl Mem {
                 *since = 0;
                 *fired += 1;
                 self.cache.flush();
+            }
+        }
+        if let Some((ref token, ref mut countdown)) = self.cancel {
+            *countdown -= 1;
+            if *countdown == 0 {
+                *countdown = fmm_faults::cancel::POLL_STRIDE;
+                token.bail_if_cancelled();
             }
         }
     }
@@ -969,6 +986,39 @@ mod tests {
         assert!(c1.approx_eq(&c2, 0.0));
         assert_eq!(s1, s2);
         assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn scoped_cancel_token_stops_instrumented_execution() {
+        use fmm_faults::cancel;
+        cancel::silence_cancel_panics();
+        // An already-expired deadline: the run must unwind with the
+        // Cancelled sentinel at the first poll stride, not run to
+        // completion.
+        let token = fmm_faults::CancelToken::with_deadline(std::time::Duration::from_millis(0));
+        let guard = cancel::enter(&token);
+        let payload = std::panic::catch_unwind(|| {
+            measure(16, 96, Policy::Lru, |m, a, b| classical_blocked(m, a, b, 4))
+        })
+        .expect_err("expired token must cancel the run");
+        assert_eq!(
+            cancel::cancelled_reason(payload.as_ref()),
+            Some(fmm_faults::CancelReason::DeadlineExceeded)
+        );
+        drop(guard);
+        // Without a scoped token the same run completes untouched.
+        let (_, stats) = measure(16, 96, Policy::Lru, |m, a, b| classical_blocked(m, a, b, 4));
+        assert!(stats.io() > 0);
+    }
+
+    #[test]
+    fn live_token_does_not_perturb_counters() {
+        use fmm_faults::cancel;
+        let run = || measure(16, 96, Policy::Lru, |m, a, b| classical_blocked(m, a, b, 4)).1;
+        let bare = run();
+        let token = fmm_faults::CancelToken::new();
+        let _guard = cancel::enter(&token);
+        assert_eq!(run(), bare, "polling a live token must not change I/O");
     }
 
     #[test]

@@ -1,0 +1,43 @@
+//! # fmm-serve — a bounded, load-shedding job server
+//!
+//! Runs the workspace's simulators as network jobs: a multi-threaded TCP
+//! server speaking newline-delimited JSON (the same hand-rolled dialect
+//! [`fmm_obs::json`] writes and `fastmm report` reads), with the failure
+//! behaviour made explicit at every stage instead of implicit in thread
+//! scheduling:
+//!
+//! - **Bounded admission** — a fixed-capacity [`queue::BoundedQueue`];
+//!   when it is full a request is *shed* with an immediate
+//!   `{"status":"shed"}` reply rather than queued without bound.
+//! - **Cooperative deadlines** — each job carries an
+//!   [`fmm_faults::CancelToken`] armed with its `deadline_ms`; the
+//!   simulators poll it ([`fmm_faults::cancel`]) and unwind at the
+//!   deadline, so a `deadline-exceeded` reply means the work actually
+//!   stopped, not that it was abandoned on a detached thread.
+//! - **Panic isolation** — a poison job (say, Strassen at a
+//!   non-power-of-two order) fails *that job* with an `error` reply; the
+//!   worker survives and takes the next job.
+//! - **Graceful drain** — a `shutdown` control message stops admission,
+//!   lets queued and in-flight jobs reach a terminal reply, then answers
+//!   and exits. Every accepted job gets exactly one terminal reply:
+//!   `accepted == completed + errored + cancelled + deadline_exceeded`
+//!   holds in the final counters.
+//!
+//! [`loadgen`] is the matching chaos client: seeded (splitmix64) mixes of
+//! cheap / expensive / poison / oversized / tiny-deadline requests over N
+//! connections, plus a deterministic `pause → blast → resume` burst mode
+//! whose shed count depends only on burst size and queue depth.
+//!
+//! The crate is zero-dependency beyond the workspace: `std::net` sockets,
+//! `std::thread` workers, and [`fmm_obs`] telemetry.
+
+pub mod jobs;
+pub mod loadgen;
+pub mod proto;
+pub mod queue;
+pub mod server;
+
+pub use loadgen::{LoadgenConfig, Summary};
+pub use proto::{Kind, Request, Response, Status};
+pub use queue::BoundedQueue;
+pub use server::{ServerConfig, ServerHandle, StatsSnapshot};

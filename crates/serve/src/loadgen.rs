@@ -1,0 +1,477 @@
+//! Seeded chaos load generator — the client half of the acceptance
+//! story. Opens N connections, drives M closed-loop requests each from a
+//! splitmix64-seeded mix of cheap / expensive / poison / oversized /
+//! tiny-deadline work, and tallies every reply. The cardinal check is
+//! `lost == 0`: each request sent got exactly one reply — accepted jobs
+//! reached a terminal status, shed and rejected requests were refused
+//! explicitly, nothing vanished.
+//!
+//! The optional **burst phase** makes shedding deterministic: `pause`
+//! holds the workers, a blast of B cheap jobs then admits exactly
+//! `queue_depth` and sheds `B - queue_depth` regardless of scheduling,
+//! and `resume` lets the admitted backlog drain. For a fixed seed and
+//! server config the whole run's shed count is reproducible.
+
+use crate::proto::{Kind, Request, Response, Status};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// What to throw at the server.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// `host:port` of a running server.
+    pub addr: String,
+    /// Concurrent connections.
+    pub conns: usize,
+    /// Closed-loop requests per connection.
+    pub requests: usize,
+    /// Root seed for the request mix.
+    pub seed: u64,
+    /// Percent of requests that are poison (Strassen at n=24 — panics
+    /// inside the simulator; the worker must survive).
+    pub poison_pct: u64,
+    /// Percent that are oversized lines (rejected before parsing).
+    pub oversized_pct: u64,
+    /// Percent that carry a 1 ms deadline on slow work (deterministic
+    /// `deadline-exceeded`).
+    pub tiny_deadline_pct: u64,
+    /// Percent that are genuinely expensive simulator runs.
+    pub expensive_pct: u64,
+    /// Deadline attached to ordinary jobs.
+    pub deadline_ms: u64,
+    /// Byte length of the oversized request line's padding.
+    pub oversized_bytes: usize,
+    /// After the chaos phase: pause → blast this many → resume.
+    pub burst: Option<usize>,
+    /// After everything: send `shutdown` and record the server's final
+    /// counters.
+    pub shutdown: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            addr: String::new(),
+            conns: 4,
+            requests: 250,
+            seed: 1,
+            poison_pct: 10,
+            oversized_pct: 5,
+            tiny_deadline_pct: 5,
+            expensive_pct: 10,
+            deadline_ms: 10_000,
+            oversized_bytes: 70_000,
+            burst: None,
+            shutdown: false,
+        }
+    }
+}
+
+/// Reply tallies across all phases.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Summary {
+    pub sent: u64,
+    pub completed: u64,
+    pub shed: u64,
+    pub errored: u64,
+    pub cancelled: u64,
+    pub deadline_exceeded: u64,
+    pub rejected: u64,
+    /// Requests that never got a reply (must be 0).
+    pub lost: u64,
+    /// Replies whose id did not match the request (must be 0).
+    pub mismatched: u64,
+    /// Shed replies within the burst phase alone (deterministic:
+    /// `burst - queue_depth` for a paused server).
+    pub burst_shed: u64,
+    /// The server's own final counters from the shutdown ack, when
+    /// `shutdown` was requested.
+    pub server_counters: BTreeMap<String, String>,
+}
+
+impl Summary {
+    fn absorb(&mut self, other: &Summary) {
+        self.sent += other.sent;
+        self.completed += other.completed;
+        self.shed += other.shed;
+        self.errored += other.errored;
+        self.cancelled += other.cancelled;
+        self.deadline_exceeded += other.deadline_exceeded;
+        self.rejected += other.rejected;
+        self.lost += other.lost;
+        self.mismatched += other.mismatched;
+        self.burst_shed += other.burst_shed;
+    }
+
+    fn classify(&mut self, expected_id: &str, resp: &Response) {
+        if resp.id != expected_id && !(resp.status == Status::Error && resp.id.is_empty()) {
+            self.mismatched += 1;
+        }
+        match resp.status {
+            Status::Completed => self.completed += 1,
+            Status::Shed => self.shed += 1,
+            Status::Cancelled => self.cancelled += 1,
+            Status::DeadlineExceeded => self.deadline_exceeded += 1,
+            Status::Error => {
+                if resp.reason.starts_with("rejected:") {
+                    self.rejected += 1;
+                } else {
+                    self.errored += 1;
+                }
+            }
+            Status::Ok => {}
+        }
+    }
+
+    /// Did the run uphold the no-lost-jobs contract?
+    pub fn ok(&self) -> bool {
+        let replies = self.completed
+            + self.shed
+            + self.errored
+            + self.cancelled
+            + self.deadline_exceeded
+            + self.rejected;
+        let balanced = match (
+            self.server_counters.get("accepted"),
+            self.server_counters.get("completed"),
+            self.server_counters.get("errored"),
+            self.server_counters.get("cancelled"),
+            self.server_counters.get("deadline_exceeded"),
+        ) {
+            (Some(a), Some(c), Some(e), Some(x), Some(d)) => {
+                let num = |s: &String| s.parse::<u64>().unwrap_or(u64::MAX);
+                num(a) == num(c) + num(e) + num(x) + num(d)
+            }
+            _ => true, // no shutdown ack requested — nothing to cross-check
+        };
+        self.lost == 0 && self.mismatched == 0 && replies == self.sent && balanced
+    }
+
+    /// One flat JSON line (the loadgen's stdout contract).
+    pub fn to_json_line(&self) -> String {
+        let mut out = format!(
+            "{{\"sent\":{},\"completed\":{},\"shed\":{},\"errored\":{},\"cancelled\":{},\
+             \"deadline_exceeded\":{},\"rejected\":{},\"lost\":{},\"mismatched\":{},\
+             \"burst_shed\":{},\"ok\":{}",
+            self.sent,
+            self.completed,
+            self.shed,
+            self.errored,
+            self.cancelled,
+            self.deadline_exceeded,
+            self.rejected,
+            self.lost,
+            self.mismatched,
+            self.burst_shed,
+            // 1/0 rather than true/false: stays inside the value shapes
+            // fmm_obs::json::parse_line understands.
+            u64::from(self.ok())
+        );
+        if !self.server_counters.is_empty() {
+            out.push_str(",\"server\":{");
+            for (i, (k, v)) in self.server_counters.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\"{}\":\"{}\"",
+                    fmm_obs::json::escape(k),
+                    fmm_obs::json::escape(v)
+                ));
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// The seeded request mix. Deterministic in `(seed, conn, idx)`.
+fn pick_request(cfg: &LoadgenConfig, conn: usize, idx: usize) -> Request {
+    let id = format!("c{conn}-r{idx}");
+    let roll = fmm_faults::splitmix64(cfg.seed ^ ((conn as u64) << 40) ^ idx as u64);
+    let bucket = roll % 100;
+    let poison_hi = cfg.poison_pct;
+    let oversized_hi = poison_hi + cfg.oversized_pct;
+    let tiny_hi = oversized_hi + cfg.tiny_deadline_pct;
+    let expensive_hi = tiny_hi + cfg.expensive_pct;
+    if bucket < poison_hi {
+        // Strassen at a non-power-of-two order: admitted, then panics.
+        Request::new(&id, Kind::Io)
+            .with_deadline(cfg.deadline_ms)
+            .with_param("alg", "strassen")
+            .with_param("n", "24")
+            .with_param("m", "96")
+    } else if bucket < oversized_hi {
+        Request::new(&id, Kind::Io)
+            .with_deadline(cfg.deadline_ms)
+            .with_param("pad", &"x".repeat(cfg.oversized_bytes))
+    } else if bucket < tiny_hi {
+        // Slow job, 1 ms budget: deadline-exceeded whether it expires in
+        // the queue or mid-run.
+        Request::new(&id, Kind::Io)
+            .with_deadline(1)
+            .with_param("sleep_ms", "200")
+    } else if bucket < expensive_hi {
+        Request::new(&id, Kind::Io)
+            .with_deadline(cfg.deadline_ms)
+            .with_param("alg", "strassen")
+            .with_param("n", "32")
+            .with_param("m", "96")
+    } else if roll & 1 == 0 {
+        Request::new(&id, Kind::Io)
+            .with_deadline(cfg.deadline_ms)
+            .with_param("alg", "classical")
+            .with_param("n", "8")
+            .with_param("m", "64")
+    } else {
+        Request::new(&id, Kind::Bounds)
+            .with_deadline(cfg.deadline_ms)
+            .with_param("n", "2048")
+            .with_param("p", "49")
+    }
+}
+
+struct Conn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn open(addr: &str) -> Result<Conn, String> {
+        let writer = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let _ = writer.set_nodelay(true);
+        let reader = BufReader::new(
+            writer
+                .try_clone()
+                .map_err(|e| format!("clone stream: {e}"))?,
+        );
+        Ok(Conn { writer, reader })
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), String> {
+        let line = req.to_line();
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|_| self.writer.write_all(b"\n"))
+            .map_err(|e| format!("send: {e}"))
+    }
+
+    fn recv(&mut self) -> Result<Option<Response>, String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Ok(None),
+            Ok(_) => Response::parse(line.trim()).map(Some),
+            Err(e) => Err(format!("recv: {e}")),
+        }
+    }
+}
+
+/// One closed-loop connection: send, await the reply, repeat.
+fn conn_worker(cfg: &LoadgenConfig, conn_idx: usize) -> Result<Summary, String> {
+    let mut conn = Conn::open(&cfg.addr)?;
+    let mut s = Summary::default();
+    for i in 0..cfg.requests {
+        let req = pick_request(cfg, conn_idx, i);
+        conn.send(&req)?;
+        s.sent += 1;
+        match conn.recv()? {
+            Some(resp) => s.classify(&req.id, &resp),
+            None => {
+                // Server hung up mid-run: this and all unsent requests
+                // count as lost so the run cannot quietly pass.
+                s.lost += 1;
+                break;
+            }
+        }
+    }
+    Ok(s)
+}
+
+/// Deterministic-shed phase: `pause`, blast `burst` cheap jobs without
+/// reading, `resume`, then collect every reply.
+fn burst_phase(cfg: &LoadgenConfig, burst: usize) -> Result<Summary, String> {
+    let mut conn = Conn::open(&cfg.addr)?;
+    let mut s = Summary::default();
+    conn.send(&Request::new("pause", Kind::Pause))?;
+    match conn.recv()? {
+        Some(r) if r.status == Status::Ok => {}
+        other => return Err(format!("pause not acknowledged: {other:?}")),
+    }
+    let ids: Vec<String> = (0..burst)
+        .map(|i| {
+            let id = format!("burst-{i}");
+            let req = Request::new(&id, Kind::Io)
+                .with_deadline(cfg.deadline_ms)
+                .with_param("alg", "classical")
+                .with_param("n", "8")
+                .with_param("m", "64");
+            conn.send(&req).map(|_| id)
+        })
+        .collect::<Result<_, _>>()?;
+    s.sent += burst as u64;
+    conn.send(&Request::new("resume", Kind::Resume))?;
+    // Replies arrive interleaved: sheds during the pause, the resume
+    // ack, terminal replies after. Count until every burst id is
+    // accounted for.
+    let mut seen = 0usize;
+    let mut resumed = false;
+    while seen < burst || !resumed {
+        match conn.recv()? {
+            Some(resp) => {
+                if resp.status == Status::Ok {
+                    resumed = true;
+                    continue;
+                }
+                let expected = ids
+                    .iter()
+                    .find(|id| **id == resp.id)
+                    .cloned()
+                    .unwrap_or_default();
+                if resp.status == Status::Shed {
+                    s.burst_shed += 1;
+                }
+                s.classify(&expected, &resp);
+                seen += 1;
+            }
+            None => {
+                s.lost += (burst - seen) as u64;
+                break;
+            }
+        }
+    }
+    Ok(s)
+}
+
+/// Graceful-stop phase: the ack carries the server's final counters.
+fn shutdown_phase(cfg: &LoadgenConfig, summary: &mut Summary) -> Result<(), String> {
+    let mut conn = Conn::open(&cfg.addr)?;
+    conn.send(&Request::new("stop", Kind::Shutdown))?;
+    match conn.recv()? {
+        Some(resp) if resp.status == Status::Ok => {
+            summary.server_counters = resp.result;
+            Ok(())
+        }
+        other => Err(format!("shutdown not acknowledged: {other:?}")),
+    }
+}
+
+/// Run the full scenario. `Err` means the scenario could not be driven
+/// (connection refused, protocol breakdown) — distinct from a driven run
+/// whose invariants failed, which returns `Ok` with `summary.ok() == false`.
+pub fn run(cfg: &LoadgenConfig) -> Result<Summary, String> {
+    let mut summary = Summary::default();
+    let results: Vec<Result<Summary, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.conns)
+            .map(|c| scope.spawn(move || conn_worker(cfg, c)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("loadgen connection thread panicked".to_string()))
+            })
+            .collect()
+    });
+    for r in results {
+        summary.absorb(&r?);
+    }
+    if let Some(burst) = cfg.burst {
+        summary.absorb(&burst_phase(cfg, burst)?);
+    }
+    if cfg.shutdown {
+        shutdown_phase(cfg, &mut summary)?;
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(seed: u64) -> LoadgenConfig {
+        LoadgenConfig {
+            seed,
+            ..LoadgenConfig::default()
+        }
+    }
+
+    #[test]
+    fn request_mix_is_deterministic_in_the_seed() {
+        let a: Vec<String> = (0..50)
+            .map(|i| pick_request(&cfg(7), 0, i).to_line())
+            .collect();
+        let b: Vec<String> = (0..50)
+            .map(|i| pick_request(&cfg(7), 0, i).to_line())
+            .collect();
+        let c: Vec<String> = (0..50)
+            .map(|i| pick_request(&cfg(8), 0, i).to_line())
+            .collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn request_mix_hits_every_category_at_the_default_rates() {
+        let cfg = cfg(1);
+        let mut poison = 0usize;
+        let mut oversized = 0usize;
+        let mut tiny = 0usize;
+        for conn in 0..cfg.conns {
+            for i in 0..cfg.requests {
+                let req = pick_request(&cfg, conn, i);
+                if req.params.get("n").map(String::as_str) == Some("24") {
+                    poison += 1;
+                } else if req.params.contains_key("pad") {
+                    oversized += 1;
+                } else if req.deadline_ms == Some(1) {
+                    tiny += 1;
+                }
+            }
+        }
+        let total = cfg.conns * cfg.requests;
+        // ~10% / ~5% / ~5%; a uniform mixer stays well inside half-to-
+        // double bands at n=1000.
+        assert!(poison * 100 / total >= 5, "poison {poison}/{total}");
+        assert!(oversized > 0 && tiny > 0);
+        // The ISSUE's chaos bar: at least 10% poison-or-oversized.
+        assert!((poison + oversized) * 100 / total >= 10);
+    }
+
+    #[test]
+    fn summary_invariants_catch_losses_and_imbalance() {
+        let mut s = Summary {
+            sent: 3,
+            completed: 2,
+            shed: 1,
+            ..Summary::default()
+        };
+        assert!(s.ok());
+        s.lost = 1;
+        assert!(!s.ok());
+        s.lost = 0;
+        s.server_counters.insert("accepted".into(), "5".into());
+        s.server_counters.insert("completed".into(), "4".into());
+        s.server_counters.insert("errored".into(), "0".into());
+        s.server_counters.insert("cancelled".into(), "0".into());
+        s.server_counters
+            .insert("deadline_exceeded".into(), "0".into());
+        assert!(!s.ok(), "unbalanced server counters must fail the run");
+        s.server_counters.insert("completed".into(), "5".into());
+        assert!(s.ok());
+    }
+
+    #[test]
+    fn summary_json_line_parses_with_the_obs_parser() {
+        let s = Summary {
+            sent: 10,
+            completed: 8,
+            shed: 2,
+            ..Summary::default()
+        };
+        let map = fmm_obs::json::parse_line(&s.to_json_line()).unwrap();
+        assert_eq!(map["sent"].as_num(), Some(10.0));
+        assert_eq!(map["ok"].as_num(), Some(1.0));
+    }
+}

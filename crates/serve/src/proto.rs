@@ -1,0 +1,415 @@
+//! Wire protocol: one JSON object per line, both directions.
+//!
+//! Requests and responses reuse the flat-object JSON dialect of
+//! [`fmm_obs::json`] — values are strings, numbers, `null`, or one-level
+//! string→string objects — so the server parses with the exact parser
+//! `fastmm report` already trusts and emits with the same [`escape`].
+//!
+//! Request:  `{"id":"r1","kind":"io","deadline_ms":500,"params":{"alg":"strassen","n":"32"}}`
+//! Response: `{"id":"r1","status":"completed","result":{"io":"93696",...}}`
+//!
+//! A reply whose `reason` starts with `"rejected:"` was refused *before*
+//! admission (malformed line, oversized line, bad params); it does not
+//! count against the accepted-jobs balance invariant.
+
+use fmm_obs::json::{escape, parse_line, Value};
+use std::collections::BTreeMap;
+
+/// Request kinds. Jobs go through the bounded queue; control kinds are
+/// answered inline by the connection thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Sequential cache-simulator run ([`fmm_memsim::seq`]).
+    Io,
+    /// Closed-form lower-bound evaluation ([`fmm_core::bounds`]).
+    Bounds,
+    /// Fault-injected parallel schedule ([`fmm_memsim::par_faults`]).
+    Faults,
+    /// One cell of a built-in sweep spec ([`fmm_sweep::run_cell`]).
+    SweepCell,
+    /// Liveness probe: uptime, queue depth, outstanding jobs.
+    Health,
+    /// Counter snapshot.
+    Stats,
+    /// Stop workers pulling from the queue (admission continues).
+    Pause,
+    /// Resume workers.
+    Resume,
+    /// Graceful drain: stop admission, finish in-flight, reply, exit.
+    Shutdown,
+}
+
+impl Kind {
+    pub fn parse(s: &str) -> Option<Kind> {
+        Some(match s {
+            "io" => Kind::Io,
+            "bounds" => Kind::Bounds,
+            "faults" => Kind::Faults,
+            "sweep-cell" => Kind::SweepCell,
+            "health" => Kind::Health,
+            "stats" => Kind::Stats,
+            "pause" => Kind::Pause,
+            "resume" => Kind::Resume,
+            "shutdown" => Kind::Shutdown,
+            _ => return None,
+        })
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Kind::Io => "io",
+            Kind::Bounds => "bounds",
+            Kind::Faults => "faults",
+            Kind::SweepCell => "sweep-cell",
+            Kind::Health => "health",
+            Kind::Stats => "stats",
+            Kind::Pause => "pause",
+            Kind::Resume => "resume",
+            Kind::Shutdown => "shutdown",
+        }
+    }
+
+    /// Does this kind go through the admission queue?
+    pub fn is_job(self) -> bool {
+        matches!(
+            self,
+            Kind::Io | Kind::Bounds | Kind::Faults | Kind::SweepCell
+        )
+    }
+}
+
+/// One parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id; required for job kinds (every
+    /// terminal reply echoes it), optional for control kinds.
+    pub id: String,
+    pub kind: Kind,
+    /// Wall-clock budget from *admission* (queue wait included).
+    pub deadline_ms: Option<u64>,
+    /// Job parameters, all strings (the parser's flat-object shape).
+    pub params: BTreeMap<String, String>,
+}
+
+impl Request {
+    pub fn new(id: &str, kind: Kind) -> Request {
+        Request {
+            id: id.to_string(),
+            kind,
+            deadline_ms: None,
+            params: BTreeMap::new(),
+        }
+    }
+
+    pub fn with_deadline(mut self, ms: u64) -> Request {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    pub fn with_param(mut self, key: &str, value: &str) -> Request {
+        self.params.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Parse one request line. The error string is safe to echo to the
+    /// client (it never contains unescaped input).
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let map = parse_line(line).ok_or("malformed JSON line")?;
+        let kind_str = map
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or("missing 'kind'")?;
+        let kind = Kind::parse(kind_str).ok_or("unknown 'kind'")?;
+        let id = map
+            .get("id")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string();
+        if kind.is_job() && id.is_empty() {
+            return Err("job requests need a non-empty 'id'".to_string());
+        }
+        let deadline_ms = match map.get("deadline_ms") {
+            None | Some(Value::Null) => None,
+            Some(v) => {
+                let n = v.as_num().ok_or("'deadline_ms' must be a number")?;
+                if !n.is_finite() || n < 0.0 {
+                    return Err("'deadline_ms' must be a non-negative number".to_string());
+                }
+                Some(n as u64)
+            }
+        };
+        let params = match map.get("params") {
+            None | Some(Value::Null) => BTreeMap::new(),
+            Some(Value::Object(o)) => o.clone(),
+            Some(_) => return Err("'params' must be an object".to_string()),
+        };
+        Ok(Request {
+            id,
+            kind,
+            deadline_ms,
+            params,
+        })
+    }
+
+    /// Serialise to one line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"id\":\"{}\"", escape(&self.id)));
+        out.push_str(&format!(",\"kind\":\"{}\"", self.kind.as_str()));
+        if let Some(ms) = self.deadline_ms {
+            out.push_str(&format!(",\"deadline_ms\":{ms}"));
+        }
+        if !self.params.is_empty() {
+            out.push_str(",\"params\":{");
+            for (i, (k, v)) in self.params.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":\"{}\"", escape(k), escape(v)));
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Terminal (and control) reply statuses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// Job ran to completion; `result` holds its measurements.
+    Completed,
+    /// Refused at admission: queue full or server draining. Not run.
+    Shed,
+    /// Job (or request) failed; `reason` explains. A reason starting
+    /// with `"rejected:"` means the request was never admitted.
+    Error,
+    /// Job's token was cancelled explicitly.
+    Cancelled,
+    /// Job's wall-clock deadline fired before it finished.
+    DeadlineExceeded,
+    /// Control request succeeded.
+    Ok,
+}
+
+impl Status {
+    pub fn parse(s: &str) -> Option<Status> {
+        Some(match s {
+            "completed" => Status::Completed,
+            "shed" => Status::Shed,
+            "error" => Status::Error,
+            "cancelled" => Status::Cancelled,
+            "deadline-exceeded" => Status::DeadlineExceeded,
+            "ok" => Status::Ok,
+            _ => return None,
+        })
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Status::Completed => "completed",
+            Status::Shed => "shed",
+            Status::Error => "error",
+            Status::Cancelled => "cancelled",
+            Status::DeadlineExceeded => "deadline-exceeded",
+            Status::Ok => "ok",
+        }
+    }
+}
+
+/// One reply line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// Echo of the request id ("" when the request had none or was too
+    /// malformed to carry one).
+    pub id: String,
+    pub status: Status,
+    /// Shed/error detail; empty otherwise.
+    pub reason: String,
+    /// Job output (completed) or control payload (ok), all strings.
+    pub result: BTreeMap<String, String>,
+}
+
+impl Response {
+    pub fn new(id: &str, status: Status) -> Response {
+        Response {
+            id: id.to_string(),
+            status,
+            reason: String::new(),
+            result: BTreeMap::new(),
+        }
+    }
+
+    pub fn with_reason(mut self, reason: &str) -> Response {
+        self.reason = reason.to_string();
+        self
+    }
+
+    pub fn with_result(mut self, result: BTreeMap<String, String>) -> Response {
+        self.result = result;
+        self
+    }
+
+    /// Was the underlying request admitted and given a terminal state?
+    /// (Everything except `ok`, `shed`, and `rejected:`-reason errors.)
+    pub fn is_terminal_job_reply(&self) -> bool {
+        match self.status {
+            Status::Completed | Status::Cancelled | Status::DeadlineExceeded => true,
+            Status::Error => !self.reason.starts_with("rejected:"),
+            Status::Shed | Status::Ok => false,
+        }
+    }
+
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let map = parse_line(line).ok_or("malformed JSON line")?;
+        let status_str = map
+            .get("status")
+            .and_then(Value::as_str)
+            .ok_or("missing 'status'")?;
+        let status = Status::parse(status_str).ok_or("unknown 'status'")?;
+        let id = map
+            .get("id")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string();
+        let reason = map
+            .get("reason")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string();
+        let result = match map.get("result") {
+            None | Some(Value::Null) => BTreeMap::new(),
+            Some(Value::Object(o)) => o.clone(),
+            Some(_) => return Err("'result' must be an object".to_string()),
+        };
+        Ok(Response {
+            id,
+            status,
+            reason,
+            result,
+        })
+    }
+
+    /// Serialise to one line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"id\":\"{}\"", escape(&self.id)));
+        out.push_str(&format!(",\"status\":\"{}\"", self.status.as_str()));
+        if !self.reason.is_empty() {
+            out.push_str(&format!(",\"reason\":\"{}\"", escape(&self.reason)));
+        }
+        if !self.result.is_empty() {
+            out.push_str(",\"result\":{");
+            for (i, (k, v)) in self.result.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":\"{}\"", escape(k), escape(v)));
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_through_its_own_line() {
+        let req = Request::new("c0-r17", Kind::Io)
+            .with_deadline(2500)
+            .with_param("alg", "strassen")
+            .with_param("n", "32")
+            .with_param("note", "quotes \" and \\ and\nnewlines");
+        let parsed = Request::parse(&req.to_line()).unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn minimal_control_request_round_trips() {
+        let req = Request::new("", Kind::Health);
+        let parsed = Request::parse(&req.to_line()).unwrap();
+        assert_eq!(parsed, req);
+        assert!(!parsed.kind.is_job());
+    }
+
+    #[test]
+    fn response_round_trips_with_result_map() {
+        let mut result = BTreeMap::new();
+        result.insert("io".to_string(), "93696".to_string());
+        result.insert("ratio".to_string(), "1.52".to_string());
+        let resp = Response::new("c0-r17", Status::Completed).with_result(result);
+        let parsed = Response::parse(&resp.to_line()).unwrap();
+        assert_eq!(parsed, resp);
+        assert!(parsed.is_terminal_job_reply());
+    }
+
+    #[test]
+    fn shed_and_rejected_replies_are_not_terminal() {
+        let shed = Response::new("x", Status::Shed).with_reason("queue-full");
+        assert!(!Response::parse(&shed.to_line())
+            .unwrap()
+            .is_terminal_job_reply());
+        let rejected =
+            Response::new("", Status::Error).with_reason("rejected: malformed JSON line");
+        assert!(!Response::parse(&rejected.to_line())
+            .unwrap()
+            .is_terminal_job_reply());
+        let poison = Response::new("x", Status::Error).with_reason("panic: boom");
+        assert!(Response::parse(&poison.to_line())
+            .unwrap()
+            .is_terminal_job_reply());
+    }
+
+    #[test]
+    fn every_kind_and_status_round_trips_its_name() {
+        for kind in [
+            Kind::Io,
+            Kind::Bounds,
+            Kind::Faults,
+            Kind::SweepCell,
+            Kind::Health,
+            Kind::Stats,
+            Kind::Pause,
+            Kind::Resume,
+            Kind::Shutdown,
+        ] {
+            assert_eq!(Kind::parse(kind.as_str()), Some(kind));
+        }
+        for status in [
+            Status::Completed,
+            Status::Shed,
+            Status::Error,
+            Status::Cancelled,
+            Status::DeadlineExceeded,
+            Status::Ok,
+        ] {
+            assert_eq!(Status::parse(status.as_str()), Some(status));
+        }
+    }
+
+    #[test]
+    fn malformed_requests_fail_with_reportable_errors() {
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse("{\"kind\":\"nope\"}").is_err());
+        assert!(Request::parse("{\"id\":\"x\"}").is_err());
+        // Job kinds need an id; control kinds do not.
+        assert!(Request::parse("{\"kind\":\"io\"}").is_err());
+        assert!(Request::parse("{\"kind\":\"health\"}").is_ok());
+        assert!(Request::parse("{\"id\":\"x\",\"kind\":\"io\",\"deadline_ms\":\"soon\"}").is_err());
+        assert!(Request::parse("{\"id\":\"x\",\"kind\":\"io\",\"deadline_ms\":-5}").is_err());
+        assert!(Request::parse("{\"id\":\"x\",\"kind\":\"io\",\"params\":3}").is_err());
+    }
+
+    #[test]
+    fn deadline_and_null_fields_parse() {
+        let req =
+            Request::parse("{\"id\":\"a\",\"kind\":\"io\",\"deadline_ms\":250,\"params\":null}")
+                .unwrap();
+        assert_eq!(req.deadline_ms, Some(250));
+        assert!(req.params.is_empty());
+    }
+}

@@ -27,10 +27,14 @@ pub struct RunConfig {
     pub max_cells: Option<usize>,
     /// Print one progress line per finished cell to stderr.
     pub verbose: bool,
-    /// Per-cell wall-clock budget in milliseconds. A cell that exceeds it
-    /// is recorded as [`CellStatus::TimedOut`] and the sweep moves on; the
-    /// runaway computation is abandoned on a detached thread (it cannot
-    /// be cancelled, but it can no longer hold the sweep hostage).
+    /// Per-cell wall-clock budget in milliseconds. The cell runs under a
+    /// scoped [`fmm_faults::CancelToken`] with this deadline; the
+    /// instrumented simulators poll it at loop granularity, so an
+    /// over-budget cell unwinds *on the worker thread itself* and is
+    /// recorded as [`CellStatus::TimedOut`] — no detached thread, nothing
+    /// outlives the sweep. (Cancellation is cooperative: code that never
+    /// reaches a poll point — e.g. a pathological pebbling search — can
+    /// still overshoot the budget until its next polled loop.)
     pub cell_timeout_ms: Option<u64>,
     /// Re-run a cell that errored or timed out up to this many extra
     /// times, with deterministic backoff between attempts.
@@ -209,43 +213,40 @@ where
 }
 
 /// Run one cell with panic isolation and, when configured, a wall-clock
-/// budget. Timeout mode runs the cell on a detached thread: if the budget
-/// expires the thread is abandoned (its eventual result is discarded) —
-/// the one safe way to contain code that may never return.
+/// budget enforced by a scoped [`fmm_faults::CancelToken`]. The cell runs
+/// on the calling worker thread; deadline expiry cancels it cooperatively
+/// at the simulators' poll points (the `Cancelled` sentinel unwind is
+/// mapped to [`CellStatus::TimedOut`]). This replaces the detach-and-
+/// abandon scheme: timed-out work stops instead of leaking a thread.
 fn run_one(cell: &Cell, seed: u64, cfg: &RunConfig) -> CellStatus {
+    use fmm_faults::cancel;
     let hang_ms = cfg
         .inject_hang
         .and_then(|(id, ms)| (id == cell.id).then_some(ms));
-    let Some(budget) = cfg.cell_timeout_ms else {
-        if let Some(ms) = hang_ms {
-            std::thread::sleep(Duration::from_millis(ms));
+    let token = match cfg.cell_timeout_ms {
+        Some(budget) => {
+            cancel::silence_cancel_panics();
+            fmm_faults::CancelToken::with_deadline(Duration::from_millis(budget))
         }
-        return run_guarded(cell, seed);
+        None => fmm_faults::CancelToken::new(),
     };
-    let (tx, rx) = std::sync::mpsc::sync_channel(1);
-    let cell = cell.clone();
-    let spawned = std::thread::Builder::new()
-        .name(format!("sweep-cell-{}", cell.id))
-        .spawn(move || {
-            if let Some(ms) = hang_ms {
-                std::thread::sleep(Duration::from_millis(ms));
-            }
-            let _ = tx.send(run_guarded(&cell, seed));
-        });
-    if spawned.is_err() {
-        return CellStatus::Error("cannot spawn cell thread".into());
-    }
-    match rx.recv_timeout(Duration::from_millis(budget)) {
-        Ok(status) => status,
-        Err(_) => CellStatus::TimedOut,
-    }
-}
-
-fn run_guarded(cell: &Cell, seed: u64) -> CellStatus {
-    match catch_unwind(AssertUnwindSafe(|| run_cell(cell, seed))) {
+    let _scope = cancel::enter(&token);
+    match catch_unwind(AssertUnwindSafe(|| {
+        if let Some(ms) = hang_ms {
+            // The simulated hang observes the token like real work does.
+            token.cancellable_sleep(Duration::from_millis(ms));
+        }
+        run_cell(cell, seed)
+    })) {
         Ok(Ok(m)) => CellStatus::Ok(m),
         Ok(Err(e)) => CellStatus::Error(e),
-        Err(panic) => CellStatus::Error(format!("panic: {}", panic_message(panic.as_ref()))),
+        Err(payload) => {
+            if cancel::cancelled_reason(payload.as_ref()).is_some() {
+                CellStatus::TimedOut
+            } else {
+                CellStatus::Error(format!("panic: {}", panic_message(payload.as_ref())))
+            }
+        }
     }
 }
 
@@ -517,6 +518,60 @@ mod tests {
             .collect();
         assert_eq!(timed.len(), 1);
         assert_eq!(timed[0].cell.id, cells[0].id);
+    }
+
+    /// Live threads whose name marks them as sweep-cell workers. The old
+    /// timeout scheme detached a named `sweep-cell-<id>` thread per timed
+    /// out cell; the cooperative scheme must leave none behind.
+    fn leaked_cell_threads() -> usize {
+        #[cfg(target_os = "linux")]
+        {
+            std::fs::read_dir("/proc/self/task")
+                .map(|dir| {
+                    dir.flatten()
+                        .filter(|t| {
+                            std::fs::read_to_string(t.path().join("comm"))
+                                .map(|c| c.trim_end().starts_with("sweep-cell"))
+                                .unwrap_or(false)
+                        })
+                        .count()
+                })
+                .unwrap_or(0)
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            0
+        }
+    }
+
+    #[test]
+    fn timed_out_cells_leak_no_threads_and_stop_promptly() {
+        let spec = SweepSpec::builtin("smoke").unwrap();
+        let cells = spec.expand();
+        // A two-minute hang against a 100 ms budget: under the detached-
+        // thread scheme this left a sleeping thread behind for the full
+        // two minutes; under cooperative cancellation the hang itself is
+        // cancelled, so the sweep returns fast and leaks nothing.
+        let cfg = RunConfig {
+            seed: 5,
+            jobs: 2,
+            cell_timeout_ms: Some(100),
+            inject_hang: Some((cells[0].id, 120_000)),
+            ..RunConfig::default()
+        };
+        let start = std::time::Instant::now();
+        let stats = execute(&cells, &cfg, |_| {});
+        assert_eq!(stats.timeouts, 1);
+        assert_eq!(stats.ok, cells.len() - 1);
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "hung cell must be cancelled at its deadline, not awaited"
+        );
+        assert_eq!(
+            leaked_cell_threads(),
+            0,
+            "no cell thread may outlive the sweep"
+        );
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! fastmm sweep    resume --spec table1 --out sweep_table1.jsonl
 //! fastmm sweep    report --file sweep_table1.jsonl [--bench BENCH_sweep.json]
 //! fastmm sweep    diff --base a.jsonl --cand b.jsonl [--tol 0.01]
+//! fastmm serve    [--addr 127.0.0.1:0] [--queue-depth 32] [--workers 2]
+//! fastmm loadgen  --addr HOST:PORT [--conns 4] [--requests 250] [--seed 1] [--burst 64] [--shutdown]
 //! ```
 //!
 //! Every command accepts a global `--metrics <path>` flag that enables
@@ -46,8 +48,21 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 const USAGE: &str =
-    "usage: fastmm <multiply|bounds|verify|io|faults|pebble|dot|report|sweep> [flags]\n\
+    "usage: fastmm <multiply|bounds|verify|io|faults|pebble|dot|report|sweep|serve|loadgen> [flags]\n\
        global flags: --metrics <path.jsonl>  (collect full telemetry, write JSONL on exit)";
+
+const SERVE_USAGE: &str =
+    "usage: fastmm serve [--addr 127.0.0.1:0] [--queue-depth 32] [--workers 2]\n\
+       [--default-deadline-ms <ms>] [--max-line-bytes 65536]\n\
+       Prints 'fastmm serve listening on HOST:PORT', serves until a client\n\
+       sends {\"kind\":\"shutdown\"}, then drains and exits 0.";
+
+const LOADGEN_USAGE: &str =
+    "usage: fastmm loadgen --addr <host:port> [--conns 4] [--requests 250]\n\
+       [--seed 1] [--poison-pct 10] [--oversized-pct 5] [--tiny-deadline-pct 5]\n\
+       [--expensive-pct 10] [--deadline-ms 10000] [--burst <n>] [--shutdown]\n\
+       Drives a seeded chaos mix and prints a one-line JSON summary; exits\n\
+       nonzero if any request was lost or the server counters don't balance.";
 
 const SWEEP_USAGE: &str = "usage: fastmm sweep <run|resume|report|diff|specs> [flags]\n\
        run    --spec <name> [--out <file>] [--seed <u64>] [--jobs <n>] [--max-cells <k>]\n\
@@ -86,9 +101,9 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> HashMap<String, String> {
             eprintln!("{USAGE}");
             std::process::exit(2);
         }
-        let value = match it.peek() {
-            Some(v) if !v.starts_with("--") => it.next().expect("peeked").clone(),
-            _ => "true".to_string(),
+        let value = match it.next_if(|v| !v.starts_with("--")) {
+            Some(v) => v.clone(),
+            None => "true".to_string(),
         };
         flags.insert(name.to_string(), value);
     }
@@ -116,8 +131,10 @@ fn get_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> usiz
     flags
         .get(key)
         .map(|v| {
-            v.parse()
-                .unwrap_or_else(|_| panic!("--{key} expects a number, got '{v}'"))
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--{key} expects a number, got '{v}'");
+                std::process::exit(2);
+            })
         })
         .unwrap_or(default)
 }
@@ -857,6 +874,98 @@ fn write_metrics(path: &str) -> bool {
     }
 }
 
+fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
+    use fastmm::serve::{ServerConfig, ServerHandle};
+    let cfg = ServerConfig {
+        addr: flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:0".to_string()),
+        queue_depth: get_usize(flags, "queue-depth", 32).max(1),
+        workers: get_usize(flags, "workers", 2).max(1),
+        default_deadline_ms: flags
+            .get("default-deadline-ms")
+            .map(|_| get_usize(flags, "default-deadline-ms", 0) as u64),
+        max_line_bytes: get_usize(flags, "max-line-bytes", 64 * 1024).max(1),
+    };
+    let handle = match ServerHandle::start(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("serve: cannot bind: {e}");
+            eprintln!("{SERVE_USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    // The line CI (and humans) parse for the ephemeral port.
+    println!("fastmm serve listening on {}", handle.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let stats = handle.wait();
+    println!(
+        "fastmm serve drained: accepted={} completed={} errored={} cancelled={} \
+         deadline_exceeded={} shed={} rejected={}",
+        stats.accepted,
+        stats.completed,
+        stats.errored,
+        stats.cancelled,
+        stats.deadline_exceeded,
+        stats.shed,
+        stats.rejected
+    );
+    if stats.balanced() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("serve: counters do not balance after drain");
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_loadgen(flags: &HashMap<String, String>) -> ExitCode {
+    use fastmm::serve::{loadgen, LoadgenConfig};
+    let Some(addr) = flags.get("addr") else {
+        eprintln!("loadgen: --addr <host:port> is required");
+        eprintln!("{LOADGEN_USAGE}");
+        return ExitCode::from(2);
+    };
+    let defaults = LoadgenConfig::default();
+    let cfg = LoadgenConfig {
+        addr: addr.clone(),
+        conns: get_usize(flags, "conns", defaults.conns).max(1),
+        requests: get_usize(flags, "requests", defaults.requests),
+        seed: get_usize(flags, "seed", defaults.seed as usize) as u64,
+        poison_pct: get_usize(flags, "poison-pct", defaults.poison_pct as usize) as u64,
+        oversized_pct: get_usize(flags, "oversized-pct", defaults.oversized_pct as usize) as u64,
+        tiny_deadline_pct: get_usize(
+            flags,
+            "tiny-deadline-pct",
+            defaults.tiny_deadline_pct as usize,
+        ) as u64,
+        expensive_pct: get_usize(flags, "expensive-pct", defaults.expensive_pct as usize) as u64,
+        deadline_ms: get_usize(flags, "deadline-ms", defaults.deadline_ms as usize) as u64,
+        oversized_bytes: defaults.oversized_bytes,
+        burst: flags.get("burst").map(|_| get_usize(flags, "burst", 64)),
+        shutdown: flags.contains_key("shutdown"),
+    };
+    match loadgen::run(&cfg) {
+        Ok(summary) => {
+            println!("{}", summary.to_json_line());
+            if summary.ok() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "loadgen: invariants violated (lost={} mismatched={})",
+                    summary.lost, summary.mismatched
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -900,6 +1009,26 @@ fn main() -> ExitCode {
             "family", "m", "optimal", "len", "leaves", "rows", "cols", "n",
         ],
         "dot" => &["alg", "n", "out"],
+        "serve" => &[
+            "addr",
+            "queue-depth",
+            "workers",
+            "default-deadline-ms",
+            "max-line-bytes",
+        ],
+        "loadgen" => &[
+            "addr",
+            "conns",
+            "requests",
+            "seed",
+            "poison-pct",
+            "oversized-pct",
+            "tiny-deadline-pct",
+            "expensive-pct",
+            "deadline-ms",
+            "burst",
+            "shutdown",
+        ],
         other => {
             eprintln!("unknown command '{other}'");
             eprintln!("{USAGE}");
@@ -930,6 +1059,8 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "dot" => cmd_dot(&flags),
+        "serve" => cmd_serve(&flags),
+        "loadgen" => cmd_loadgen(&flags),
         _ => unreachable!("command validated above"),
     };
     if let Some(path) = flags.get("metrics") {

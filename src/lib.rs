@@ -11,4 +11,5 @@ pub use fmm_matrix as matrix;
 pub use fmm_memsim as memsim;
 pub use fmm_obs as obs;
 pub use fmm_pebbling as pebbling;
+pub use fmm_serve as serve;
 pub use fmm_sweep as sweep;

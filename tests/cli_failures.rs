@@ -177,6 +177,68 @@ fn io_faults_reports_recovery_io() {
 }
 
 #[test]
+fn non_numeric_flag_value_exits_2() {
+    let out = fastmm(&["io", "--n", "eight", "--m", "64"]);
+    assert_exit_2_clean(&out);
+    assert!(stderr(&out).contains("--n expects a number, got 'eight'"));
+}
+
+#[test]
+fn flag_missing_its_numeric_value_exits_2() {
+    // A trailing `--m` swallows no value, so the parser sees the boolean
+    // placeholder — still a clean exit 2, not a panic.
+    let out = fastmm(&["io", "--n", "8", "--m"]);
+    assert_exit_2_clean(&out);
+    assert!(stderr(&out).contains("--m expects a number, got 'true'"));
+}
+
+#[test]
+fn bounds_non_numeric_value_exits_2() {
+    let out = fastmm(&["bounds", "--n", "x", "--p", "49"]);
+    assert_exit_2_clean(&out);
+    assert!(stderr(&out).contains("--n expects a number, got 'x'"));
+}
+
+#[test]
+fn loadgen_without_addr_exits_2_with_usage() {
+    let out = fastmm(&["loadgen", "--conns", "2"]);
+    assert_exit_2_clean(&out);
+    let err = stderr(&out);
+    assert!(err.contains("--addr <host:port> is required"), "{err}");
+    assert!(err.contains("usage: fastmm loadgen"), "{err}");
+}
+
+#[test]
+fn loadgen_unknown_flag_exits_2() {
+    let out = fastmm(&["loadgen", "--addr", "127.0.0.1:1", "--conn", "2"]);
+    assert_exit_2_clean(&out);
+    assert!(stderr(&out).contains("unknown flag '--conn'"));
+}
+
+#[test]
+fn serve_unknown_flag_exits_2() {
+    let out = fastmm(&["serve", "--queue", "8"]);
+    assert_exit_2_clean(&out);
+    assert!(stderr(&out).contains("unknown flag '--queue'"));
+}
+
+#[test]
+fn serve_unbindable_addr_exits_2_with_usage() {
+    let out = fastmm(&["serve", "--addr", "203.0.113.1:1"]);
+    assert_exit_2_clean(&out);
+    let err = stderr(&out);
+    assert!(err.contains("serve: cannot bind"), "{err}");
+    assert!(err.contains("usage: fastmm serve"), "{err}");
+}
+
+#[test]
+fn serve_non_numeric_queue_depth_exits_2() {
+    let out = fastmm(&["serve", "--queue-depth", "deep"]);
+    assert_exit_2_clean(&out);
+    assert!(stderr(&out).contains("--queue-depth expects a number"));
+}
+
+#[test]
 fn sweep_injected_hang_times_out_and_sweep_continues() {
     let out_path = scratch("hang.jsonl");
     let _ = std::fs::remove_file(&out_path);

@@ -1,0 +1,123 @@
+//! Binary-level contract for `fastmm serve` + `fastmm loadgen`: the two
+//! subcommands must compose from the shell exactly the way the CI
+//! serve-smoke job uses them — ephemeral port printed on stdout, seeded
+//! loadgen summary on one line, graceful shutdown with balanced counters
+//! and exit code 0, and flushed `serve_*` metrics in the JSONL file.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+fn fastmm_cmd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fastmm"))
+}
+
+/// Start `fastmm serve`, parse the advertised ephemeral address off its
+/// first stdout line, and hand back (child, addr).
+fn spawn_server(extra: &[&str]) -> (Child, String) {
+    let mut child = fastmm_cmd()
+        .args(["serve", "--queue-depth", "32", "--workers", "4"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn fastmm serve");
+    let mut first = String::new();
+    BufReader::new(child.stdout.as_mut().expect("stdout piped"))
+        .read_line(&mut first)
+        .expect("read listening line");
+    let addr = first
+        .trim()
+        .strip_prefix("fastmm serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {first:?}"))
+        .to_string();
+    (child, addr)
+}
+
+#[test]
+fn serve_and_loadgen_compose_from_the_shell() {
+    let metrics = {
+        let mut p = std::env::temp_dir();
+        p.push(format!("fastmm_serve_cli_{}.jsonl", std::process::id()));
+        p
+    };
+    let _ = std::fs::remove_file(&metrics);
+    let (mut server, addr) = spawn_server(&["--metrics", metrics.to_str().unwrap()]);
+
+    let load = fastmm_cmd()
+        .args([
+            "loadgen",
+            "--addr",
+            &addr,
+            "--conns",
+            "2",
+            "--requests",
+            "40",
+            "--seed",
+            "7",
+            "--burst",
+            "48",
+            "--shutdown",
+        ])
+        .output()
+        .expect("run fastmm loadgen");
+    let summary = String::from_utf8_lossy(&load.stdout);
+    assert_eq!(
+        load.status.code(),
+        Some(0),
+        "loadgen failed\nstdout: {summary}\nstderr: {}",
+        String::from_utf8_lossy(&load.stderr)
+    );
+    // One-line JSON summary with the no-lost-jobs invariant visible.
+    let line = summary.trim();
+    assert!(
+        !line.contains('\n'),
+        "summary must be a single line: {summary}"
+    );
+    assert!(line.contains("\"lost\":0"), "{line}");
+    assert!(line.contains("\"ok\":1"), "{line}");
+    // The paused burst against a depth-32 queue sheds exactly 48 - 32.
+    assert!(line.contains("\"burst_shed\":16"), "{line}");
+
+    // The --shutdown handshake must leave the server drained: exit 0 and
+    // a balanced final-counters line on stdout.
+    let status = server.wait().expect("server exits");
+    assert_eq!(status.code(), Some(0), "server must drain and exit 0");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut server.stdout.take().expect("stdout piped"), &mut rest)
+        .expect("read drained line");
+    assert!(rest.contains("fastmm serve drained: accepted="), "{rest}");
+
+    // Counters survived the drain into the metrics file.
+    let flushed = std::fs::read_to_string(&metrics).expect("metrics flushed");
+    for key in [
+        "serve_accepted",
+        "serve_completed",
+        "serve_shed",
+        "serve_latency_us",
+    ] {
+        assert!(flushed.contains(key), "metrics missing {key}:\n{flushed}");
+    }
+    let _ = std::fs::remove_file(&metrics);
+}
+
+#[test]
+fn loadgen_exits_nonzero_when_the_server_vanishes() {
+    // A server that is shut down out from under the client: whatever the
+    // failure mode, loadgen must not report success.
+    let (mut server, addr) = spawn_server(&[]);
+    server.kill().expect("kill server");
+    server.wait().expect("reap server");
+    let load = fastmm_cmd()
+        .args([
+            "loadgen",
+            "--addr",
+            &addr,
+            "--conns",
+            "1",
+            "--requests",
+            "5",
+        ])
+        .output()
+        .expect("run fastmm loadgen");
+    assert_ne!(load.status.code(), Some(0), "lost replies must fail loudly");
+}
