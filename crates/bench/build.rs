@@ -1,0 +1,22 @@
+//! Captures build-environment facts cargo only exposes at compile time
+//! (target triple, opt-level, compiler version) so the runtime manifest
+//! in `manifest.rs` can embed them in every `fmm-bench/v1` document.
+
+use std::process::Command;
+
+fn main() {
+    let target = std::env::var("TARGET").unwrap_or_default();
+    println!("cargo:rustc-env=FMM_BUILD_TARGET={target}");
+    let opt = std::env::var("OPT_LEVEL").unwrap_or_default();
+    println!("cargo:rustc-env=FMM_BUILD_OPT_LEVEL={opt}");
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_string());
+    let version = Command::new(&rustc)
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=FMM_BUILD_RUSTC={version}");
+}

@@ -2,6 +2,11 @@
 //!
 //! Benchmark harness for the reproduction:
 //!
+//! * The `fastmm bench run|diff|list` pipeline: a catalog of named
+//!   hot-path targets ([`targets`]), warmup + timed passes with
+//!   interpolated percentiles, a versioned `fmm-bench/v1` JSONL document
+//!   with an environment manifest ([`doc`], [`manifest`]), and the
+//!   regression gate ([`diff`]).
 //! * Criterion benches (one file per experiment family) under `benches/`:
 //!   `kernels` (X3 wall-time + flop story), `lemma_engines` (F2),
 //!   `pebbling` (X2), `cache_sim` (T1 sequential rows), `cdag_build`
@@ -9,8 +14,11 @@
 //! * The [`tables`](../src/bin/tables.rs) binary regenerates Table I and
 //!   every figure-equivalent as aligned text tables:
 //!   `cargo run -p fmm-bench --release --bin tables -- --all`.
-//!
-//! This library crate only hosts small shared helpers for those targets.
+
+pub mod diff;
+pub mod doc;
+pub mod manifest;
+pub mod targets;
 
 use fmm_matrix::Matrix;
 use rand::rngs::StdRng;

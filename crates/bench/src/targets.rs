@@ -1,0 +1,399 @@
+//! The named benchmark target catalog and the warmup/timed-pass runner.
+//!
+//! Each target is a deterministic unit of hot-path work (fixed seeds, so
+//! its `extras` counters are exact across runs while only wall time
+//! varies). The runner times `passes` passes after `warmup` discarded
+//! ones, pulls interpolated percentiles from an [`fmm_obs::Histogram`]
+//! of per-pass nanoseconds, and assembles the [`BenchDoc`].
+
+use crate::doc::{BenchDoc, TargetResult, TargetStats};
+use crate::manifest;
+use fmm_core::{catalog, Bilinear2x2};
+use fmm_memsim::cache::Policy;
+use fmm_memsim::{par, seq};
+use fmm_obs::Histogram;
+use fmm_serve::loadgen::{self, LoadgenConfig};
+use fmm_serve::server::{ServerConfig, ServerHandle};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// How many passes a run makes. Profiles are ordered: a target gated at
+/// `min_profile = Standard` is skipped by `quick` runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Profile {
+    Quick,
+    Standard,
+    Full,
+}
+
+impl Profile {
+    pub fn parse(s: &str) -> Option<Profile> {
+        Some(match s {
+            "quick" => Profile::Quick,
+            "standard" => Profile::Standard,
+            "full" => Profile::Full,
+            _ => return None,
+        })
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Profile::Quick => "quick",
+            Profile::Standard => "standard",
+            Profile::Full => "full",
+        }
+    }
+
+    /// Discarded warm-up passes before timing starts.
+    pub fn warmup(self) -> u64 {
+        match self {
+            Profile::Quick => 1,
+            Profile::Standard => 2,
+            Profile::Full => 3,
+        }
+    }
+
+    /// Timed passes.
+    pub fn passes(self) -> u64 {
+        match self {
+            Profile::Quick => 5,
+            Profile::Standard => 15,
+            Profile::Full => 30,
+        }
+    }
+}
+
+/// One named benchmark target.
+pub struct Target {
+    /// Stable name, e.g. `memsim/lru/n32_m1024` — the `diff` join key.
+    pub name: &'static str,
+    /// Coarse group (`memsim` / `sweep` / `par` / `serve`).
+    pub group: &'static str,
+    /// Relative p50 tolerance recorded into the document for `diff`.
+    pub tol: f64,
+    /// Smallest profile that includes this target.
+    pub min_profile: Profile,
+    /// One pass of work; returns the deterministic extras.
+    run: fn() -> BTreeMap<String, String>,
+}
+
+fn extras(pairs: &[(&str, String)]) -> BTreeMap<String, String> {
+    pairs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect()
+}
+
+fn strassen() -> Bilinear2x2 {
+    catalog::strassen()
+}
+
+/// One sequential cache-simulator pass (the memsim hot path PR 3
+/// rewrote; these targets are the regression net for that 380× win).
+fn memsim_pass(policy: &str, n: usize, m: usize) -> BTreeMap<String, String> {
+    let algo = strassen();
+    let tile = seq::natural_tile(m);
+    let run = |mem: &mut seq::Mem, a: &seq::TMat, b: &seq::TMat| -> seq::TMat {
+        seq::fast_recursive(mem, &algo, a, b, tile)
+    };
+    let stats = match policy {
+        "opt" => seq::measure_opt_seeded(n, m, seq::DEFAULT_WORKLOAD_SEED, run),
+        "fifo" => seq::measure_seeded(n, m, Policy::Fifo, seq::DEFAULT_WORKLOAD_SEED, run).1,
+        _ => seq::measure_seeded(n, m, Policy::Lru, seq::DEFAULT_WORKLOAD_SEED, run).1,
+    };
+    extras(&[
+        ("io", stats.io().to_string()),
+        ("loads", stats.loads.to_string()),
+        ("stores", stats.stores.to_string()),
+    ])
+}
+
+fn memsim_lru_n32() -> BTreeMap<String, String> {
+    memsim_pass("lru", 32, 1024)
+}
+fn memsim_fifo_n32() -> BTreeMap<String, String> {
+    memsim_pass("fifo", 32, 1024)
+}
+fn memsim_opt_n32() -> BTreeMap<String, String> {
+    memsim_pass("opt", 32, 1024)
+}
+fn memsim_lru_n128() -> BTreeMap<String, String> {
+    memsim_pass("lru", 128, 1024)
+}
+
+/// The first few smoke-spec sweep cells, end to end (cell throughput).
+fn sweep_smoke_cells() -> BTreeMap<String, String> {
+    let spec = fmm_sweep::SweepSpec::builtin("smoke").expect("smoke spec exists");
+    let cells = spec.expand();
+    let take = cells.len().min(4);
+    let mut io_total = 0u64;
+    for cell in &cells[..take] {
+        let m = fmm_sweep::run_cell(cell, fmm_sweep::cell_seed(42, cell))
+            .expect("smoke cells are well-formed");
+        io_total += m.io;
+    }
+    extras(&[
+        ("cells", take.to_string()),
+        ("io_total", io_total.to_string()),
+    ])
+}
+
+fn par_cannon() -> BTreeMap<String, String> {
+    let a = crate::bench_matrix(16, 1);
+    let b = crate::bench_matrix(16, 2);
+    let (_, net) = par::cannon(&a, &b, 4);
+    extras(&[("words", net.total_words.to_string())])
+}
+
+fn par_3d() -> BTreeMap<String, String> {
+    let a = crate::bench_matrix(16, 1);
+    let b = crate::bench_matrix(16, 2);
+    let (_, net) = par::replicated_3d(&a, &b, 2);
+    extras(&[("words", net.total_words.to_string())])
+}
+
+fn par_caps() -> BTreeMap<String, String> {
+    let a = crate::bench_matrix(16, 1);
+    let b = crate::bench_matrix(16, 2);
+    let (_, net) = par::caps_strassen(&strassen(), &a, &b, 1);
+    extras(&[("words", net.total_words.to_string())])
+}
+
+/// End-to-end serve latency: an in-process server, one closed-loop
+/// connection, ten clean (no-chaos) requests, graceful shutdown. The
+/// widest tolerance in the catalog — it includes thread spawn and TCP.
+fn serve_loadgen_e2e() -> BTreeMap<String, String> {
+    let server = ServerHandle::start(ServerConfig {
+        queue_depth: 16,
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("start in-process server");
+    let cfg = LoadgenConfig {
+        addr: server.addr().to_string(),
+        conns: 1,
+        requests: 10,
+        seed: 7,
+        poison_pct: 0,
+        oversized_pct: 0,
+        tiny_deadline_pct: 0,
+        expensive_pct: 0,
+        shutdown: true,
+        ..LoadgenConfig::default()
+    };
+    let summary = loadgen::run(&cfg).expect("loadgen against own server");
+    let stats = server.wait();
+    assert!(summary.ok() && stats.balanced(), "e2e pass lost jobs");
+    extras(&[("completed", summary.completed.to_string())])
+}
+
+/// Every named target, in render order.
+pub fn all_targets() -> Vec<Target> {
+    vec![
+        Target {
+            name: "memsim/lru/n32_m1024",
+            group: "memsim",
+            tol: 0.35,
+            min_profile: Profile::Quick,
+            run: memsim_lru_n32,
+        },
+        Target {
+            name: "memsim/fifo/n32_m1024",
+            group: "memsim",
+            tol: 0.35,
+            min_profile: Profile::Quick,
+            run: memsim_fifo_n32,
+        },
+        Target {
+            name: "memsim/opt/n32_m1024",
+            group: "memsim",
+            tol: 0.35,
+            min_profile: Profile::Quick,
+            run: memsim_opt_n32,
+        },
+        Target {
+            name: "memsim/lru/n128_m1024",
+            group: "memsim",
+            tol: 0.35,
+            min_profile: Profile::Standard,
+            run: memsim_lru_n128,
+        },
+        Target {
+            name: "sweep/smoke_cells",
+            group: "sweep",
+            tol: 0.40,
+            min_profile: Profile::Quick,
+            run: sweep_smoke_cells,
+        },
+        Target {
+            name: "par/cannon/n16_p4",
+            group: "par",
+            tol: 0.40,
+            min_profile: Profile::Quick,
+            run: par_cannon,
+        },
+        Target {
+            name: "par/3d/n16_p2",
+            group: "par",
+            tol: 0.40,
+            min_profile: Profile::Quick,
+            run: par_3d,
+        },
+        Target {
+            name: "par/caps/n16_l1",
+            group: "par",
+            tol: 0.40,
+            min_profile: Profile::Quick,
+            run: par_caps,
+        },
+        Target {
+            name: "serve/loadgen_e2e",
+            group: "serve",
+            tol: 0.60,
+            min_profile: Profile::Quick,
+            run: serve_loadgen_e2e,
+        },
+    ]
+}
+
+/// How a `bench run` is shaped.
+pub struct RunOptions {
+    pub profile: Profile,
+    /// Only run targets whose name contains this substring.
+    pub filter: Option<String>,
+    /// Sleep ~25 ms inside each timed pass of matching targets — an
+    /// honest injected slowdown for demonstrating `bench diff` failures.
+    pub inject_slow: Option<String>,
+}
+
+impl Default for RunOptions {
+    fn default() -> RunOptions {
+        RunOptions {
+            profile: Profile::Quick,
+            filter: None,
+            inject_slow: None,
+        }
+    }
+}
+
+/// Run the catalog under `opts` and assemble the document.
+pub fn run_targets(opts: &RunOptions) -> BenchDoc {
+    let warmup = opts.profile.warmup();
+    let passes = opts.profile.passes();
+    let mut targets = Vec::new();
+    for t in all_targets() {
+        if t.min_profile > opts.profile {
+            continue;
+        }
+        if let Some(f) = &opts.filter {
+            if !t.name.contains(f.as_str()) {
+                continue;
+            }
+        }
+        let slow = opts
+            .inject_slow
+            .as_ref()
+            .is_some_and(|s| t.name.contains(s.as_str()));
+        for _ in 0..warmup {
+            (t.run)();
+        }
+        let mut hist = Histogram::default();
+        let mut extras = BTreeMap::new();
+        for _ in 0..passes {
+            let start = Instant::now();
+            extras = (t.run)();
+            if slow {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            hist.observe(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+        targets.push(TargetResult {
+            name: t.name.to_string(),
+            group: t.group.to_string(),
+            tol: t.tol,
+            stats: TargetStats {
+                warmup,
+                passes,
+                p50_ns: hist.p50(),
+                p95_ns: hist.p95(),
+                p99_ns: hist.p99(),
+                min_ns: hist.min,
+                max_ns: hist.max,
+            },
+            extras,
+        });
+    }
+    BenchDoc {
+        profile: opts.profile.as_str().to_string(),
+        manifest: manifest::collect(),
+        targets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_order_and_parse() {
+        assert!(Profile::Quick < Profile::Standard && Profile::Standard < Profile::Full);
+        assert_eq!(Profile::parse("quick"), Some(Profile::Quick));
+        assert_eq!(Profile::parse("nope"), None);
+        assert!(Profile::Full.passes() > Profile::Quick.passes());
+    }
+
+    #[test]
+    fn catalog_names_are_unique_and_grouped() {
+        let targets = all_targets();
+        let mut names: Vec<&str> = targets.iter().map(|t| t.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), targets.len(), "duplicate target names");
+        for t in &targets {
+            assert!(
+                t.name.starts_with(t.group),
+                "{} not under {}",
+                t.name,
+                t.group
+            );
+            assert!(t.tol > 0.0 && t.tol < 1.0);
+        }
+    }
+
+    #[test]
+    fn filtered_quick_run_produces_a_parsable_document() {
+        let doc = run_targets(&RunOptions {
+            filter: Some("par/cannon".into()),
+            ..RunOptions::default()
+        });
+        assert_eq!(doc.targets.len(), 1);
+        let t = &doc.targets[0];
+        assert_eq!(t.stats.passes, 5);
+        assert!(t.stats.min_ns > 0 && t.stats.min_ns <= t.stats.p50_ns);
+        assert!(t.stats.p50_ns <= t.stats.p99_ns && t.stats.p99_ns <= t.stats.max_ns);
+        assert!(t.extras["words"].parse::<u64>().unwrap() > 0);
+        let round = crate::doc::BenchDoc::parse(&doc.to_jsonl()).unwrap();
+        assert_eq!(round, doc);
+    }
+
+    #[test]
+    fn inject_slow_inflates_only_matching_targets() {
+        let base = run_targets(&RunOptions {
+            filter: Some("par/3d".into()),
+            ..RunOptions::default()
+        });
+        let slowed = run_targets(&RunOptions {
+            filter: Some("par/3d".into()),
+            inject_slow: Some("par/3d".into()),
+            ..RunOptions::default()
+        });
+        assert!(
+            slowed.targets[0].stats.p50_ns >= base.targets[0].stats.p50_ns + 20_000_000,
+            "injected pass must be ≥20ms slower: {} vs {}",
+            slowed.targets[0].stats.p50_ns,
+            base.targets[0].stats.p50_ns
+        );
+        // Determinism of extras: same seeds, same counters.
+        assert_eq!(slowed.targets[0].extras, base.targets[0].extras);
+    }
+}

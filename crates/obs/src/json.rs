@@ -1,7 +1,7 @@
 //! Hand-rolled JSON: escaping, JSONL serialisation of metrics/events, and a
 //! small parser for the flat object-per-line format `fastmm report` reads.
 
-use crate::{Event, Key, Metric};
+use crate::{Event, Key, Metric, SpanRecord};
 use std::collections::BTreeMap;
 
 /// Escape a string for embedding in a JSON string literal (quotes not
@@ -63,6 +63,33 @@ pub fn metric_line(key: &Key, metric: &Metric) -> String {
             h.mean()
         ),
     }
+}
+
+/// One JSONL line for a closed span. The trace id is a 16-digit hex
+/// *string* (not a JSON number): [`parse_line`] reads numbers as `f64`,
+/// which silently loses precision above 2^53, and splitmix64 trace ids use
+/// the full 64 bits. Span ids stay numeric — they are small monotone
+/// counters. Field values are stringified for the same reason, riding in
+/// the flat string→string object shape the parser already supports.
+pub fn span_line(r: &SpanRecord) -> String {
+    let mut fields = String::from("{");
+    for (i, (k, v)) in r.fields.iter().enumerate() {
+        if i > 0 {
+            fields.push(',');
+        }
+        fields.push_str(&format!("\"{}\":\"{v}\"", escape(k)));
+    }
+    fields.push('}');
+    format!(
+        "{{\"type\":\"span\",\"trace\":\"{:016x}\",\"id\":{},\"parent\":{},\
+         \"name\":\"{}\",\"total_ns\":{},\"self_ns\":{},\"fields\":{fields}}}",
+        r.trace,
+        r.id,
+        r.parent,
+        escape(r.name),
+        r.total_ns,
+        r.self_ns
+    )
 }
 
 /// One JSONL line for an event.
@@ -339,6 +366,33 @@ mod tests {
         let parsed = parse_line(&event_line(&ev)).unwrap();
         assert_eq!(parsed["type"].as_str(), Some("event"));
         assert_eq!(parsed["seq"].as_num(), Some(7.0));
+    }
+
+    #[test]
+    fn span_lines_round_trip_through_parser() {
+        let r = SpanRecord {
+            trace: 0xDEAD_BEEF_0000_0001,
+            id: 3,
+            parent: 2,
+            name: "memsim.measure",
+            total_ns: 1500,
+            self_ns: 900,
+            fields: vec![("io", 4096), ("loads", 7)],
+        };
+        let parsed = parse_line(&span_line(&r)).expect("valid JSON");
+        assert_eq!(parsed["type"].as_str(), Some("span"));
+        assert_eq!(parsed["trace"].as_str(), Some("deadbeef00000001"));
+        assert_eq!(parsed["id"].as_num(), Some(3.0));
+        assert_eq!(parsed["parent"].as_num(), Some(2.0));
+        assert_eq!(parsed["name"].as_str(), Some("memsim.measure"));
+        assert_eq!(parsed["total_ns"].as_num(), Some(1500.0));
+        match &parsed["fields"] {
+            Value::Object(fields) => {
+                assert_eq!(fields["io"], "4096");
+                assert_eq!(fields["loads"], "7");
+            }
+            other => panic!("fields should be an object, got {other:?}"),
+        }
     }
 
     #[test]

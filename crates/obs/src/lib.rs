@@ -26,9 +26,10 @@ use std::time::{Duration, Instant};
 pub mod json;
 pub mod progress;
 pub mod span;
+pub mod trace;
 
 pub use progress::Progress;
-pub use span::Span;
+pub use span::{Span, SpanRecord};
 
 // ---------------------------------------------------------------------------
 // Level filter
@@ -207,10 +208,20 @@ impl Histogram {
         }
     }
 
+    /// True when nothing has been observed. Callers reporting percentiles
+    /// should check this rather than treating a `0` as "no data" — zero is
+    /// a legitimate observation.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
     /// Approximate `q`-th percentile (`q` in `0.0..=100.0`) from the
-    /// power-of-two buckets: the upper bound of the bucket holding the
-    /// rank-`⌈q/100·count⌉` observation, clamped to `[min, max]` so exact
-    /// extremes stay exact. Returns 0 when empty.
+    /// power-of-two buckets, with **within-bucket linear interpolation**:
+    /// the rank-`⌈q/100·count⌉` observation is placed at its proportional
+    /// position inside its bucket's `[2^(i-1), 2^i - 1]` range, and the
+    /// result is clamped to `[min, max]` so exact extremes stay exact.
+    /// Rank 1 returns `min` and rank `count` returns `max` exactly.
+    /// Returns 0 when empty (guard with [`Histogram::is_empty`]).
     pub fn percentile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -218,32 +229,49 @@ impl Histogram {
         let rank = ((q / 100.0) * self.count as f64)
             .ceil()
             .clamp(1.0, self.count as f64) as u64;
+        if rank <= 1 {
+            return self.min;
+        }
+        if rank >= self.count {
+            return self.max;
+        }
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                // Bucket 0 holds zeros; bucket i ≥ 1 holds [2^(i-1), 2^i - 1].
-                let upper = if i == 0 {
-                    0
-                } else if i >= 64 {
-                    u64::MAX
-                } else {
-                    (1u64 << i) - 1
-                };
-                return upper.clamp(self.min, self.max);
+            if c == 0 {
+                continue;
             }
+            if seen + c >= rank {
+                // Bucket 0 holds zeros; bucket i ≥ 1 holds [2^(i-1), 2^i - 1].
+                let (lower, upper) = if i == 0 {
+                    (0u64, 0u64)
+                } else if i >= 64 {
+                    (1u64 << 63, u64::MAX)
+                } else {
+                    (1u64 << (i - 1), (1u64 << i) - 1)
+                };
+                // Centre of the rank'th observation's share of the bucket.
+                let frac = ((rank - seen) as f64 - 0.5) / c as f64;
+                let v = lower as f64 + frac * (upper - lower) as f64;
+                return (v.round() as u64).clamp(self.min, self.max);
+            }
+            seen += c;
         }
         self.max
     }
 
-    /// Median observation (bucket-resolution; see [`Histogram::percentile`]).
+    /// Median observation (interpolated; see [`Histogram::percentile`]).
     pub fn p50(&self) -> u64 {
         self.percentile(50.0)
     }
 
-    /// 95th-percentile observation (bucket-resolution).
+    /// 95th-percentile observation (interpolated).
     pub fn p95(&self) -> u64 {
         self.percentile(95.0)
+    }
+
+    /// 99th-percentile observation (interpolated).
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
     }
 }
 
@@ -274,6 +302,10 @@ pub struct Event {
 /// is counted in `obs.events.dropped`.
 const EVENT_CAP: usize = 100_000;
 
+/// Cap on retained span records, mirroring [`EVENT_CAP`]; overflow is
+/// counted in `obs.spans.dropped`.
+const SPAN_CAP: usize = 100_000;
+
 // ---------------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------------
@@ -284,6 +316,8 @@ struct RegistryInner {
     events: Vec<Event>,
     events_dropped: u64,
     event_seq: u64,
+    spans: Vec<SpanRecord>,
+    spans_dropped: u64,
 }
 
 /// Thread-safe store of named metrics and the event log.
@@ -420,19 +454,38 @@ impl Registry {
         (inner.events.clone(), inner.events_dropped)
     }
 
-    /// Drop all metrics and events (used between `tables` sections).
+    /// Append a closed span's record to the span log (bounded by an
+    /// internal cap). Called by [`Span`]'s drop when a trace is in scope.
+    pub fn record_span(&self, record: SpanRecord) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.spans.len() >= SPAN_CAP {
+            inner.spans_dropped += 1;
+            return;
+        }
+        inner.spans.push(record);
+    }
+
+    /// Copy of the span log in close order, plus the dropped count.
+    pub fn spans(&self) -> (Vec<SpanRecord>, u64) {
+        let inner = self.inner.lock().unwrap();
+        (inner.spans.clone(), inner.spans_dropped)
+    }
+
+    /// Drop all metrics, events, and spans (used between `tables` sections).
     pub fn clear(&self) {
         let mut inner = self.inner.lock().unwrap();
         inner.metrics.clear();
         inner.events.clear();
         inner.events_dropped = 0;
         inner.event_seq = 0;
+        inner.spans.clear();
+        inner.spans_dropped = 0;
     }
 
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         let inner = self.inner.lock().unwrap();
-        inner.metrics.is_empty() && inner.events.is_empty()
+        inner.metrics.is_empty() && inner.events.is_empty() && inner.spans.is_empty()
     }
 
     /// Render a human-readable table of all metrics.
@@ -455,6 +508,21 @@ impl Registry {
                 labels: Vec::new(),
             };
             writeln!(w, "{}", json::metric_line(&key, &Metric::Counter(dropped)))?;
+        }
+        let (spans, spans_dropped) = self.spans();
+        for record in &spans {
+            writeln!(w, "{}", json::span_line(record))?;
+        }
+        if spans_dropped > 0 {
+            let key = Key {
+                name: "obs.spans.dropped".into(),
+                labels: Vec::new(),
+            };
+            writeln!(
+                w,
+                "{}",
+                json::metric_line(&key, &Metric::Counter(spans_dropped))
+            )?;
         }
         Ok(())
     }
@@ -710,9 +778,11 @@ mod tests {
         assert!(h.p50() <= h.p95());
         assert!(h.p50() >= h.min && h.p95() <= h.max);
         assert_eq!(h.percentile(100.0), 1000);
-        // p50 lands in the bucket of the 5th of 10 observations (value 8,
-        // bucket [8,15]); upper bound 15.
-        assert_eq!(h.p50(), 15);
+        // p50 is the 5th of 10 observations (value 8, bucket [8,15]);
+        // interpolated to the centre of its share: 8 + 0.5·7 = 11.5 → 12.
+        assert_eq!(h.p50(), 12);
+        assert!(!h.is_empty());
+        assert!(Histogram::default().is_empty());
 
         // Zeros live in bucket 0.
         let mut h = Histogram::default();

@@ -1,4 +1,4 @@
-//! RAII span timers with nested self-time accounting.
+//! RAII span timers with nested self-time accounting and per-trace ids.
 //!
 //! A [`Span`] measures wall time from construction to drop and records two
 //! histograms in the global registry: `obs.span.total_ns` (inclusive of
@@ -6,20 +6,84 @@
 //! `span=<name>`. A thread-local stack attributes child time to the
 //! enclosing span, so nested instrumentation (e.g. recursion levels) does
 //! not double-count.
+//!
+//! Beyond the histograms, every span closed while a **trace scope** is
+//! open (see [`trace_scope`]) also appends a structured [`SpanRecord`] —
+//! trace id, its own process-unique span id, its parent's span id, and any
+//! [`Span::record`]ed counters — to the global registry's span log. The
+//! JSONL sink emits those as `{"type":"span",...}` lines, which
+//! [`crate::trace`] reassembles into per-trace span trees (the
+//! `fastmm report --traces` pipeline). Spans closed outside any trace
+//! scope keep their histogram behaviour and cost no log entry, so
+//! non-serving workloads are unaffected.
 
 use crate::{detailed, duration_ns, now, observe};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+/// One closed span, as stored in the registry's span log.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRecord {
+    /// Owning trace id (0 outside any [`trace_scope`]; such spans are not
+    /// logged).
+    pub trace: u64,
+    /// Process-unique span id (monotone from 1).
+    pub id: u64,
+    /// Enclosing span's id on the same thread; 0 for a trace root.
+    pub parent: u64,
+    /// The static name passed to [`Span::enter`].
+    pub name: &'static str,
+    /// Wall time including children.
+    pub total_ns: u64,
+    /// Wall time excluding same-thread child spans.
+    pub self_ns: u64,
+    /// Counters attached via [`Span::record`] (e.g. I/O words), in
+    /// attachment order.
+    pub fields: Vec<(&'static str, u64)>,
+}
+
+/// Process-wide span id source; 0 is reserved for "no parent".
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
 thread_local! {
-    /// One accumulator per open span on this thread: total child time.
-    static CHILD_TIME: RefCell<Vec<Duration>> = const { RefCell::new(Vec::new()) };
+    /// One frame per open span on this thread: (span id, child time).
+    static STACK: RefCell<Vec<(u64, Duration)>> = const { RefCell::new(Vec::new()) };
+    /// The trace id spans on this thread belong to (0 = none).
+    static TRACE: Cell<u64> = const { Cell::new(0) };
+}
+
+/// RAII guard restoring the previous trace id on drop.
+pub struct TraceScope {
+    prev: u64,
+}
+
+/// Tag every span closed on this thread until the guard drops with
+/// `trace_id`. Nests: the previous id is restored on drop, so a job's
+/// scope can safely bracket library code that opens its own.
+pub fn trace_scope(trace_id: u64) -> TraceScope {
+    let prev = TRACE.with(|t| t.replace(trace_id));
+    TraceScope { prev }
+}
+
+/// The trace id currently in scope on this thread (0 = none).
+pub fn current_trace() -> u64 {
+    TRACE.with(|t| t.get())
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        TRACE.with(|t| t.set(self.prev));
+    }
 }
 
 /// A running span; records on drop. Inert (zero bookkeeping beyond one
 /// branch) unless the level is `full`.
 pub struct Span {
     name: &'static str,
+    id: u64,
+    parent: u64,
+    fields: Vec<(&'static str, u64)>,
     start: Option<Instant>,
 }
 
@@ -27,12 +91,40 @@ impl Span {
     /// Open a span. The timer only runs when [`crate::detailed()`].
     pub fn enter(name: &'static str) -> Span {
         if !detailed() {
-            return Span { name, start: None };
+            return Span {
+                name,
+                id: 0,
+                parent: 0,
+                fields: Vec::new(),
+                start: None,
+            };
         }
-        CHILD_TIME.with(|stack| stack.borrow_mut().push(Duration::ZERO));
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack.last().map(|(id, _)| *id).unwrap_or(0);
+            stack.push((id, Duration::ZERO));
+            parent
+        });
         Span {
             name,
+            id,
+            parent,
+            fields: Vec::new(),
             start: Some(now()),
+        }
+    }
+
+    /// This span's process-unique id (0 when telemetry is off).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Attach a counter to this span's log record (e.g. the I/O words the
+    /// work under it measured). No-op when telemetry is off.
+    pub fn record(&mut self, key: &'static str, value: u64) {
+        if self.start.is_some() {
+            self.fields.push((key, value));
         }
     }
 }
@@ -41,22 +133,33 @@ impl Drop for Span {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
         let total = start.elapsed();
-        let children = CHILD_TIME
+        let children = STACK
             .with(|stack| stack.borrow_mut().pop())
+            .map(|(_, child)| child)
             .unwrap_or(Duration::ZERO);
         // Attribute our total time to the parent span, if one is open.
-        CHILD_TIME.with(|stack| {
-            if let Some(parent) = stack.borrow_mut().last_mut() {
+        STACK.with(|stack| {
+            if let Some((_, parent)) = stack.borrow_mut().last_mut() {
                 *parent += total;
             }
         });
         let labels = [("span", self.name.to_string())];
-        observe("obs.span.total_ns", &labels, duration_ns(total));
-        observe(
-            "obs.span.self_ns",
-            &labels,
-            duration_ns(total.saturating_sub(children)),
-        );
+        let total_ns = duration_ns(total);
+        let self_ns = duration_ns(total.saturating_sub(children));
+        observe("obs.span.total_ns", &labels, total_ns);
+        observe("obs.span.self_ns", &labels, self_ns);
+        let trace = current_trace();
+        if trace != 0 {
+            crate::global().record_span(SpanRecord {
+                trace,
+                id: self.id,
+                parent: self.parent,
+                name: self.name,
+                total_ns,
+                self_ns,
+                fields: std::mem::take(&mut self.fields),
+            });
+        }
     }
 }
 
@@ -111,8 +214,51 @@ mod tests {
         set_level(Level::Off);
         let before = global().snapshot().len();
         {
-            let _s = Span::enter("should_not_record");
+            let mut s = Span::enter("should_not_record");
+            s.record("io", 7);
+            assert_eq!(s.id(), 0);
         }
         assert_eq!(global().snapshot().len(), before);
+    }
+
+    #[test]
+    fn trace_scope_links_parent_and_child_records() {
+        let _guard = lock_level();
+        set_level(Level::Full);
+        let trace = 0xABCD_1234_u64;
+        {
+            let _t = trace_scope(trace);
+            assert_eq!(current_trace(), trace);
+            let mut outer = Span::enter("trace_outer");
+            outer.record("io", 42);
+            {
+                let _inner = Span::enter("trace_inner");
+            }
+        }
+        assert_eq!(current_trace(), 0, "scope restored on drop");
+        set_level(Level::Off);
+        let (records, dropped) = global().spans();
+        let ours: Vec<&SpanRecord> = records.iter().filter(|r| r.trace == trace).collect();
+        assert_eq!(dropped, 0);
+        assert_eq!(ours.len(), 2, "both spans logged under the trace");
+        // Spans close inner-first.
+        let inner = ours.iter().find(|r| r.name == "trace_inner").unwrap();
+        let outer = ours.iter().find(|r| r.name == "trace_outer").unwrap();
+        assert_eq!(inner.parent, outer.id, "child links to parent id");
+        assert_eq!(outer.parent, 0, "root has no parent");
+        assert_eq!(outer.fields, vec![("io", 42)]);
+        assert!(outer.total_ns >= inner.total_ns);
+    }
+
+    #[test]
+    fn spans_outside_a_trace_scope_are_not_logged() {
+        let _guard = lock_level();
+        set_level(Level::Full);
+        let before = global().spans().0.len();
+        {
+            let _s = Span::enter("untraced");
+        }
+        set_level(Level::Off);
+        assert_eq!(global().spans().0.len(), before);
     }
 }

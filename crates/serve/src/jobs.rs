@@ -97,6 +97,18 @@ fn alg_of(name: &str) -> Bilinear2x2 {
 }
 
 impl JobSpec {
+    /// The root span name a worker opens around this job's `run`, and the
+    /// label the per-kind latency histograms use.
+    pub fn span_name(&self) -> &'static str {
+        match self {
+            JobSpec::Io { .. } => "job.io",
+            JobSpec::Bounds { .. } => "job.bounds",
+            JobSpec::Faults { .. } => "job.faults",
+            JobSpec::SweepCell { .. } => "job.sweep-cell",
+            JobSpec::Sleep { .. } => "job.sleep",
+        }
+    }
+
     /// Validate a request's params into a runnable spec. The error is
     /// echoed to the client with a `rejected:` prefix.
     pub fn from_request(kind: Kind, params: &BTreeMap<String, String>) -> Result<JobSpec, String> {

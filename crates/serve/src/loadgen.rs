@@ -69,7 +69,7 @@ impl Default for LoadgenConfig {
 }
 
 /// Reply tallies across all phases.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 pub struct Summary {
     pub sent: u64,
     pub completed: u64,
@@ -88,7 +88,31 @@ pub struct Summary {
     /// The server's own final counters from the shutdown ack, when
     /// `shutdown` was requested.
     pub server_counters: BTreeMap<String, String>,
+    /// `trace_id` of every *completed* reply, sorted. These root the
+    /// span trees a `FMM_OBS=full` server records (`report --traces`).
+    pub trace_ids: Vec<String>,
 }
+
+/// Equality ignores `trace_ids`: which trace id lands on which terminal
+/// status depends on worker scheduling, so trace ids are excluded from
+/// the same-seed reproducibility contract (and from the JSON line).
+impl PartialEq for Summary {
+    fn eq(&self, other: &Summary) -> bool {
+        self.sent == other.sent
+            && self.completed == other.completed
+            && self.shed == other.shed
+            && self.errored == other.errored
+            && self.cancelled == other.cancelled
+            && self.deadline_exceeded == other.deadline_exceeded
+            && self.rejected == other.rejected
+            && self.lost == other.lost
+            && self.mismatched == other.mismatched
+            && self.burst_shed == other.burst_shed
+            && self.server_counters == other.server_counters
+    }
+}
+
+impl Eq for Summary {}
 
 impl Summary {
     fn absorb(&mut self, other: &Summary) {
@@ -102,11 +126,18 @@ impl Summary {
         self.lost += other.lost;
         self.mismatched += other.mismatched;
         self.burst_shed += other.burst_shed;
+        self.trace_ids.extend(other.trace_ids.iter().cloned());
+        self.trace_ids.sort();
     }
 
     fn classify(&mut self, expected_id: &str, resp: &Response) {
         if resp.id != expected_id && !(resp.status == Status::Error && resp.id.is_empty()) {
             self.mismatched += 1;
+        }
+        if resp.status == Status::Completed {
+            if let Some(trace) = resp.result.get("trace_id") {
+                self.trace_ids.push(trace.clone());
+            }
         }
         match resp.status {
             Status::Completed => self.completed += 1,

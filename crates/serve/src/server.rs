@@ -26,7 +26,8 @@
 use crate::jobs::JobSpec;
 use crate::proto::{Request, Response, Status};
 use crate::queue::{BoundedQueue, PushError};
-use fmm_faults::{cancel, CancelReason, CancelToken};
+use fmm_faults::{cancel, splitmix64, CancelReason, CancelToken};
+use fmm_obs::Histogram;
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -50,6 +51,10 @@ pub struct ServerConfig {
     pub default_deadline_ms: Option<u64>,
     /// Request lines longer than this are rejected unread.
     pub max_line_bytes: usize,
+    /// Seed mixed into per-job trace ids: job `seq` gets trace id
+    /// `splitmix64(trace_seed + seq)`, echoed in every terminal reply as
+    /// `trace_id` and attached to every span the job records.
+    pub trace_seed: u64,
 }
 
 impl Default for ServerConfig {
@@ -60,6 +65,7 @@ impl Default for ServerConfig {
             workers: 2,
             default_deadline_ms: None,
             max_line_bytes: 64 * 1024,
+            trace_seed: 0,
         }
     }
 }
@@ -160,6 +166,9 @@ struct Job {
     token: CancelToken,
     reply: Reply,
     admitted: Instant,
+    /// Trace id: `splitmix64(trace_seed + seq)`, never 0 (0 means "no
+    /// trace" to the span layer).
+    trace: u64,
 }
 
 struct Shared {
@@ -174,6 +183,12 @@ struct Shared {
     /// Reader halves of live connections, closed at shutdown to unblock
     /// their reader threads.
     conns: Mutex<Vec<TcpStream>>,
+    /// Next job sequence number (trace id input).
+    job_seq: AtomicU64,
+    /// Deepest the admission queue has ever been.
+    queue_hwm: AtomicU64,
+    /// Admission-to-terminal-reply latency per job kind, in µs.
+    latency: Mutex<BTreeMap<&'static str, Histogram>>,
 }
 
 impl Shared {
@@ -214,6 +229,9 @@ impl ServerHandle {
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             conns: Mutex::new(Vec::new()),
+            job_seq: AtomicU64::new(0),
+            queue_hwm: AtomicU64::new(0),
+            latency: Mutex::new(BTreeMap::new()),
         });
         let worker_handles: Vec<JoinHandle<()>> = (0..workers)
             .map(|i| {
@@ -334,6 +352,10 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Result-map counters worth echoing onto the job's root span, so the
+/// trace tree shows I/O alongside wall time at each node.
+const SPAN_FIELD_KEYS: [&str; 6] = ["io", "loads", "stores", "words", "total_words", "flops"];
+
 fn run_job(shared: &Arc<Shared>, job: Job) {
     let Job {
         id,
@@ -341,6 +363,7 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
         token,
         reply,
         admitted,
+        trace,
     } = job;
     // A job whose deadline expired while queued is never started.
     let (status, reason, result) = match token.reason() {
@@ -360,7 +383,20 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
             // the default hook so a poison job costs one log line, not a
             // backtrace per request.
             let _quiet = cancel::quiet_panics();
-            match catch_unwind(AssertUnwindSafe(|| spec.run())) {
+            // Every span the job's simulator opens on this thread closes
+            // under the job's trace id; the root span is the tree's top.
+            let _tracing = fmm_obs::span::trace_scope(trace);
+            let mut root = fmm_obs::Span::enter(spec.span_name());
+            let outcome = catch_unwind(AssertUnwindSafe(|| spec.run()));
+            if let Ok(Ok(map)) = &outcome {
+                for key in SPAN_FIELD_KEYS {
+                    if let Some(v) = map.get(key).and_then(|v| v.parse().ok()) {
+                        root.record(key, v);
+                    }
+                }
+            }
+            drop(root);
+            match outcome {
                 Ok(Ok(map)) => (Status::Completed, String::new(), map),
                 Ok(Err(e)) => (Status::Error, e, BTreeMap::new()),
                 Err(payload) => match cancel::cancelled_reason(payload.as_ref()) {
@@ -391,11 +427,17 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
             .bump(&shared.stats.deadline_exceeded, "serve_deadline_exceeded"),
         _ => shared.stats.bump(&shared.stats.errored, "serve_errored"),
     }
-    fmm_obs::observe(
-        "serve_latency_us",
-        &[],
-        admitted.elapsed().as_micros() as u64,
-    );
+    let latency_us = admitted.elapsed().as_micros() as u64;
+    fmm_obs::observe("serve_latency_us", &[], latency_us);
+    shared
+        .latency
+        .lock()
+        .unwrap()
+        .entry(spec.span_name())
+        .or_default()
+        .observe(latency_us);
+    let mut result = result;
+    result.insert("trace_id".into(), format!("{trace:016x}"));
     let mut resp = Response::new(&id, status).with_result(result);
     if !reason.is_empty() {
         resp = resp.with_reason(&reason);
@@ -503,12 +545,18 @@ fn admit_job(shared: &Arc<Shared>, reply: &Reply, req: Request) {
         Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
         None => CancelToken::new(),
     };
+    let seq = shared.job_seq.fetch_add(1, Ordering::SeqCst);
+    let trace = match splitmix64(shared.cfg.trace_seed.wrapping_add(seq)) {
+        0 => 1, // 0 is the span layer's "no trace" sentinel
+        t => t,
+    };
     let job = Job {
         id: req.id.clone(),
         spec,
         token,
         reply: reply.clone(),
         admitted: Instant::now(),
+        trace,
     };
     // Count acceptance *before* the push (and roll back on refusal) so
     // the drain condition `accepted == terminal` can never observe a
@@ -516,6 +564,7 @@ fn admit_job(shared: &Arc<Shared>, reply: &Reply, req: Request) {
     shared.stats.accepted.fetch_add(1, Ordering::SeqCst);
     match shared.queue.try_push(job) {
         Ok(depth) => {
+            shared.queue_hwm.fetch_max(depth as u64, Ordering::SeqCst);
             fmm_obs::add("serve_accepted", &[], 1);
             fmm_obs::gauge("serve_queue_depth", &[], depth as f64);
         }
@@ -558,9 +607,24 @@ fn handle_control(shared: &Arc<Shared>, reply: &Reply, req: &Request) -> bool {
             true
         }
         Kind::Stats => {
-            reply.send(
-                &Response::new(&req.id, Status::Ok).with_result(shared.stats.snapshot().as_map()),
+            let mut m = shared.stats.snapshot().as_map();
+            m.insert(
+                "queue_depth_hwm".into(),
+                shared.queue_hwm.load(Ordering::SeqCst).to_string(),
             );
+            // Per-kind latency summaries, keys like `latency_io_p50_us`
+            // (span names `job.io` / `job.sweep-cell` → `io` /
+            // `sweep_cell`). Empty histograms are omitted, never zeros.
+            for (kind, h) in shared.latency.lock().unwrap().iter() {
+                if h.is_empty() {
+                    continue;
+                }
+                let kind = kind.trim_start_matches("job.").replace('-', "_");
+                m.insert(format!("latency_{kind}_count"), h.count.to_string());
+                m.insert(format!("latency_{kind}_p50_us"), h.p50().to_string());
+                m.insert(format!("latency_{kind}_p95_us"), h.p95().to_string());
+            }
+            reply.send(&Response::new(&req.id, Status::Ok).with_result(m));
             true
         }
         Kind::Pause => {

@@ -214,6 +214,20 @@ fn health_and_stats_report_live_state() {
     let stats = client.round_trip(&Request::new("s", Kind::Stats));
     assert_eq!(stats.result["accepted"], "1");
     assert_eq!(stats.result["completed"], "1");
+    // Satellite telemetry: queue high-water mark and the per-kind
+    // latency summary for the one completed io job (no other kinds, so
+    // no other latency keys — empty histograms are omitted, not zero).
+    assert!(stats.result["queue_depth_hwm"].parse::<u64>().unwrap() >= 1);
+    assert_eq!(stats.result["latency_io_count"], "1");
+    let p50: u64 = stats.result["latency_io_p50_us"].parse().unwrap();
+    let p95: u64 = stats.result["latency_io_p95_us"].parse().unwrap();
+    assert!(p50 > 0 && p50 <= p95);
+    assert!(!stats.result.keys().any(|k| k.starts_with("latency_sweep")));
+    // Every terminal job reply carries its trace id (16 hex digits).
+    let done = client.round_trip(&cheap_io("traced"));
+    let trace = &done.result["trace_id"];
+    assert_eq!(trace.len(), 16);
+    assert!(trace.chars().all(|c| c.is_ascii_hexdigit()));
 }
 
 #[test]

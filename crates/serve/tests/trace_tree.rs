@@ -1,0 +1,87 @@
+//! End-to-end trace acceptance: a server run at `FMM_OBS=full` must
+//! produce span trees whose roots biject with the loadgen's completed
+//! replies' `trace_id`s.
+//!
+//! Lives in its own integration-test file (its own process): it flips the
+//! process-global telemetry level, which would race with any other test
+//! sharing the binary.
+
+use fmm_obs::trace;
+use fmm_serve::loadgen::{self, LoadgenConfig};
+use fmm_serve::server::{ServerConfig, ServerHandle};
+use std::collections::BTreeSet;
+
+#[test]
+fn completed_reply_trace_ids_biject_with_span_tree_roots() {
+    fmm_obs::set_level(fmm_obs::Level::Full);
+    let server = ServerHandle::start(ServerConfig {
+        queue_depth: 64,
+        workers: 2,
+        trace_seed: 0xC0FFEE,
+        ..ServerConfig::default()
+    })
+    .expect("start");
+    // Clean mix only: poison/oversized/tiny-deadline jobs end in
+    // non-completed statuses (and expired-in-queue jobs never run, so
+    // they record no spans); completed jobs always ran, so each has a
+    // tree.
+    let cfg = LoadgenConfig {
+        addr: server.addr().to_string(),
+        conns: 2,
+        requests: 20,
+        seed: 99,
+        poison_pct: 0,
+        oversized_pct: 0,
+        tiny_deadline_pct: 0,
+        expensive_pct: 0,
+        shutdown: true,
+        ..LoadgenConfig::default()
+    };
+    let summary = loadgen::run(&cfg).expect("loadgen run");
+    server.wait();
+    assert!(summary.ok(), "loadgen invariants failed: {summary:?}");
+    assert_eq!(summary.completed, 40, "clean mix must all complete");
+    assert_eq!(summary.trace_ids.len(), 40);
+
+    // Reconstruct through the same JSONL round trip `report --traces`
+    // uses, not by peeking at in-memory records.
+    let jsonl = fmm_obs::global().to_jsonl();
+    let trees = trace::build_trees(trace::parse_spans(&jsonl));
+
+    let reply_ids: BTreeSet<String> = summary.trace_ids.iter().cloned().collect();
+    assert_eq!(reply_ids.len(), 40, "trace ids are unique per job");
+    let root_ids: BTreeSet<String> = trees.iter().map(|t| trace::trace_hex(t.trace)).collect();
+    assert_eq!(
+        root_ids, reply_ids,
+        "span tree roots must biject with completed replies' trace ids"
+    );
+
+    for tree in &trees {
+        assert_eq!(
+            tree.roots.len(),
+            1,
+            "each job yields exactly one root span: {}",
+            tree.render()
+        );
+        let root = &tree.spans[tree.roots[0]];
+        assert!(
+            root.name.starts_with("job."),
+            "root is the worker's job span, got '{}'",
+            root.name
+        );
+        // `io` jobs run the sequential simulator under the root and
+        // record I/O counters on it; every tree renders cleanly.
+        let rendered = tree.render();
+        assert!(rendered.contains(&trace::trace_hex(tree.trace)));
+        if root.name == "job.io" {
+            assert!(
+                root.fields.iter().any(|(k, _)| k == "io"),
+                "io job roots carry the measured I/O: {rendered}"
+            );
+        }
+    }
+
+    // The report renderer ties it together: every trace appears once.
+    let report = trace::render_report(&jsonl, 5);
+    assert!(report.contains("slowest traces (top 5 of 40):"), "{report}");
+}

@@ -10,6 +10,10 @@
 //! fastmm pebble   --family tree --m 3 [--optimal]
 //! fastmm dot      --alg strassen --n 2 --out h2.dot
 //! fastmm report   metrics.jsonl
+//! fastmm report   --traces metrics.jsonl [--top 5]
+//! fastmm bench    run [--profile quick|standard|full] [--out BENCH_bench.json] [--filter memsim]
+//! fastmm bench    diff --base BENCH_bench.json --cand new.json [--tol 0.1] [--warn-timing]
+//! fastmm bench    list
 //! fastmm sweep    run --spec table1 [--out sweep_table1.jsonl] [--jobs 4] [--cell-timeout ms]
 //! fastmm sweep    resume --spec table1 --out sweep_table1.jsonl
 //! fastmm sweep    report --file sweep_table1.jsonl [--bench BENCH_sweep.json]
@@ -48,12 +52,24 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 const USAGE: &str =
-    "usage: fastmm <multiply|bounds|verify|io|faults|pebble|dot|report|sweep|serve|loadgen> [flags]\n\
+    "usage: fastmm <multiply|bounds|verify|io|faults|pebble|dot|report|bench|sweep|serve|loadgen> [flags]\n\
        global flags: --metrics <path.jsonl>  (collect full telemetry, write JSONL on exit)";
+
+const REPORT_USAGE: &str = "usage: fastmm report <metrics.jsonl>\n\
+       fastmm report --traces <metrics.jsonl> [--top <k>]\n\
+       Without --traces: render counters/histograms/events as a table.\n\
+       With --traces: reconstruct per-job span trees from span records\n\
+       (written under FMM_OBS=full / --metrics) and rank the slowest jobs.";
+
+const BENCH_USAGE: &str = "usage: fastmm bench <run|diff|list> [flags]\n\
+       run  [--profile quick|standard|full] [--out <path.json>]\n\
+            [--filter <substr>] [--inject-slow <substr>]\n\
+       diff --base <path.json> --cand <path.json> [--tol <fraction>] [--warn-timing]\n\
+       list (print the target catalog with groups, tolerances, profiles)";
 
 const SERVE_USAGE: &str =
     "usage: fastmm serve [--addr 127.0.0.1:0] [--queue-depth 32] [--workers 2]\n\
-       [--default-deadline-ms <ms>] [--max-line-bytes 65536]\n\
+       [--default-deadline-ms <ms>] [--max-line-bytes 65536] [--trace-seed <u64>]\n\
        Prints 'fastmm serve listening on HOST:PORT', serves until a client\n\
        sends {\"kind\":\"shutdown\"}, then drains and exits 0.";
 
@@ -611,6 +627,7 @@ fn cmd_report(path: &str) -> ExitCode {
     };
     let mut rows: Vec<(String, String)> = Vec::new();
     let mut events: HashMap<String, u64> = HashMap::new();
+    let mut spans = 0usize;
     let mut malformed = 0usize;
     for line in text.lines().filter(|l| !l.trim().is_empty()) {
         let Some(obj) = parse_line(line) else {
@@ -649,6 +666,7 @@ fn cmd_report(path: &str) -> ExitCode {
                 ));
             }
             Some("event") => *events.entry(name).or_insert(0) += 1,
+            Some("span") => spans += 1,
             _ => malformed += 1,
         }
     }
@@ -664,10 +682,137 @@ fn cmd_report(path: &str) -> ExitCode {
             println!("  {name}: {count}");
         }
     }
+    if spans > 0 {
+        eprintln!("note: {spans} span line(s) present; render trace trees with `fastmm report --traces {path}`");
+    }
     if malformed > 0 {
         eprintln!("warning: {malformed} malformed line(s) skipped");
     }
     ExitCode::SUCCESS
+}
+
+/// `fastmm report --traces` — reconstruct per-job span trees from the
+/// span records in a metrics JSONL file and rank the slowest jobs.
+fn cmd_report_traces(path: &str, top: usize) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read '{path}': {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", fastmm::obs::trace::render_report(&text, top));
+    ExitCode::SUCCESS
+}
+
+/// `fastmm bench <run|diff|list>` — drive the fmm-bench harness: run the
+/// named target catalog, gate a candidate document against a baseline,
+/// or list the catalog.
+fn cmd_bench(args: &[String]) -> ExitCode {
+    use fastmm::bench::diff::{diff, DiffOptions};
+    use fastmm::bench::doc::BenchDoc;
+    use fastmm::bench::targets::{all_targets, run_targets, Profile, RunOptions};
+    let Some(verb) = args.first() else {
+        eprintln!("{BENCH_USAGE}");
+        return ExitCode::from(2);
+    };
+    match verb.as_str() {
+        "run" => {
+            let flags = parse_flags(&args[1..], &["profile", "out", "filter", "inject-slow"]);
+            let profile = flags
+                .get("profile")
+                .map(|v| {
+                    Profile::parse(v).unwrap_or_else(|| {
+                        eprintln!("--profile expects quick|standard|full, got '{v}'");
+                        std::process::exit(2);
+                    })
+                })
+                .unwrap_or(Profile::Quick);
+            let opts = RunOptions {
+                profile,
+                filter: flags.get("filter").cloned(),
+                inject_slow: flags.get("inject-slow").cloned(),
+            };
+            let doc = run_targets(&opts);
+            if doc.targets.is_empty() {
+                eprintln!(
+                    "bench run: no targets matched{}",
+                    opts.filter
+                        .as_deref()
+                        .map(|f| format!(" filter '{f}'"))
+                        .unwrap_or_default()
+                );
+                return ExitCode::from(2);
+            }
+            print!("{}", doc.render_table());
+            if let Some(out) = flags.get("out") {
+                if let Err(e) = std::fs::write(out, doc.to_jsonl()) {
+                    eprintln!("cannot write '{out}': {e}");
+                    return ExitCode::from(2);
+                }
+                println!("bench document written to {out}");
+            }
+            ExitCode::SUCCESS
+        }
+        "diff" => {
+            let flags = parse_flags(&args[1..], &["base", "cand", "tol", "warn-timing"]);
+            let require = |key: &str| -> String {
+                flags.get(key).cloned().unwrap_or_else(|| {
+                    eprintln!("bench diff requires --{key}");
+                    eprintln!("{BENCH_USAGE}");
+                    std::process::exit(2);
+                })
+            };
+            let load = |path: &str| -> BenchDoc {
+                let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    eprintln!("cannot read '{path}': {e}");
+                    std::process::exit(2);
+                });
+                BenchDoc::parse(&text).unwrap_or_else(|e| {
+                    eprintln!("'{path}': {e}");
+                    std::process::exit(2);
+                })
+            };
+            let base = load(&require("base"));
+            let cand = load(&require("cand"));
+            let opts = DiffOptions {
+                tol_override: flags.get("tol").map(|v| {
+                    v.parse().unwrap_or_else(|_| {
+                        eprintln!("--tol expects a fraction, got '{v}'");
+                        std::process::exit(2);
+                    })
+                }),
+            };
+            let warn_timing = flags.contains_key("warn-timing");
+            let report = diff(&base, &cand, &opts);
+            print!("{}", report.render());
+            if report.is_clean(warn_timing) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        "list" => {
+            parse_flags(&args[1..], &[]);
+            let targets = all_targets();
+            let width = targets.iter().map(|t| t.name.len()).max().unwrap_or(6);
+            for t in &targets {
+                println!(
+                    "{:<width$}  group {:<7} tol {:>4.0}%  from profile {}",
+                    t.name,
+                    t.group,
+                    t.tol * 100.0,
+                    t.min_profile.as_str()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown bench verb '{other}'");
+            eprintln!("{BENCH_USAGE}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 /// `fastmm sweep <run|resume|report|diff|specs>` — drive the fmm-sweep
@@ -887,6 +1032,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
             .get("default-deadline-ms")
             .map(|_| get_usize(flags, "default-deadline-ms", 0) as u64),
         max_line_bytes: get_usize(flags, "max-line-bytes", 64 * 1024).max(1),
+        trace_seed: get_usize(flags, "trace-seed", 0) as u64,
     };
     let handle = match ServerHandle::start(cfg) {
         Ok(h) => h,
@@ -973,11 +1119,30 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     if cmd == "report" {
-        let [path] = &args[1..] else {
-            eprintln!("usage: fastmm report <metrics.jsonl>");
-            return ExitCode::from(2);
+        return match &args[1..] {
+            [path] if !path.starts_with("--") => cmd_report(path),
+            [traces, path, rest @ ..] if traces == "--traces" && !path.starts_with("--") => {
+                let top = match rest {
+                    [] => 5,
+                    [flag, k] if flag == "--top" => k.parse().unwrap_or_else(|_| {
+                        eprintln!("--top expects a number, got '{k}'");
+                        std::process::exit(2);
+                    }),
+                    _ => {
+                        eprintln!("{REPORT_USAGE}");
+                        return ExitCode::from(2);
+                    }
+                };
+                cmd_report_traces(path, top)
+            }
+            _ => {
+                eprintln!("{REPORT_USAGE}");
+                ExitCode::from(2)
+            }
         };
-        return cmd_report(path);
+    }
+    if cmd == "bench" {
+        return cmd_bench(&args[1..]);
     }
     if cmd == "sweep" {
         // The verbs parse their own flags; --metrics still works globally.
@@ -1015,6 +1180,7 @@ fn main() -> ExitCode {
             "workers",
             "default-deadline-ms",
             "max-line-bytes",
+            "trace-seed",
         ],
         "loadgen" => &[
             "addr",

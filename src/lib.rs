@@ -4,6 +4,7 @@
 //! I/O-Complexity of Fast Matrix Multiplication with Recomputations"*
 //! (Nissim & Schwartz, IPDPS 2019). See the README for a map.
 
+pub use fmm_bench as bench;
 pub use fmm_cdag as cdag;
 pub use fmm_core as core;
 pub use fmm_faults as faults;
