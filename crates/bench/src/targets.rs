@@ -182,9 +182,69 @@ fn serve_loadgen_e2e() -> BTreeMap<String, String> {
         ..LoadgenConfig::default()
     };
     let summary = loadgen::run(&cfg).expect("loadgen against own server");
+    let queue_depth_hwm = server.queue_depth_hwm();
     let stats = server.wait();
     assert!(summary.ok() && stats.balanced(), "e2e pass lost jobs");
-    extras(&[("completed", summary.completed.to_string())])
+    extras(&[
+        ("completed", summary.completed.to_string()),
+        // One closed-loop connection: at most one job queued at a time,
+        // so both load-shedding extras are deterministically exact.
+        ("queue_depth_hwm", queue_depth_hwm.to_string()),
+        ("shed", stats.shed.to_string()),
+    ])
+}
+
+/// End-to-end fleet latency: a router over two in-process shards, one
+/// closed-loop connection, ten clean requests, graceful fleet drain.
+/// Times the router hop on top of `serve/loadgen_e2e`'s stack.
+fn fleet_loadgen_e2e() -> BTreeMap<String, String> {
+    let shard = |id: u64| {
+        ServerHandle::start(ServerConfig {
+            queue_depth: 16,
+            workers: 2,
+            shard_id: Some(id),
+            ..ServerConfig::default()
+        })
+        .expect("start in-process shard")
+    };
+    let (shard_a, shard_b) = (shard(0), shard(1));
+    let router = fmm_router::RouterHandle::start(
+        fmm_router::RouterConfig {
+            shard_addrs: vec![shard_a.addr().to_string(), shard_b.addr().to_string()],
+            seed: 7,
+            ..fmm_router::RouterConfig::default()
+        },
+        vec![None, None],
+    )
+    .expect("start in-process router");
+    let cfg = LoadgenConfig {
+        addr: router.addr().to_string(),
+        conns: 1,
+        requests: 10,
+        seed: 7,
+        poison_pct: 0,
+        oversized_pct: 0,
+        tiny_deadline_pct: 0,
+        expensive_pct: 0,
+        fleet: true,
+        shutdown: true,
+        ..LoadgenConfig::default()
+    };
+    let summary = loadgen::run(&cfg).expect("loadgen against own fleet");
+    let snap = router.wait();
+    let (a, b) = (shard_a.wait(), shard_b.wait());
+    assert!(
+        summary.ok() && snap.balanced() && a.balanced() && b.balanced(),
+        "fleet e2e pass lost jobs"
+    );
+    extras(&[
+        ("completed", summary.completed.to_string()),
+        // No shard dies in this pass, so re-dispatch is exactly 0 and
+        // the ring split of 10 fixed requests across 2 shards is exact.
+        ("redispatched", snap.redispatched.to_string()),
+        ("shard0_accepted", a.accepted.to_string()),
+        ("shard1_accepted", b.accepted.to_string()),
+    ])
 }
 
 /// Every named target, in render order.
@@ -252,6 +312,13 @@ pub fn all_targets() -> Vec<Target> {
             tol: 0.60,
             min_profile: Profile::Quick,
             run: serve_loadgen_e2e,
+        },
+        Target {
+            name: "fleet/loadgen_e2e",
+            group: "fleet",
+            tol: 0.60,
+            min_profile: Profile::Quick,
+            run: fleet_loadgen_e2e,
         },
     ]
 }

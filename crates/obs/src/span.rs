@@ -46,6 +46,25 @@ pub struct SpanRecord {
 /// Process-wide span id source; 0 is reserved for "no parent".
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 
+/// Raise the floor of the span id counter (monotone: a lower base than
+/// the counter's current value is a no-op). Multi-process pipelines that
+/// merge span JSONL from several processes into one trace — the fleet
+/// router plus its shard servers — give each process a disjoint base
+/// (e.g. `(shard + 1) << 40`) so ids never collide inside a merged
+/// trace. Keep bases below 2^52: span ids travel through a JSON number
+/// parsed as `f64`, which is exact only up to 2^53.
+pub fn set_span_id_base(base: u64) {
+    NEXT_SPAN_ID.fetch_max(base.max(1), Ordering::SeqCst);
+}
+
+/// Allocate a span id without opening a [`Span`]. For hand-built
+/// [`SpanRecord`]s that cannot use RAII timing — e.g. the router's
+/// `route.<kind>` span, which opens at dispatch on one thread and closes
+/// at the reply on another.
+pub fn next_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
 thread_local! {
     /// One frame per open span on this thread: (span id, child time).
     static STACK: RefCell<Vec<(u64, Duration)>> = const { RefCell::new(Vec::new()) };
@@ -125,6 +144,18 @@ impl Span {
     pub fn record(&mut self, key: &'static str, value: u64) {
         if self.start.is_some() {
             self.fields.push((key, value));
+        }
+    }
+
+    /// Override the parent span id. A root span whose *logical* parent
+    /// lives in another process (the router's `route.<kind>` span,
+    /// propagated over the wire as a request param) sets it here so the
+    /// merged trace tree links across the process boundary. Only
+    /// meaningful on spans with no same-thread parent; no-op when
+    /// telemetry is off.
+    pub fn set_parent(&mut self, parent: u64) {
+        if self.start.is_some() && self.parent == 0 {
+            self.parent = parent;
         }
     }
 }
@@ -248,6 +279,30 @@ mod tests {
         assert_eq!(outer.parent, 0, "root has no parent");
         assert_eq!(outer.fields, vec![("io", 42)]);
         assert!(outer.total_ns >= inner.total_ns);
+    }
+
+    #[test]
+    fn span_id_base_partitions_ids_and_set_parent_links_cross_process() {
+        let _guard = lock_level();
+        set_level(Level::Full);
+        set_span_id_base(1 << 40);
+        assert!(next_span_id() >= 1 << 40, "ids continue above the base");
+        set_span_id_base(5); // lowering is a no-op
+        assert!(next_span_id() >= 1 << 40);
+        let trace = 0xF1EE_7000_u64;
+        let remote_parent = next_span_id();
+        {
+            let _t = trace_scope(trace);
+            let mut s = Span::enter("cross_process_child");
+            s.set_parent(remote_parent);
+        }
+        set_level(Level::Off);
+        let (records, _) = global().spans();
+        let ours = records
+            .iter()
+            .find(|r| r.trace == trace)
+            .expect("span logged");
+        assert_eq!(ours.parent, remote_parent);
     }
 
     #[test]

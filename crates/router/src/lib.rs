@@ -1,0 +1,27 @@
+//! fmm-router: shard `fmm-serve` into a routed fleet.
+//!
+//! A single `fastmm serve` process bounds its own load and proves a
+//! per-process conservation law. This crate scales that story out: a
+//! front-end TCP router speaks the same newline-delimited JSON protocol
+//! to clients, routes every job to one of N shard servers by the
+//! canonical FNV spec hash over a consistent-hash ring ([`ring`]), and
+//! keeps the ledger exact across shard death — planned (drain) or
+//! chaotic (SIGKILL) — by re-dispatching unacknowledged envelopes under
+//! an idempotency key so each job is counted exactly once ([`router`]).
+//!
+//! The fleet-wide invariant, checked by `fastmm fleet` at exit and by
+//! the chaos integration tests:
+//!
+//! ```text
+//! accepted == completed + errored + cancelled + deadline_exceeded
+//! ```
+//!
+//! with `shed`/`rejected` refused pre-admission and `redispatched` /
+//! `dup_suppressed` as router-level observability counters, not ledger
+//! entries.
+
+pub mod ring;
+pub mod router;
+
+pub use ring::{spec_hash, Ring, VNODES};
+pub use router::{FleetSnapshot, RouterConfig, RouterHandle};

@@ -1,0 +1,1289 @@
+//! The fleet front end: a TCP router speaking the exact `fmm-serve`
+//! wire protocol on both sides.
+//!
+//! Thread layout:
+//!
+//! ```text
+//! router-accept ────── nonblocking accept; owns the drain sequence
+//!   ├── router-conn (one per client; admits jobs, answers fleet verbs)
+//!   ├── router-shard-{0..N} ── reply reader per shard job connection
+//!   └── router-health ─────── periodic health probes, degraded/dead marks
+//! ```
+//!
+//! Invariant, mirroring the single server's: **every job the router
+//! accepts gets exactly one terminal reply forwarded to its client**, so
+//! the final router counters satisfy
+//! `accepted == completed + errored + cancelled + deadline_exceeded`.
+//! Shed and rejected requests are refused before acceptance. A
+//! re-dispatched job (its shard died or shed it back while draining) is
+//! counted **exactly once**: idempotency keyed on
+//! `(spec_hash, seed, client_tag)` plus a per-job `settled` latch means
+//! the first terminal reply wins and later duplicates only bump
+//! `dup_suppressed`.
+//!
+//! Re-dispatch reuses the fault toolkit: each attempt is a fresh
+//! seq-tagged envelope (`f<seq:x>` request id), separated by
+//! [`fmm_faults::backoff_micros`] seeded exponential backoff, and the
+//! job's [`fmm_faults::CancelToken`] — armed at *router* admission —
+//! turns a job that out-waits its deadline while bouncing between
+//! shards into an honest `deadline-exceeded`.
+
+use crate::ring::{spec_hash, Ring};
+use fmm_faults::{backoff_micros, splitmix64, CancelReason, CancelToken};
+use fmm_obs::span::SpanRecord;
+use fmm_serve::jobs::JobSpec;
+use fmm_serve::proto::{read_bounded_line, Kind, Request, Response, Status};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::io::{BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::process::Child;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How the router is sized and seeded.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Front-end bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// One `host:port` per shard, in shard-index order. Fleet
+    /// membership is fixed for the router's lifetime; only health
+    /// changes.
+    pub shard_addrs: Vec<String>,
+    /// Seeds trace ids and the `kill-shard` victim choice.
+    pub seed: u64,
+    /// Deadline attached to jobs that do not carry their own (also
+    /// forwarded to the shard).
+    pub default_deadline_ms: Option<u64>,
+    /// Lines longer than this are rejected unread, on both sides.
+    pub max_line_bytes: usize,
+    /// Health probe interval.
+    pub poll_ms: u64,
+    /// Dispatch attempts per job (first dispatch included) before the
+    /// router gives up and sheds it back to the client.
+    pub max_attempts: u32,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shard_addrs: Vec::new(),
+            seed: 0,
+            default_deadline_ms: None,
+            max_line_bytes: 64 * 1024,
+            poll_ms: 100,
+            max_attempts: 5,
+        }
+    }
+}
+
+/// Shard health states (stored in an `AtomicU8`).
+const HEALTHY: u8 = 0;
+const DEGRADED: u8 = 1;
+const DRAINING: u8 = 2;
+const DEAD: u8 = 3;
+
+fn state_name(state: u8) -> &'static str {
+    match state {
+        HEALTHY => "healthy",
+        DEGRADED => "degraded",
+        DRAINING => "draining",
+        _ => "dead",
+    }
+}
+
+struct Shard {
+    idx: usize,
+    addr: String,
+    state: AtomicU8,
+    /// Writer half of the persistent job connection; `None` once down.
+    conn: Mutex<Option<TcpStream>>,
+    /// The spawned `fastmm serve` process, when the router owns it
+    /// (kill-shard eligible). `None` in attach mode.
+    child: Mutex<Option<Child>>,
+    /// Consecutive failed health probes.
+    misses: AtomicU32,
+}
+
+impl Shard {
+    fn routable(&self) -> bool {
+        self.state.load(Ordering::SeqCst) <= DEGRADED
+    }
+}
+
+/// Serialised writer half of one *client* connection.
+#[derive(Clone)]
+struct Reply(Arc<Mutex<TcpStream>>);
+
+impl Reply {
+    fn send(&self, resp: &Response) {
+        let line = resp.to_line();
+        let mut stream = self.0.lock().unwrap();
+        let _ = writeln!(stream, "{line}");
+        let _ = stream.flush();
+    }
+}
+
+/// `(spec_hash, seed param, client_tag)` — the identity under which a
+/// job is counted exactly once, however many envelopes carry it.
+type IdemKey = (u64, String, String);
+
+/// One admitted job, shared between the admitting connection thread,
+/// the shard reply readers, and the down-sweep.
+struct JobState {
+    client_id: String,
+    reply: Reply,
+    /// The request as stored at admission (deadline resolved); each
+    /// dispatch clones it into a fresh envelope.
+    req: Request,
+    kind: Kind,
+    hash: u64,
+    idem: IdemKey,
+    /// Dispatch attempts so far (first dispatch counts).
+    attempts: u32,
+    /// Current shard assignment (`usize::MAX` before first dispatch).
+    shard: usize,
+    /// Every envelope seq ever sent for this job; all are purged from
+    /// `pending` at settle.
+    envelopes: Vec<u64>,
+    settled: bool,
+    trace: u64,
+    /// Pre-allocated id of the `route.<kind>` span (0 when telemetry is
+    /// off); recorded manually at settle since the span crosses threads.
+    route_span: u64,
+    token: CancelToken,
+    admitted: Instant,
+}
+
+type SharedJob = Arc<Mutex<JobState>>;
+
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    errored: AtomicU64,
+    cancelled: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    shed: AtomicU64,
+    rejected: AtomicU64,
+    redispatched: AtomicU64,
+    dup_suppressed: AtomicU64,
+    shards_killed: AtomicU64,
+    malformed_shard_replies: AtomicU64,
+}
+
+fn bump(which: &AtomicU64, obs_name: &str) {
+    which.fetch_add(1, Ordering::SeqCst);
+    fmm_obs::add(obs_name, &[], 1);
+}
+
+/// Point-in-time fleet counters, plus whatever final counter maps the
+/// drained shards acknowledged with.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FleetSnapshot {
+    pub accepted: u64,
+    pub completed: u64,
+    pub errored: u64,
+    pub cancelled: u64,
+    pub deadline_exceeded: u64,
+    pub shed: u64,
+    pub rejected: u64,
+    /// Envelopes re-sent after a shard died or shed a job back.
+    pub redispatched: u64,
+    /// Late or duplicate replies suppressed by the idempotency layer.
+    pub dup_suppressed: u64,
+    /// Shards SIGKILLed by the `kill-shard` chaos verb.
+    pub shards_killed: u64,
+    /// Shard reply lines that failed to parse (the router skips them).
+    pub malformed_shard_replies: u64,
+    /// Fleet size (fixed).
+    pub shards: usize,
+    /// Shards currently marked dead.
+    pub shards_dead: usize,
+    /// Final counters per shard from its shutdown ack; `None` for a
+    /// shard that died unacknowledged (e.g. SIGKILLed).
+    pub shard_acks: Vec<Option<BTreeMap<String, String>>>,
+}
+
+impl FleetSnapshot {
+    /// Jobs that reached a forwarded terminal reply.
+    pub fn terminal(&self) -> u64 {
+        self.completed + self.errored + self.cancelled + self.deadline_exceeded
+    }
+
+    /// The router-level conservation law; holds whenever no job is in
+    /// flight (always true after a drain). Because settle happens
+    /// exactly once per job, a re-dispatched job is counted once here
+    /// no matter how many shards saw an envelope for it.
+    pub fn balanced(&self) -> bool {
+        self.accepted == self.terminal()
+    }
+
+    /// Sum a counter across the shard acks that were collected.
+    pub fn shards_sum(&self, key: &str) -> u64 {
+        self.shard_acks
+            .iter()
+            .flatten()
+            .filter_map(|m| m.get(key).and_then(|v| v.parse::<u64>().ok()))
+            .sum()
+    }
+
+    /// Does every acked shard's own conservation law hold?
+    pub fn shards_balanced(&self) -> bool {
+        self.shard_acks.iter().flatten().all(|m| {
+            let num = |k: &str| {
+                m.get(k)
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or(u64::MAX)
+            };
+            num("accepted")
+                == num("completed")
+                    .saturating_add(num("errored"))
+                    .saturating_add(num("cancelled"))
+                    .saturating_add(num("deadline_exceeded"))
+        })
+    }
+
+    /// The 7 standard counters, shaped exactly like a single server's
+    /// `stats`/`shutdown` ack — what the router's shutdown ack carries
+    /// (deterministic for a fixed seed, unlike the re-dispatch tallies).
+    pub fn core_map(&self) -> BTreeMap<String, String> {
+        let mut m = BTreeMap::new();
+        m.insert("accepted".into(), self.accepted.to_string());
+        m.insert("completed".into(), self.completed.to_string());
+        m.insert("errored".into(), self.errored.to_string());
+        m.insert("cancelled".into(), self.cancelled.to_string());
+        m.insert(
+            "deadline_exceeded".into(),
+            self.deadline_exceeded.to_string(),
+        );
+        m.insert("shed".into(), self.shed.to_string());
+        m.insert("rejected".into(), self.rejected.to_string());
+        m
+    }
+
+    /// The full flat map the `fleet-stats` verb answers with.
+    pub fn as_map(&self) -> BTreeMap<String, String> {
+        let mut m = self.core_map();
+        m.insert("redispatched".into(), self.redispatched.to_string());
+        m.insert("dup_suppressed".into(), self.dup_suppressed.to_string());
+        m.insert("shards_killed".into(), self.shards_killed.to_string());
+        m.insert(
+            "malformed_shard_replies".into(),
+            self.malformed_shard_replies.to_string(),
+        );
+        m.insert("shards".into(), self.shards.to_string());
+        m.insert(
+            "shards_live".into(),
+            (self.shards - self.shards_dead).to_string(),
+        );
+        m.insert("shards_dead".into(), self.shards_dead.to_string());
+        m
+    }
+}
+
+struct SharedRouter {
+    cfg: RouterConfig,
+    ring: Ring,
+    shards: Vec<Shard>,
+    counters: Counters,
+    /// Envelope seq → job. Emptiness means nothing is in flight.
+    pending: Mutex<HashMap<u64, SharedJob>>,
+    /// Live idempotency keys (admitted, not yet settled).
+    idem_live: Mutex<HashMap<IdemKey, SharedJob>>,
+    /// Recently settled keys, bounded, for late-duplicate admission
+    /// suppression.
+    settled_recently: Mutex<(VecDeque<IdemKey>, HashSet<IdemKey>)>,
+    draining: AtomicBool,
+    shutdown: AtomicBool,
+    /// The shard shutdown sequence ran (guards double-drain).
+    shards_shut: AtomicBool,
+    started: Instant,
+    env_seq: AtomicU64,
+    admit_seq: AtomicU64,
+    conn_seq: AtomicU64,
+    client_conns: Mutex<Vec<TcpStream>>,
+    shard_acks: Mutex<Vec<Option<BTreeMap<String, String>>>>,
+}
+
+/// How many recently settled idempotency keys to remember.
+const SETTLED_CAP: usize = 4096;
+
+impl SharedRouter {
+    fn alive_mask(&self) -> Vec<bool> {
+        self.shards.iter().map(Shard::routable).collect()
+    }
+
+    fn snapshot(&self) -> FleetSnapshot {
+        let c = &self.counters;
+        FleetSnapshot {
+            accepted: c.accepted.load(Ordering::SeqCst),
+            completed: c.completed.load(Ordering::SeqCst),
+            errored: c.errored.load(Ordering::SeqCst),
+            cancelled: c.cancelled.load(Ordering::SeqCst),
+            deadline_exceeded: c.deadline_exceeded.load(Ordering::SeqCst),
+            shed: c.shed.load(Ordering::SeqCst),
+            rejected: c.rejected.load(Ordering::SeqCst),
+            redispatched: c.redispatched.load(Ordering::SeqCst),
+            dup_suppressed: c.dup_suppressed.load(Ordering::SeqCst),
+            shards_killed: c.shards_killed.load(Ordering::SeqCst),
+            malformed_shard_replies: c.malformed_shard_replies.load(Ordering::SeqCst),
+            shards: self.shards.len(),
+            shards_dead: self
+                .shards
+                .iter()
+                .filter(|s| s.state.load(Ordering::SeqCst) == DEAD)
+                .count(),
+            shard_acks: self.shard_acks.lock().unwrap().clone(),
+        }
+    }
+}
+
+/// A running fleet router. Dropping the handle initiates shutdown and
+/// blocks until the drain (including shard shutdowns) completes.
+pub struct RouterHandle {
+    addr: SocketAddr,
+    shared: Arc<SharedRouter>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// Connect to every shard, bind the front end, and return. `procs`
+    /// carries the spawned shard processes in shard order (use `None`
+    /// per slot when attaching to externally managed shards); a missing
+    /// tail is treated as all-`None`.
+    pub fn start(cfg: RouterConfig, procs: Vec<Option<Child>>) -> std::io::Result<RouterHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let mut procs = procs;
+        procs.resize_with(cfg.shard_addrs.len(), || None);
+        let mut shards = Vec::with_capacity(cfg.shard_addrs.len());
+        let mut readers = Vec::with_capacity(cfg.shard_addrs.len());
+        for (idx, (shard_addr, child)) in cfg.shard_addrs.iter().zip(procs).enumerate() {
+            let stream = TcpStream::connect(shard_addr)?;
+            let _ = stream.set_nodelay(true);
+            readers.push(stream.try_clone()?);
+            shards.push(Shard {
+                idx,
+                addr: shard_addr.clone(),
+                state: AtomicU8::new(HEALTHY),
+                conn: Mutex::new(Some(stream)),
+                child: Mutex::new(child),
+                misses: AtomicU32::new(0),
+            });
+        }
+        let ring = Ring::build(shards.len());
+        let n = shards.len();
+        let shared = Arc::new(SharedRouter {
+            cfg,
+            ring,
+            shards,
+            counters: Counters::default(),
+            pending: Mutex::new(HashMap::new()),
+            idem_live: Mutex::new(HashMap::new()),
+            settled_recently: Mutex::new((VecDeque::new(), HashSet::new())),
+            draining: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            shards_shut: AtomicBool::new(false),
+            started: Instant::now(),
+            env_seq: AtomicU64::new(0),
+            admit_seq: AtomicU64::new(0),
+            conn_seq: AtomicU64::new(0),
+            client_conns: Mutex::new(Vec::new()),
+            shard_acks: Mutex::new(vec![None; n]),
+        });
+        for (idx, stream) in readers.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            let _ = std::thread::Builder::new()
+                .name(format!("router-shard-{idx}"))
+                .spawn(move || shard_reader(&shared, idx, stream));
+        }
+        {
+            let shared = Arc::clone(&shared);
+            let _ = std::thread::Builder::new()
+                .name("router-health".to_string())
+                .spawn(move || health_poller(&shared));
+        }
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("router-accept".to_string())
+                .spawn(move || accept_loop(&shared, listener))?
+        };
+        Ok(RouterHandle {
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The front-end address actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn snapshot(&self) -> FleetSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// Programmatic equivalent of the `shutdown` wire verb.
+    pub fn begin_shutdown(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Block until the fleet has fully drained (router pending empty,
+    /// every shard shut down or dead), then return the final counters.
+    pub fn wait(mut self) -> FleetSnapshot {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.shared.snapshot()
+    }
+
+    /// [`RouterHandle::begin_shutdown`] + [`RouterHandle::wait`].
+    pub fn shutdown_and_wait(self) -> FleetSnapshot {
+        self.begin_shutdown();
+        self.wait()
+    }
+}
+
+impl Drop for RouterHandle {
+    fn drop(&mut self) {
+        if let Some(h) = self.accept.take() {
+            self.begin_shutdown();
+            let _ = h.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dispatch, settle, re-dispatch
+// ---------------------------------------------------------------------
+
+fn route_span_name(kind: Kind) -> &'static str {
+    match kind {
+        Kind::Io => "route.io",
+        Kind::Bounds => "route.bounds",
+        Kind::Faults => "route.faults",
+        Kind::SweepCell => "route.sweep-cell",
+        _ => "route.control",
+    }
+}
+
+/// Forward the job to the shard the ring picks, retrying (with seeded
+/// backoff) over write failures. Lock discipline, here and everywhere:
+/// never hold a job lock while taking the pending lock or a conn lock,
+/// and never hold the pending lock while taking a job lock *except* in
+/// read-only sweeps that clone the `Arc`s out first.
+fn dispatch(shared: &Arc<SharedRouter>, job: &SharedJob) {
+    loop {
+        let alive = shared.alive_mask();
+        let (line, env, idx) = {
+            let mut st = job.lock().unwrap();
+            if st.settled {
+                return;
+            }
+            let Some(idx) = shared.ring.route(st.hash, &alive) else {
+                drop(st);
+                refuse(shared, job, None);
+                return;
+            };
+            let env = shared.env_seq.fetch_add(1, Ordering::SeqCst);
+            let mut fwd = st.req.clone();
+            fwd.id = format!("f{env:x}");
+            fwd.params
+                .insert("trace_id".into(), format!("{:016x}", st.trace));
+            if st.route_span != 0 {
+                fwd.params
+                    .insert("parent_span".into(), st.route_span.to_string());
+            }
+            st.attempts += 1;
+            st.shard = idx;
+            st.envelopes.push(env);
+            (fwd.to_line(), env, idx)
+        };
+        shared.pending.lock().unwrap().insert(env, Arc::clone(job));
+        fmm_obs::gauge(
+            "router_pending",
+            &[],
+            shared.pending.lock().unwrap().len() as f64,
+        );
+        let wrote = {
+            let conn = shared.shards[idx].conn.lock().unwrap();
+            match conn.as_ref() {
+                Some(s) => {
+                    let mut w = s;
+                    writeln!(w, "{line}").and_then(|_| w.flush()).is_ok()
+                }
+                None => false,
+            }
+        };
+        if wrote {
+            return;
+        }
+        // The connection died under us: this envelope will never be
+        // answered. Remove it, mark the shard down, and try again.
+        shared.pending.lock().unwrap().remove(&env);
+        on_shard_down(shared, idx);
+        let attempts = job.lock().unwrap().attempts;
+        if attempts >= shared.cfg.max_attempts {
+            refuse(shared, job, None);
+            return;
+        }
+        bump(&shared.counters.redispatched, "router_redispatched");
+        std::thread::sleep(Duration::from_micros(backoff_micros(attempts)));
+    }
+}
+
+/// A shard refused an envelope (shed while draining / queue full), or
+/// its process died with the envelope unacknowledged: re-dispatch under
+/// a fresh envelope, unless the job's own deadline already passed or
+/// the attempt budget is spent.
+fn redispatch(shared: &Arc<SharedRouter>, job: &SharedJob, last: Option<Response>) {
+    let attempts = {
+        let st = job.lock().unwrap();
+        if st.settled {
+            bump(&shared.counters.dup_suppressed, "router_dup_suppressed");
+            return;
+        }
+        if st.token.reason() == Some(CancelReason::DeadlineExceeded) {
+            drop(st);
+            settle(
+                shared,
+                job,
+                Response::new("", Status::DeadlineExceeded)
+                    .with_reason("expired during re-dispatch"),
+            );
+            return;
+        }
+        st.attempts
+    };
+    if attempts >= shared.cfg.max_attempts {
+        refuse(shared, job, last);
+        return;
+    }
+    bump(&shared.counters.redispatched, "router_redispatched");
+    std::thread::sleep(Duration::from_micros(backoff_micros(attempts)));
+    dispatch(shared, job);
+}
+
+/// Forward a terminal reply to the client and count it — exactly once.
+fn settle(shared: &Arc<SharedRouter>, job: &SharedJob, mut resp: Response) {
+    let (envs, idem, reply) = {
+        let mut st = job.lock().unwrap();
+        if st.settled {
+            bump(&shared.counters.dup_suppressed, "router_dup_suppressed");
+            return;
+        }
+        st.settled = true;
+        match resp.status {
+            Status::Completed => bump(&shared.counters.completed, "router_completed"),
+            Status::Cancelled => bump(&shared.counters.cancelled, "router_cancelled"),
+            Status::DeadlineExceeded => bump(
+                &shared.counters.deadline_exceeded,
+                "router_deadline_exceeded",
+            ),
+            _ => bump(&shared.counters.errored, "router_errored"),
+        }
+        let total_ns = st.admitted.elapsed().as_nanos() as u64;
+        fmm_obs::observe("router_latency_us", &[], total_ns / 1_000);
+        if st.route_span != 0 && fmm_obs::detailed() {
+            // The route span crosses threads (opened at admission,
+            // closed here), so it is recorded by hand rather than RAII.
+            // Its self time cannot subtract the shard's compute (that
+            // span lives in the shard's process); the merged trace tree
+            // shows both totals side by side.
+            fmm_obs::global().record_span(SpanRecord {
+                trace: st.trace,
+                id: st.route_span,
+                parent: 0,
+                name: route_span_name(st.kind),
+                total_ns,
+                self_ns: total_ns,
+                fields: vec![("attempts", st.attempts as u64), ("shard", st.shard as u64)],
+            });
+        }
+        resp.id = st.client_id.clone();
+        resp.result.insert("shard".into(), st.shard.to_string());
+        resp.result
+            .insert("attempts".into(), st.attempts.to_string());
+        (st.envelopes.clone(), st.idem.clone(), st.reply.clone())
+    };
+    reply.send(&resp);
+    {
+        let mut pending = shared.pending.lock().unwrap();
+        for e in envs {
+            pending.remove(&e);
+        }
+        fmm_obs::gauge("router_pending", &[], pending.len() as f64);
+    }
+    shared.idem_live.lock().unwrap().remove(&idem);
+    let mut settled = shared.settled_recently.lock().unwrap();
+    settled.0.push_back(idem.clone());
+    settled.1.insert(idem);
+    while settled.0.len() > SETTLED_CAP {
+        if let Some(old) = settled.0.pop_front() {
+            settled.1.remove(&old);
+        }
+    }
+}
+
+/// Give a job back to the client unadmitted: roll the acceptance back
+/// and count the refusal (shed, or rejected when the last shard reply
+/// was a pre-admission rejection) so the conservation law stays exact.
+fn refuse(shared: &Arc<SharedRouter>, job: &SharedJob, last: Option<Response>) {
+    let (idem, reply, client_id) = {
+        let mut st = job.lock().unwrap();
+        if st.settled {
+            bump(&shared.counters.dup_suppressed, "router_dup_suppressed");
+            return;
+        }
+        st.settled = true;
+        (st.idem.clone(), st.reply.clone(), st.client_id.clone())
+    };
+    shared.counters.accepted.fetch_sub(1, Ordering::SeqCst);
+    let mut resp = match last {
+        Some(r)
+            if r.status == Status::Shed
+                || (r.status == Status::Error && r.reason.starts_with("rejected:")) =>
+        {
+            r
+        }
+        _ => Response::new("", Status::Shed).with_reason("no-live-shards"),
+    };
+    if resp.status == Status::Shed {
+        bump(&shared.counters.shed, "router_shed");
+    } else {
+        bump(&shared.counters.rejected, "router_rejected");
+    }
+    resp.id = client_id;
+    reply.send(&resp);
+    let envs = job.lock().unwrap().envelopes.clone();
+    let mut pending = shared.pending.lock().unwrap();
+    for e in envs {
+        pending.remove(&e);
+    }
+    drop(pending);
+    shared.idem_live.lock().unwrap().remove(&idem);
+}
+
+// ---------------------------------------------------------------------
+// Shard side: reply reader, death sweep, health poller
+// ---------------------------------------------------------------------
+
+fn shard_reader(shared: &Arc<SharedRouter>, idx: usize, stream: TcpStream) {
+    let mut reader = BufReader::new(stream);
+    let mut buf = Vec::new();
+    let mut oversized = false;
+    loop {
+        if !read_bounded_line(
+            &mut reader,
+            &mut buf,
+            shared.cfg.max_line_bytes,
+            &mut oversized,
+        ) {
+            break;
+        }
+        if oversized {
+            bump(
+                &shared.counters.malformed_shard_replies,
+                "router_malformed_shard_replies",
+            );
+            continue;
+        }
+        let line = String::from_utf8_lossy(&buf);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        // A malformed or unknown-status line from a shard must never
+        // wedge or panic the router: count it, skip it, keep reading.
+        let resp = match Response::parse(line) {
+            Ok(r) => r,
+            Err(_) => {
+                bump(
+                    &shared.counters.malformed_shard_replies,
+                    "router_malformed_shard_replies",
+                );
+                continue;
+            }
+        };
+        handle_shard_reply(shared, resp);
+    }
+    // EOF: the shard exited (killed, drained, or shutdown closed it).
+    on_shard_down(shared, idx);
+}
+
+fn handle_shard_reply(shared: &Arc<SharedRouter>, resp: Response) {
+    // Envelopes are seq-tagged `f<seq:x>`; anything else (a stray
+    // control ack, an unknown-verb reply echoing some other id) cannot
+    // be matched to a job and is dropped after counting.
+    let env = resp
+        .id
+        .strip_prefix('f')
+        .and_then(|h| u64::from_str_radix(h, 16).ok());
+    let Some(env) = env else {
+        bump(
+            &shared.counters.malformed_shard_replies,
+            "router_malformed_shard_replies",
+        );
+        return;
+    };
+    let job = shared.pending.lock().unwrap().remove(&env);
+    let Some(job) = job else {
+        // Already settled via another envelope (late duplicate), or a
+        // reply to an envelope this router never sent.
+        bump(&shared.counters.dup_suppressed, "router_dup_suppressed");
+        return;
+    };
+    if resp.is_terminal_job_reply() {
+        settle(shared, &job, resp);
+    } else {
+        // Shed (draining / queue-full), a pre-admission rejection the
+        // router's own validation should have caught, or a nonsense
+        // `ok`: the envelope went unhonoured — re-dispatch.
+        redispatch(shared, &job, Some(resp));
+    }
+}
+
+/// Mark a shard dead (idempotent) and re-dispatch every unsettled job
+/// assigned to it.
+fn on_shard_down(shared: &Arc<SharedRouter>, idx: usize) {
+    let shard = &shared.shards[idx];
+    if shard.state.swap(DEAD, Ordering::SeqCst) == DEAD {
+        return;
+    }
+    fmm_obs::add("router_shard_down", &[], 1);
+    if let Some(conn) = shard.conn.lock().unwrap().take() {
+        let _ = conn.shutdown(Shutdown::Both);
+    }
+    if let Some(mut child) = shard.child.lock().unwrap().take() {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    // Snapshot the Arcs first (no job locks under the pending lock),
+    // then sweep: anything still assigned here re-dispatches.
+    let jobs: Vec<SharedJob> = {
+        let pending = shared.pending.lock().unwrap();
+        let mut seen: HashSet<*const Mutex<JobState>> = HashSet::new();
+        pending
+            .values()
+            .filter(|j| seen.insert(Arc::as_ptr(j)))
+            .cloned()
+            .collect()
+    };
+    for job in jobs {
+        let orphaned = {
+            let st = job.lock().unwrap();
+            !st.settled && st.shard == idx
+        };
+        if orphaned {
+            redispatch(shared, &job, None);
+        }
+    }
+}
+
+fn probe_health(addr: &str, timeout: Duration, max_line_bytes: usize) -> bool {
+    let Ok(sock_addr) = addr.parse::<SocketAddr>() else {
+        return false;
+    };
+    let Ok(stream) = TcpStream::connect_timeout(&sock_addr, timeout) else {
+        return false;
+    };
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let mut w = &stream;
+    if writeln!(w, "{}", Request::new("hp", Kind::Health).to_line()).is_err() {
+        return false;
+    }
+    let _ = w.flush();
+    let mut reader = BufReader::new(&stream);
+    let mut buf = Vec::new();
+    let mut oversized = false;
+    if !read_bounded_line(&mut reader, &mut buf, max_line_bytes, &mut oversized) || oversized {
+        return false;
+    }
+    let line = String::from_utf8_lossy(&buf);
+    matches!(
+        Response::parse(line.trim()),
+        Ok(Response {
+            status: Status::Ok,
+            ..
+        })
+    )
+}
+
+fn health_poller(shared: &Arc<SharedRouter>) {
+    let poll = Duration::from_millis(shared.cfg.poll_ms.max(10));
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        for shard in &shared.shards {
+            let state = shard.state.load(Ordering::SeqCst);
+            if state >= DRAINING {
+                continue;
+            }
+            // A spawned shard whose process exited is dead regardless
+            // of what its socket pretends.
+            let exited = shard
+                .child
+                .lock()
+                .unwrap()
+                .as_mut()
+                .is_some_and(|c| matches!(c.try_wait(), Ok(Some(_))));
+            if exited {
+                on_shard_down(shared, shard.idx);
+                continue;
+            }
+            if probe_health(
+                &shard.addr,
+                poll.max(Duration::from_millis(50)),
+                shared.cfg.max_line_bytes,
+            ) {
+                shard.misses.store(0, Ordering::SeqCst);
+                let _ = shard.state.compare_exchange(
+                    DEGRADED,
+                    HEALTHY,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+            } else {
+                let misses = shard.misses.fetch_add(1, Ordering::SeqCst) + 1;
+                if misses == 1 {
+                    if shard
+                        .state
+                        .compare_exchange(HEALTHY, DEGRADED, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                    {
+                        fmm_obs::add("router_shard_degraded", &[], 1);
+                    }
+                } else {
+                    // Two consecutive misses: dead. The reply reader's
+                    // EOF usually beats us here for a killed process;
+                    // this path catches wedged-but-connected shards.
+                    on_shard_down(shared, shard.idx);
+                }
+            }
+        }
+        std::thread::sleep(poll);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client side: accept loop, admission, fleet verbs
+// ---------------------------------------------------------------------
+
+fn accept_loop(shared: &Arc<SharedRouter>, listener: TcpListener) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                if let Ok(clone) = stream.try_clone() {
+                    shared.client_conns.lock().unwrap().push(clone);
+                }
+                let shared = Arc::clone(shared);
+                let _ = std::thread::Builder::new()
+                    .name("router-conn".to_string())
+                    .spawn(move || conn_loop(&shared, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+    drop(listener);
+    // Drain (no-ops when a wire shutdown already ran the sequence).
+    shared.draining.store(true, Ordering::SeqCst);
+    await_pending_empty(shared);
+    shutdown_shards(shared);
+    fmm_obs::gauge("router_pending", &[], 0.0);
+    for conn in shared.client_conns.lock().unwrap().drain(..) {
+        let _ = conn.shutdown(Shutdown::Both);
+    }
+}
+
+fn await_pending_empty(shared: &Arc<SharedRouter>) {
+    while !shared.pending.lock().unwrap().is_empty() {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Gracefully shut down every shard that is still up, collecting each
+/// ack's final counters (the per-shard half of the conservation story).
+fn shutdown_shards(shared: &Arc<SharedRouter>) {
+    if shared.shards_shut.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    for shard in &shared.shards {
+        if shard.state.load(Ordering::SeqCst) == DEAD {
+            continue;
+        }
+        shard.state.store(DRAINING, Ordering::SeqCst);
+        if control_roundtrip(
+            &shard.addr,
+            &Request::new("stop", Kind::Shutdown),
+            Duration::from_secs(20),
+            shared.cfg.max_line_bytes,
+        )
+        .map(|ack| shared.shard_acks.lock().unwrap()[shard.idx] = Some(ack.result))
+        .is_some()
+        {
+            reap_acked_child(shard);
+        }
+        on_shard_down(shared, shard.idx);
+    }
+}
+
+/// A shard that acked a graceful shutdown exits on its own — let it,
+/// so its `--metrics` JSONL (span records included) gets flushed,
+/// instead of letting [`on_shard_down`]'s unconditional kill cut the
+/// flush short. Bounded: a shard that acks and then wedges is killed
+/// by the usual path when the wait runs out.
+fn reap_acked_child(shard: &Shard) {
+    let mut slot = shard.child.lock().unwrap();
+    let Some(child) = slot.as_mut() else { return };
+    let waited = Instant::now();
+    while waited.elapsed() < Duration::from_secs(10) {
+        match child.try_wait() {
+            Ok(Some(_)) => {
+                slot.take();
+                return;
+            }
+            Ok(None) => std::thread::sleep(Duration::from_millis(5)),
+            Err(_) => return,
+        }
+    }
+}
+
+/// One control request on a fresh connection; `None` on any failure.
+fn control_roundtrip(
+    addr: &str,
+    req: &Request,
+    timeout: Duration,
+    max_line_bytes: usize,
+) -> Option<Response> {
+    let sock_addr = addr.parse::<SocketAddr>().ok()?;
+    let stream = TcpStream::connect_timeout(&sock_addr, Duration::from_secs(2)).ok()?;
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let mut w = &stream;
+    writeln!(w, "{}", req.to_line()).ok()?;
+    w.flush().ok()?;
+    let mut reader = BufReader::new(&stream);
+    let mut buf = Vec::new();
+    let mut oversized = false;
+    if !read_bounded_line(&mut reader, &mut buf, max_line_bytes, &mut oversized) || oversized {
+        return None;
+    }
+    let line = String::from_utf8_lossy(&buf);
+    Response::parse(line.trim())
+        .ok()
+        .filter(|r| r.status == Status::Ok)
+}
+
+fn conn_loop(shared: &Arc<SharedRouter>, stream: TcpStream) {
+    let reply = match stream.try_clone() {
+        Ok(clone) => Reply(Arc::new(Mutex::new(clone))),
+        Err(_) => return,
+    };
+    let conn_serial = shared.conn_seq.fetch_add(1, Ordering::SeqCst);
+    let mut reader = BufReader::new(stream);
+    let mut buf = Vec::new();
+    let mut oversized = false;
+    loop {
+        if !read_bounded_line(
+            &mut reader,
+            &mut buf,
+            shared.cfg.max_line_bytes,
+            &mut oversized,
+        ) {
+            return;
+        }
+        if oversized {
+            bump(&shared.counters.rejected, "router_rejected");
+            reply.send(&Response::new("", Status::Error).with_reason(&format!(
+                "rejected: line exceeds {} bytes",
+                shared.cfg.max_line_bytes
+            )));
+            continue;
+        }
+        let line = String::from_utf8_lossy(&buf);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let req = match Request::parse(line) {
+            Ok(r) => r,
+            Err(e) => {
+                bump(&shared.counters.rejected, "router_rejected");
+                reply
+                    .send(&Response::new("", Status::Error).with_reason(&format!("rejected: {e}")));
+                continue;
+            }
+        };
+        if req.kind.is_job() {
+            admit(shared, &reply, req, conn_serial);
+        } else if !handle_control(shared, &reply, &req) {
+            return;
+        }
+    }
+}
+
+fn admit(shared: &Arc<SharedRouter>, reply: &Reply, mut req: Request, conn_serial: u64) {
+    if shared.draining.load(Ordering::SeqCst) {
+        bump(&shared.counters.shed, "router_shed");
+        reply.send(&Response::new(&req.id, Status::Shed).with_reason("draining"));
+        return;
+    }
+    // Validate params at the router so a healthy shard never has cause
+    // to reject an admitted job pre-admission (which would unbalance
+    // the conservation law).
+    if let Err(e) = JobSpec::from_request(req.kind, &req.params) {
+        bump(&shared.counters.rejected, "router_rejected");
+        reply.send(&Response::new(&req.id, Status::Error).with_reason(&format!("rejected: {e}")));
+        return;
+    }
+    let hash = spec_hash(req.kind, &req.params);
+    let idem: IdemKey = (
+        hash,
+        req.params.get("seed").cloned().unwrap_or_default(),
+        format!("{conn_serial}:{}", req.id),
+    );
+    let duplicate = shared.idem_live.lock().unwrap().contains_key(&idem)
+        || shared.settled_recently.lock().unwrap().1.contains(&idem);
+    if duplicate {
+        bump(&shared.counters.dup_suppressed, "router_dup_suppressed");
+        bump(&shared.counters.rejected, "router_rejected");
+        reply.send(&Response::new(&req.id, Status::Error).with_reason(
+            "rejected: duplicate (spec_hash, seed, client_tag) in flight or recently settled",
+        ));
+        return;
+    }
+    let deadline = req.deadline_ms.or(shared.cfg.default_deadline_ms);
+    req.deadline_ms = deadline;
+    let token = match deadline {
+        Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+        None => CancelToken::new(),
+    };
+    let seq = shared.admit_seq.fetch_add(1, Ordering::SeqCst);
+    let trace = match splitmix64(shared.cfg.seed.wrapping_add(seq)) {
+        0 => 1,
+        t => t,
+    };
+    let route_span = if fmm_obs::detailed() {
+        fmm_obs::span::next_span_id()
+    } else {
+        0
+    };
+    let job = Arc::new(Mutex::new(JobState {
+        client_id: req.id.clone(),
+        reply: reply.clone(),
+        kind: req.kind,
+        hash,
+        idem: idem.clone(),
+        attempts: 0,
+        shard: usize::MAX,
+        envelopes: Vec::new(),
+        settled: false,
+        trace,
+        route_span,
+        token,
+        admitted: Instant::now(),
+        req,
+    }));
+    bump(&shared.counters.accepted, "router_accepted");
+    shared
+        .idem_live
+        .lock()
+        .unwrap()
+        .insert(idem, Arc::clone(&job));
+    dispatch(shared, &job);
+}
+
+/// Answer a fleet verb inline. Returns `false` when the connection
+/// should stop reading (after acknowledging a shutdown).
+fn handle_control(shared: &Arc<SharedRouter>, reply: &Reply, req: &Request) -> bool {
+    match req.kind {
+        Kind::Health => {
+            let mut m = BTreeMap::new();
+            m.insert(
+                "uptime_ms".into(),
+                shared.started.elapsed().as_millis().to_string(),
+            );
+            m.insert("shards".into(), shared.shards.len().to_string());
+            m.insert(
+                "shards_live".into(),
+                shared
+                    .shards
+                    .iter()
+                    .filter(|s| s.routable())
+                    .count()
+                    .to_string(),
+            );
+            m.insert(
+                "pending".into(),
+                shared.pending.lock().unwrap().len().to_string(),
+            );
+            m.insert(
+                "draining".into(),
+                shared.draining.load(Ordering::SeqCst).to_string(),
+            );
+            reply.send(&Response::new(&req.id, Status::Ok).with_result(m));
+            true
+        }
+        Kind::Stats | Kind::FleetStats => {
+            let mut m = shared.snapshot().as_map();
+            for shard in &shared.shards {
+                m.insert(
+                    format!("shard{}_state", shard.idx),
+                    state_name(shard.state.load(Ordering::SeqCst)).to_string(),
+                );
+            }
+            reply.send(&Response::new(&req.id, Status::Ok).with_result(m));
+            true
+        }
+        Kind::DrainShard => {
+            drain_shard(shared, reply, req);
+            true
+        }
+        Kind::KillShard => {
+            kill_shard(shared, reply, req);
+            true
+        }
+        Kind::Pause | Kind::Resume => {
+            bump(&shared.counters.rejected, "router_rejected");
+            reply.send(&Response::new(&req.id, Status::Error).with_reason(
+                "rejected: pause/resume are per-shard verbs (send them to a shard directly)",
+            ));
+            true
+        }
+        Kind::Shutdown => {
+            // Mirror the single server's ordering: stop admission, let
+            // everything in flight settle, shut the shards down
+            // (collecting their final counters), ack with the router's
+            // final — balanced — counters, and only then release the
+            // accept loop to close sockets.
+            shared.draining.store(true, Ordering::SeqCst);
+            await_pending_empty(shared);
+            shutdown_shards(shared);
+            reply.send(
+                &Response::new(&req.id, Status::Ok).with_result(shared.snapshot().core_map()),
+            );
+            shared.shutdown.store(true, Ordering::SeqCst);
+            false
+        }
+        _ => unreachable!("job kinds are routed to admit"),
+    }
+}
+
+/// `drain-shard`: planned removal. Stop routing to the shard, ask it to
+/// shut down gracefully, wait for its in-flight terminal replies to
+/// flow back over the job connection, and let the shed-back envelopes
+/// re-dispatch as they arrive. The ack carries the shard's own final
+/// (balanced) counters.
+fn drain_shard(shared: &Arc<SharedRouter>, reply: &Reply, req: &Request) {
+    let idx = req
+        .params
+        .get("shard")
+        .and_then(|v| v.parse::<usize>().ok());
+    let Some(idx) = idx.filter(|&i| i < shared.shards.len()) else {
+        bump(&shared.counters.rejected, "router_rejected");
+        reply.send(
+            &Response::new(&req.id, Status::Error)
+                .with_reason("rejected: drain-shard requires params.shard = <index>"),
+        );
+        return;
+    };
+    let shard = &shared.shards[idx];
+    if shard.state.load(Ordering::SeqCst) >= DRAINING {
+        bump(&shared.counters.rejected, "router_rejected");
+        reply.send(&Response::new(&req.id, Status::Error).with_reason(&format!(
+            "rejected: shard {idx} is already draining or dead"
+        )));
+        return;
+    }
+    shard.state.store(DRAINING, Ordering::SeqCst);
+    let ack = control_roundtrip(
+        &shard.addr,
+        &Request::new("drain", Kind::Shutdown),
+        Duration::from_secs(20),
+        shared.cfg.max_line_bytes,
+    );
+    // The shard acked on a separate connection; give the job-connection
+    // reader a moment to absorb the terminal/shed replies that are
+    // already buffered, so the death sweep below finds (almost) nothing
+    // to re-dispatch. Jobs it still finds re-dispatch correctly — the
+    // idempotency layer keeps the count exact either way.
+    let waited = Instant::now();
+    while waited.elapsed() < Duration::from_secs(2) {
+        let any_here = {
+            let pending = shared.pending.lock().unwrap();
+            let jobs: Vec<SharedJob> = pending.values().cloned().collect();
+            drop(pending);
+            jobs.iter().any(|j| {
+                let st = j.lock().unwrap();
+                !st.settled && st.shard == idx
+            })
+        };
+        if !any_here {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    if ack.is_some() {
+        reap_acked_child(shard);
+    }
+    on_shard_down(shared, idx);
+    match ack {
+        Some(shard_ack) => {
+            shared.shard_acks.lock().unwrap()[idx] = Some(shard_ack.result.clone());
+            let mut m = shard_ack.result;
+            m.insert("shard".into(), idx.to_string());
+            reply.send(&Response::new(&req.id, Status::Ok).with_result(m));
+        }
+        None => {
+            reply.send(&Response::new(&req.id, Status::Error).with_reason(&format!(
+                "shard {idx} did not acknowledge its drain (marked dead; jobs re-dispatched)"
+            )));
+        }
+    }
+}
+
+/// `kill-shard`: chaos verb. SIGKILL one seeded-chosen spawned live
+/// shard; the reply-reader's EOF triggers the orphan re-dispatch.
+fn kill_shard(shared: &Arc<SharedRouter>, reply: &Reply, req: &Request) {
+    let seed = req
+        .params
+        .get("seed")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(shared.cfg.seed);
+    let victims: Vec<usize> = shared
+        .shards
+        .iter()
+        .filter(|s| s.state.load(Ordering::SeqCst) < DRAINING && s.child.lock().unwrap().is_some())
+        .map(|s| s.idx)
+        .collect();
+    if victims.is_empty() {
+        bump(&shared.counters.rejected, "router_rejected");
+        reply.send(
+            &Response::new(&req.id, Status::Error)
+                .with_reason("rejected: no spawned live shards to kill"),
+        );
+        return;
+    }
+    let victim = victims[(splitmix64(seed) % victims.len() as u64) as usize];
+    {
+        let mut child = shared.shards[victim].child.lock().unwrap();
+        if let Some(c) = child.as_mut() {
+            let _ = c.kill(); // SIGKILL on unix
+            let _ = c.wait();
+        }
+    }
+    bump(&shared.counters.shards_killed, "router_shards_killed");
+    let mut m = BTreeMap::new();
+    m.insert("victim".into(), victim.to_string());
+    reply.send(&Response::new(&req.id, Status::Ok).with_result(m));
+}

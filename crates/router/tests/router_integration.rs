@@ -1,0 +1,372 @@
+//! In-process fleet integration: a router over real `fmm-serve` shard
+//! handles (no child processes), plus adversarial fake shards feeding
+//! the router malformed replies. Every test closes over the fleet
+//! conservation law: `accepted == completed + errored + cancelled +
+//! deadline_exceeded`, with shed/rejected strictly pre-admission.
+
+use fmm_router::{RouterConfig, RouterHandle};
+use fmm_serve::proto::{Kind, Request, Response, Status};
+use fmm_serve::server::{ServerConfig, ServerHandle};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::Child;
+use std::thread;
+use std::time::Duration;
+
+fn start_shard(id: u64) -> ServerHandle {
+    ServerHandle::start(ServerConfig {
+        queue_depth: 16,
+        workers: 2,
+        shard_id: Some(id),
+        ..ServerConfig::default()
+    })
+    .expect("start in-process shard")
+}
+
+fn start_fleet(shards: usize, seed: u64) -> (Vec<ServerHandle>, RouterHandle) {
+    let handles: Vec<ServerHandle> = (0..shards).map(|i| start_shard(i as u64)).collect();
+    let cfg = RouterConfig {
+        shard_addrs: handles.iter().map(|h| h.addr().to_string()).collect(),
+        seed,
+        ..RouterConfig::default()
+    };
+    let procs: Vec<Option<Child>> = (0..shards).map(|_| None).collect();
+    let router = RouterHandle::start(cfg, procs).expect("start router");
+    (handles, router)
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let writer = TcpStream::connect(addr).expect("connect to router");
+        let reader = BufReader::new(writer.try_clone().expect("clone client stream"));
+        Client { writer, reader }
+    }
+
+    fn send(&mut self, req: &Request) {
+        let mut line = req.to_line();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes()).expect("send line");
+    }
+
+    fn recv(&mut self) -> Response {
+        let mut line = String::new();
+        assert!(
+            self.reader.read_line(&mut line).expect("read reply") > 0,
+            "router closed the connection mid-conversation"
+        );
+        Response::parse(line.trim_end()).expect("reply parses")
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Response {
+        self.send(req);
+        self.recv()
+    }
+}
+
+fn bounds_job(id: &str, n: usize) -> Request {
+    Request::new(id, Kind::Bounds)
+        .with_param("n", &n.to_string())
+        .with_param("m", "512")
+        .with_param("seed", &n.to_string())
+}
+
+#[test]
+fn distinct_specs_route_sticky_and_settle() {
+    let (shards, router) = start_fleet(2, 11);
+    let addr = router.addr().to_string();
+    let mut client = Client::connect(&addr);
+
+    let mut shard_of: BTreeMap<usize, String> = BTreeMap::new();
+    for i in 0..12 {
+        let resp = client.roundtrip(&bounds_job(&format!("j{i}"), 64 + i));
+        assert_eq!(resp.status, Status::Completed, "reason: {}", resp.reason);
+        assert_eq!(resp.id, format!("j{i}"), "reply must echo the client id");
+        assert_eq!(resp.result.get("attempts").map(String::as_str), Some("1"));
+        shard_of.insert(i, resp.result.get("shard").expect("shard tag").clone());
+    }
+    // The ring actually splits work: with 12 distinct specs over 2
+    // shards, both must have seen at least one job.
+    let distinct: std::collections::BTreeSet<&String> = shard_of.values().collect();
+    assert_eq!(distinct.len(), 2, "both shards should receive work");
+
+    // Same spec again (fresh id, so no idempotency dedup) lands on the
+    // same shard: routing is a pure function of the spec hash.
+    for i in 0..12 {
+        let resp = client.roundtrip(&bounds_job(&format!("again{i}"), 64 + i));
+        assert_eq!(resp.status, Status::Completed);
+        assert_eq!(resp.result.get("shard"), shard_of.get(&i));
+    }
+
+    drop(client);
+    let snap = router.shutdown_and_wait();
+    assert!(snap.balanced(), "fleet conservation law: {snap:?}");
+    assert_eq!(snap.accepted, 24);
+    assert_eq!(snap.completed, 24);
+    assert_eq!(snap.redispatched, 0);
+    for shard in shards {
+        assert!(shard.wait().balanced(), "shard conservation law");
+    }
+}
+
+#[test]
+fn duplicate_in_flight_spec_is_suppressed() {
+    let (shards, router) = start_fleet(2, 3);
+    let addr = router.addr().to_string();
+    let mut client = Client::connect(&addr);
+
+    let req = bounds_job("dup", 128);
+    let first = client.roundtrip(&req);
+    assert_eq!(first.status, Status::Completed);
+
+    // Same (spec hash, seed, client tag): recently settled, so the
+    // retransmit is refused instead of re-run.
+    let second = client.roundtrip(&req);
+    assert_eq!(second.status, Status::Error);
+    assert!(
+        second.reason.starts_with("rejected:") && second.reason.contains("duplicate"),
+        "unexpected reason: {}",
+        second.reason
+    );
+
+    // A different client tag for the same spec is a fresh job.
+    let third = client.roundtrip(&bounds_job("dup2", 128));
+    assert_eq!(third.status, Status::Completed);
+    assert_eq!(third.result.get("shard"), first.result.get("shard"));
+
+    drop(client);
+    let snap = router.shutdown_and_wait();
+    assert!(snap.balanced());
+    assert_eq!(snap.accepted, 2);
+    assert_eq!(snap.dup_suppressed, 1);
+    assert_eq!(snap.rejected, 1);
+    for shard in shards {
+        shard.wait();
+    }
+}
+
+#[test]
+fn drain_shard_conserves_inflight_jobs() {
+    let (shards, router) = start_fleet(2, 5);
+    let addr = router.addr().to_string();
+    let mut jobs = Client::connect(&addr);
+
+    // Six slow jobs pipelined so some are still in flight when the
+    // drain lands. Distinct seeds keep the idempotency keys distinct.
+    for i in 0..6 {
+        jobs.send(
+            &Request::new(&format!("slow{i}"), Kind::Io)
+                .with_param("sleep_ms", "150")
+                .with_param("seed", &i.to_string()),
+        );
+    }
+    thread::sleep(Duration::from_millis(30));
+
+    let mut control = Client::connect(&addr);
+    let drained =
+        control.roundtrip(&Request::new("drain0", Kind::DrainShard).with_param("shard", "0"));
+    // The in-process shard acks its drain with its own balanced
+    // counters; either way no job may be lost.
+    assert!(
+        drained.status == Status::Ok || drained.status == Status::Error,
+        "drain reply: {drained:?}"
+    );
+
+    let mut statuses = Vec::new();
+    for _ in 0..6 {
+        let resp = jobs.recv();
+        assert!(
+            resp.is_terminal_job_reply(),
+            "every admitted job must settle terminally: {resp:?}"
+        );
+        statuses.push(resp.status);
+    }
+
+    // Post-drain the fleet still serves: shard 0 is gone, shard 1 takes
+    // everything.
+    let after = control.roundtrip(&bounds_job("after", 256));
+    assert_eq!(after.status, Status::Completed);
+
+    let stats = control.roundtrip(&Request::new("fs", Kind::FleetStats));
+    assert_eq!(stats.status, Status::Ok);
+    assert_eq!(
+        stats.result.get("shard0_state").map(String::as_str),
+        Some("dead")
+    );
+
+    drop(jobs);
+    drop(control);
+    let snap = router.shutdown_and_wait();
+    assert!(snap.balanced(), "fleet conservation law: {snap:?}");
+    assert_eq!(snap.accepted, 7);
+    for shard in shards {
+        // Shard 0 already exited from the drain; wait() is idempotent
+        // on an exited server and returns its final counters.
+        assert!(shard.wait().balanced(), "shard conservation law");
+    }
+}
+
+/// A shard that answers every forwarded job with a storm of garbage —
+/// non-JSON, an oversized line, an unknown status verb, a reply whose
+/// envelope id is unparseable — before finally settling it properly.
+/// The router must count the garbage and keep routing, never wedge.
+fn garbage_shard(listener: TcpListener, max_line_bytes: usize) {
+    thread::spawn(move || {
+        // First connection is the router's persistent dispatch/reply pipe.
+        let (conn, _) = listener.accept().expect("router connects");
+        let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+        thread::spawn(move || {
+            let mut writer = conn;
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match reader.read_line(&mut line) {
+                    Ok(0) | Err(_) => return,
+                    Ok(_) => {}
+                }
+                let req = match Request::parse(line.trim_end()) {
+                    Ok(r) => r,
+                    Err(_) => continue,
+                };
+                let mut storm = String::new();
+                storm.push_str("this is not json\n");
+                storm.push_str(&"z".repeat(max_line_bytes + 16));
+                storm.push('\n');
+                storm.push_str(&format!("{{\"id\":\"{}\",\"status\":\"wat\"}}\n", req.id));
+                storm.push_str("{\"id\":\"not-an-envelope\",\"status\":\"completed\"}\n");
+                let mut done = Response::new(&req.id, Status::Completed);
+                done.result.insert("io".into(), "0".into());
+                storm.push_str(&done.to_line());
+                storm.push('\n');
+                if writer.write_all(storm.as_bytes()).is_err() {
+                    return;
+                }
+            }
+        });
+        // Later connections are control roundtrips (health probes, the
+        // shutdown at drain). Ack them so the router's drain isn't left
+        // waiting on its 20s control timeout.
+        for conn in listener.incoming() {
+            let Ok(conn) = conn else { return };
+            thread::spawn(move || {
+                let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+                let mut writer = conn;
+                let mut line = String::new();
+                if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                    return;
+                }
+                let id = Request::parse(line.trim_end())
+                    .map(|r| r.id)
+                    .unwrap_or_default();
+                let mut ack = Response::new(&id, Status::Ok);
+                for k in [
+                    "accepted",
+                    "completed",
+                    "errored",
+                    "cancelled",
+                    "deadline_exceeded",
+                    "shed",
+                    "rejected",
+                ] {
+                    ack.result.insert(k.to_string(), "0".to_string());
+                }
+                let _ = writer.write_all(format!("{}\n", ack.to_line()).as_bytes());
+            });
+        }
+    });
+}
+
+#[test]
+fn malformed_shard_replies_never_wedge_the_router() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake shard");
+    let shard_addr = listener.local_addr().unwrap().to_string();
+    let max_line_bytes = 8 * 1024;
+    garbage_shard(listener, max_line_bytes);
+
+    let router = RouterHandle::start(
+        RouterConfig {
+            shard_addrs: vec![shard_addr],
+            seed: 9,
+            max_line_bytes,
+            // Keep the health poller quiet so the fake shard's reply
+            // storm is the only traffic.
+            poll_ms: 60_000,
+            ..RouterConfig::default()
+        },
+        vec![None],
+    )
+    .expect("start router");
+
+    let mut client = Client::connect(&router.addr().to_string());
+    for i in 0..3 {
+        let resp = client.roundtrip(&bounds_job(&format!("g{i}"), 300 + i));
+        assert_eq!(
+            resp.status,
+            Status::Completed,
+            "garbage must not cost the real reply: {resp:?}"
+        );
+    }
+
+    drop(client);
+    let snap = router.shutdown_and_wait();
+    assert!(snap.balanced(), "fleet conservation law: {snap:?}");
+    assert_eq!(snap.completed, 3);
+    // Per job: non-JSON line, oversized line, unknown status, bogus
+    // envelope id — all counted, none fatal.
+    assert!(
+        snap.malformed_shard_replies >= 9,
+        "expected the garbage to be counted: {snap:?}"
+    );
+}
+
+#[test]
+fn dead_fleet_sheds_instead_of_losing_jobs() {
+    // A shard that accepts the router's persistent connection and
+    // immediately hangs up: the reader sees EOF, the shard goes dead.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake shard");
+    let shard_addr = listener.local_addr().unwrap().to_string();
+    thread::spawn(move || {
+        for conn in listener.incoming() {
+            drop(conn);
+        }
+    });
+
+    let router = RouterHandle::start(
+        RouterConfig {
+            shard_addrs: vec![shard_addr],
+            seed: 2,
+            poll_ms: 60_000,
+            ..RouterConfig::default()
+        },
+        vec![None],
+    )
+    .expect("start router");
+
+    let mut client = Client::connect(&router.addr().to_string());
+    // Wait for the router to notice the hangup, then submit: the job is
+    // either shed pre-dispatch (no live shards) or dispatched into the
+    // dead connection and re-dispatched until the attempt budget turns
+    // it into a shed — never silently dropped.
+    thread::sleep(Duration::from_millis(50));
+    let resp = client.roundtrip(&bounds_job("doomed", 77));
+    assert_eq!(resp.status, Status::Shed, "reply: {resp:?}");
+
+    let health = client.roundtrip(&Request::new("h", Kind::Health));
+    assert_eq!(health.status, Status::Ok);
+    assert_eq!(
+        health.result.get("shards_live").map(String::as_str),
+        Some("0")
+    );
+
+    drop(client);
+    let snap = router.shutdown_and_wait();
+    assert!(snap.balanced());
+    assert_eq!(snap.accepted, 0, "shed jobs must roll accepted back");
+    assert_eq!(snap.shed, 1);
+    assert_eq!(snap.shards_dead, 1);
+}

@@ -16,6 +16,7 @@ use crate::proto::{Kind, Request, Response, Status};
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// What to throw at the server.
 #[derive(Clone, Debug)]
@@ -47,6 +48,15 @@ pub struct LoadgenConfig {
     /// After everything: send `shutdown` and record the server's final
     /// counters.
     pub shutdown: bool,
+    /// Drive a `fastmm fleet` router rather than a single server. The
+    /// wire protocol is identical; the flag gates fleet-only chaos
+    /// (`kill_shard_after`) and documents intent in the CLI.
+    pub fleet: bool,
+    /// Fleet chaos: once this many requests have been sent (summed over
+    /// all connections), send one `kill-shard` verb — the router
+    /// SIGKILLs a seeded-chosen shard mid-run and must re-dispatch its
+    /// orphans so the run still loses nothing.
+    pub kill_shard_after: Option<usize>,
 }
 
 impl Default for LoadgenConfig {
@@ -64,6 +74,8 @@ impl Default for LoadgenConfig {
             oversized_bytes: 70_000,
             burst: None,
             shutdown: false,
+            fleet: false,
+            kill_shard_after: None,
         }
     }
 }
@@ -85,6 +97,9 @@ pub struct Summary {
     /// Shed replies within the burst phase alone (deterministic:
     /// `burst - queue_depth` for a paused server).
     pub burst_shed: u64,
+    /// Acknowledged `kill-shard` verbs (deterministic: 1 when
+    /// `kill_shard_after` was set, else 0).
+    pub killed: u64,
     /// The server's own final counters from the shutdown ack, when
     /// `shutdown` was requested.
     pub server_counters: BTreeMap<String, String>,
@@ -108,6 +123,7 @@ impl PartialEq for Summary {
             && self.lost == other.lost
             && self.mismatched == other.mismatched
             && self.burst_shed == other.burst_shed
+            && self.killed == other.killed
             && self.server_counters == other.server_counters
     }
 }
@@ -126,6 +142,7 @@ impl Summary {
         self.lost += other.lost;
         self.mismatched += other.mismatched;
         self.burst_shed += other.burst_shed;
+        self.killed += other.killed;
         self.trace_ids.extend(other.trace_ids.iter().cloned());
         self.trace_ids.sort();
     }
@@ -184,7 +201,7 @@ impl Summary {
         let mut out = format!(
             "{{\"sent\":{},\"completed\":{},\"shed\":{},\"errored\":{},\"cancelled\":{},\
              \"deadline_exceeded\":{},\"rejected\":{},\"lost\":{},\"mismatched\":{},\
-             \"burst_shed\":{},\"ok\":{}",
+             \"burst_shed\":{},\"killed\":{},\"ok\":{}",
             self.sent,
             self.completed,
             self.shed,
@@ -195,6 +212,7 @@ impl Summary {
             self.lost,
             self.mismatched,
             self.burst_shed,
+            self.killed,
             // 1/0 rather than true/false: stays inside the value shapes
             // fmm_obs::json::parse_line understands.
             u64::from(self.ok())
@@ -299,14 +317,16 @@ impl Conn {
     }
 }
 
-/// One closed-loop connection: send, await the reply, repeat.
-fn conn_worker(cfg: &LoadgenConfig, conn_idx: usize) -> Result<Summary, String> {
+/// One closed-loop connection: send, await the reply, repeat. `sent`
+/// is the run-wide send counter the kill-shard watcher triggers on.
+fn conn_worker(cfg: &LoadgenConfig, conn_idx: usize, sent: &AtomicU64) -> Result<Summary, String> {
     let mut conn = Conn::open(&cfg.addr)?;
     let mut s = Summary::default();
     for i in 0..cfg.requests {
         let req = pick_request(cfg, conn_idx, i);
         conn.send(&req)?;
         s.sent += 1;
+        sent.fetch_add(1, Ordering::Relaxed);
         match conn.recv()? {
             Some(resp) => s.classify(&req.id, &resp),
             None => {
@@ -388,24 +408,67 @@ fn shutdown_phase(cfg: &LoadgenConfig, summary: &mut Summary) -> Result<(), Stri
     }
 }
 
+/// Chaos watcher: wait until the run-wide send count crosses the
+/// threshold (or the chaos phase ends first — a tiny run still gets its
+/// kill), then tell the router to SIGKILL one seeded-chosen shard.
+fn kill_shard_phase(
+    cfg: &LoadgenConfig,
+    after: usize,
+    sent: &AtomicU64,
+    done: &AtomicBool,
+) -> Result<Summary, String> {
+    while (sent.load(Ordering::Relaxed) as usize) < after && !done.load(Ordering::Relaxed) {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let mut conn = Conn::open(&cfg.addr)?;
+    conn.send(
+        &Request::new("chaos-kill", Kind::KillShard).with_param("seed", &cfg.seed.to_string()),
+    )?;
+    match conn.recv()? {
+        Some(resp) if resp.status == Status::Ok => Ok(Summary {
+            killed: 1,
+            ..Summary::default()
+        }),
+        other => Err(format!("kill-shard not acknowledged: {other:?}")),
+    }
+}
+
 /// Run the full scenario. `Err` means the scenario could not be driven
 /// (connection refused, protocol breakdown) — distinct from a driven run
 /// whose invariants failed, which returns `Ok` with `summary.ok() == false`.
 pub fn run(cfg: &LoadgenConfig) -> Result<Summary, String> {
     let mut summary = Summary::default();
-    let results: Vec<Result<Summary, String>> = std::thread::scope(|scope| {
+    let sent = AtomicU64::new(0);
+    let done = AtomicBool::new(false);
+    let (results, kill_result) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.conns)
-            .map(|c| scope.spawn(move || conn_worker(cfg, c)))
+            .map(|c| {
+                let sent = &sent;
+                scope.spawn(move || conn_worker(cfg, c, sent))
+            })
             .collect();
-        handles
+        let killer = cfg.kill_shard_after.map(|after| {
+            let (sent, done) = (&sent, &done);
+            scope.spawn(move || kill_shard_phase(cfg, after, sent, done))
+        });
+        let results: Vec<Result<Summary, String>> = handles
             .into_iter()
             .map(|h| {
                 h.join()
                     .unwrap_or_else(|_| Err("loadgen connection thread panicked".to_string()))
             })
-            .collect()
+            .collect();
+        done.store(true, Ordering::Relaxed);
+        let kill_result = killer.map(|h| {
+            h.join()
+                .unwrap_or_else(|_| Err("loadgen kill-shard thread panicked".to_string()))
+        });
+        (results, kill_result)
     });
     for r in results {
+        summary.absorb(&r?);
+    }
+    if let Some(r) = kill_result {
         summary.absorb(&r?);
     }
     if let Some(burst) = cfg.burst {

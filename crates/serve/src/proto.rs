@@ -14,6 +14,7 @@
 
 use fmm_obs::json::{escape, parse_line, Value};
 use std::collections::BTreeMap;
+use std::io::{BufRead, Read};
 
 /// Request kinds. Jobs go through the bounded queue; control kinds are
 /// answered inline by the connection thread.
@@ -37,6 +38,14 @@ pub enum Kind {
     Resume,
     /// Graceful drain: stop admission, finish in-flight, reply, exit.
     Shutdown,
+    /// Router-level counter snapshot (fleet only; a single shard rejects
+    /// it).
+    FleetStats,
+    /// Planned removal of one shard: stop routing to it, drain it, and
+    /// re-dispatch whatever it sheds back (fleet only).
+    DrainShard,
+    /// Chaos verb: SIGKILL one seeded-chosen spawned shard (fleet only).
+    KillShard,
 }
 
 impl Kind {
@@ -51,6 +60,9 @@ impl Kind {
             "pause" => Kind::Pause,
             "resume" => Kind::Resume,
             "shutdown" => Kind::Shutdown,
+            "fleet-stats" => Kind::FleetStats,
+            "drain-shard" => Kind::DrainShard,
+            "kill-shard" => Kind::KillShard,
             _ => return None,
         })
     }
@@ -66,6 +78,9 @@ impl Kind {
             Kind::Pause => "pause",
             Kind::Resume => "resume",
             Kind::Shutdown => "shutdown",
+            Kind::FleetStats => "fleet-stats",
+            Kind::DrainShard => "drain-shard",
+            Kind::KillShard => "kill-shard",
         }
     }
 
@@ -313,6 +328,42 @@ impl Response {
     }
 }
 
+/// Read one bounded line into `buf`. Returns `false` on EOF/error (the
+/// stream is done), `true` with `oversized` flagged when the line blew
+/// the limit (the remainder has been consumed so the stream stays
+/// framed). Shared by the server's connection reader, the router's
+/// front-end, and the router's shard-reply readers — every party that
+/// must survive an arbitrarily long line from the other side.
+pub fn read_bounded_line<R: BufRead>(
+    reader: &mut R,
+    buf: &mut Vec<u8>,
+    max: usize,
+    oversized: &mut bool,
+) -> bool {
+    buf.clear();
+    *oversized = false;
+    match reader
+        .by_ref()
+        .take((max + 1) as u64)
+        .read_until(b'\n', buf)
+    {
+        Ok(0) | Err(_) => return false,
+        Ok(_) => {}
+    }
+    if buf.len() > max {
+        *oversized = true;
+        // Swallow the rest of the line so the stream stays framed.
+        while !buf.ends_with(b"\n") {
+            buf.clear();
+            match reader.by_ref().take(4096).read_until(b'\n', buf) {
+                Ok(0) | Err(_) => return false,
+                Ok(_) => {}
+            }
+        }
+    }
+    true
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -376,8 +427,18 @@ mod tests {
             Kind::Pause,
             Kind::Resume,
             Kind::Shutdown,
+            Kind::FleetStats,
+            Kind::DrainShard,
+            Kind::KillShard,
         ] {
             assert_eq!(Kind::parse(kind.as_str()), Some(kind));
+            assert_eq!(
+                kind.is_job(),
+                matches!(
+                    kind,
+                    Kind::Io | Kind::Bounds | Kind::Faults | Kind::SweepCell
+                )
+            );
         }
         for status in [
             Status::Completed,

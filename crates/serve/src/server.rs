@@ -24,12 +24,12 @@
 //! join, and remaining connections are closed.
 
 use crate::jobs::JobSpec;
-use crate::proto::{Request, Response, Status};
+use crate::proto::{read_bounded_line, Request, Response, Status};
 use crate::queue::{BoundedQueue, PushError};
 use fmm_faults::{cancel, splitmix64, CancelReason, CancelToken};
 use fmm_obs::Histogram;
 use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -53,8 +53,15 @@ pub struct ServerConfig {
     pub max_line_bytes: usize,
     /// Seed mixed into per-job trace ids: job `seq` gets trace id
     /// `splitmix64(trace_seed + seq)`, echoed in every terminal reply as
-    /// `trace_id` and attached to every span the job records.
+    /// `trace_id` and attached to every span the job records. A request
+    /// carrying its own `trace_id` param (16 hex digits — the router's
+    /// propagation) overrides the generated id, so the shard's spans
+    /// join the caller's trace.
     pub trace_seed: u64,
+    /// This server's identity within a fleet, echoed in `health` and
+    /// `stats` replies so the router can attribute probes. `None` for a
+    /// standalone server.
+    pub shard_id: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -66,6 +73,7 @@ impl Default for ServerConfig {
             default_deadline_ms: None,
             max_line_bytes: 64 * 1024,
             trace_seed: 0,
+            shard_id: None,
         }
     }
 }
@@ -166,9 +174,13 @@ struct Job {
     token: CancelToken,
     reply: Reply,
     admitted: Instant,
-    /// Trace id: `splitmix64(trace_seed + seq)`, never 0 (0 means "no
-    /// trace" to the span layer).
+    /// Trace id: `splitmix64(trace_seed + seq)` — or the request's own
+    /// `trace_id` param when present — never 0 (0 means "no trace" to
+    /// the span layer).
     trace: u64,
+    /// Remote parent span id (the router's `route.<kind>` span,
+    /// propagated as the `parent_span` param); 0 when absent.
+    parent_span: u64,
 }
 
 struct Shared {
@@ -262,6 +274,12 @@ impl ServerHandle {
 
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.stats.snapshot()
+    }
+
+    /// Deepest the admission queue has ever been (the `queue_depth_hwm`
+    /// key of the `stats` control reply, surfaced for bench extras).
+    pub fn queue_depth_hwm(&self) -> u64 {
+        self.shared.queue_hwm.load(Ordering::SeqCst)
     }
 
     /// Programmatic equivalent of the `shutdown` control message.
@@ -364,6 +382,7 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
         reply,
         admitted,
         trace,
+        parent_span,
     } = job;
     // A job whose deadline expired while queued is never started.
     let (status, reason, result) = match token.reason() {
@@ -387,6 +406,11 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
             // under the job's trace id; the root span is the tree's top.
             let _tracing = fmm_obs::span::trace_scope(trace);
             let mut root = fmm_obs::Span::enter(spec.span_name());
+            if parent_span != 0 {
+                // The logical parent is the router's route span in
+                // another process; the merged trace tree links them.
+                root.set_parent(parent_span);
+            }
             let outcome = catch_unwind(AssertUnwindSafe(|| spec.run()));
             if let Ok(Ok(map)) = &outcome {
                 for key in SPAN_FIELD_KEYS {
@@ -443,39 +467,6 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
         resp = resp.with_reason(&reason);
     }
     reply.send(&resp);
-}
-
-/// Read one bounded line into `buf`. Returns `false` on EOF/error (the
-/// connection is done), `true` with `oversized` flagged when the line
-/// blew the limit (the remainder has been consumed).
-fn read_bounded_line(
-    reader: &mut BufReader<TcpStream>,
-    buf: &mut Vec<u8>,
-    max: usize,
-    oversized: &mut bool,
-) -> bool {
-    buf.clear();
-    *oversized = false;
-    match reader
-        .by_ref()
-        .take((max + 1) as u64)
-        .read_until(b'\n', buf)
-    {
-        Ok(0) | Err(_) => return false,
-        Ok(_) => {}
-    }
-    if buf.len() > max {
-        *oversized = true;
-        // Swallow the rest of the line so the stream stays framed.
-        while !buf.ends_with(b"\n") {
-            buf.clear();
-            match reader.by_ref().take(4096).read_until(b'\n', buf) {
-                Ok(0) | Err(_) => return false,
-                Ok(_) => {}
-            }
-        }
-    }
-    true
 }
 
 fn conn_loop(shared: &Arc<Shared>, stream: TcpStream) {
@@ -546,10 +537,25 @@ fn admit_job(shared: &Arc<Shared>, reply: &Reply, req: Request) {
         None => CancelToken::new(),
     };
     let seq = shared.job_seq.fetch_add(1, Ordering::SeqCst);
-    let trace = match splitmix64(shared.cfg.trace_seed.wrapping_add(seq)) {
-        0 => 1, // 0 is the span layer's "no trace" sentinel
-        t => t,
-    };
+    // A propagated trace id (16 hex digits, from the router) wins over
+    // the locally generated one; malformed values fall back silently —
+    // tracing must never fail a job.
+    let trace = req
+        .params
+        .get("trace_id")
+        .and_then(|v| u64::from_str_radix(v, 16).ok())
+        .filter(|&t| t != 0)
+        .unwrap_or_else(
+            || match splitmix64(shared.cfg.trace_seed.wrapping_add(seq)) {
+                0 => 1, // 0 is the span layer's "no trace" sentinel
+                t => t,
+            },
+        );
+    let parent_span = req
+        .params
+        .get("parent_span")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
     let job = Job {
         id: req.id.clone(),
         spec,
@@ -557,6 +563,7 @@ fn admit_job(shared: &Arc<Shared>, reply: &Reply, req: Request) {
         reply: reply.clone(),
         admitted: Instant::now(),
         trace,
+        parent_span,
     };
     // Count acceptance *before* the push (and roll back on refusal) so
     // the drain condition `accepted == terminal` can never observe a
@@ -603,11 +610,17 @@ fn handle_control(shared: &Arc<Shared>, reply: &Reply, req: &Request) -> bool {
                 "draining".into(),
                 shared.draining.load(Ordering::SeqCst).to_string(),
             );
+            if let Some(id) = shared.cfg.shard_id {
+                m.insert("shard_id".into(), id.to_string());
+            }
             reply.send(&Response::new(&req.id, Status::Ok).with_result(m));
             true
         }
         Kind::Stats => {
             let mut m = shared.stats.snapshot().as_map();
+            if let Some(id) = shared.cfg.shard_id {
+                m.insert("shard_id".into(), id.to_string());
+            }
             m.insert(
                 "queue_depth_hwm".into(),
                 shared.queue_hwm.load(Ordering::SeqCst).to_string(),
@@ -652,6 +665,17 @@ fn handle_control(shared: &Arc<Shared>, reply: &Reply, req: &Request) -> bool {
             );
             shared.shutdown.store(true, Ordering::SeqCst);
             false
+        }
+        Kind::FleetStats | Kind::DrainShard | Kind::KillShard => {
+            // Fleet verbs exist in the shared protocol so the router can
+            // parse them, but a single shard must answer — not wedge, not
+            // panic — when one arrives directly.
+            shared.stats.bump(&shared.stats.rejected, "serve_rejected");
+            reply.send(&Response::new(&req.id, Status::Error).with_reason(&format!(
+                "rejected: '{}' is a fleet verb (send it to a fastmm fleet router)",
+                req.kind.as_str()
+            )));
+            true
         }
         _ => unreachable!("job kinds are routed to admit_job"),
     }

@@ -1,0 +1,245 @@
+//! Property tests for the wire protocol: framing and parsing must hold
+//! up under arbitrary ids/params, truncated and oversized frames, and
+//! interleaved control verbs. The router's shard-reply reader trusts
+//! exactly these guarantees — a malformed or unknown-verb reply must
+//! parse to an error, never a panic, and must never desynchronise the
+//! line framing of whatever follows it.
+
+use fmm_serve::proto::{read_bounded_line, Kind, Request, Response, Status};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::io::BufReader;
+
+const ALL_KINDS: [Kind; 12] = [
+    Kind::Io,
+    Kind::Bounds,
+    Kind::Faults,
+    Kind::SweepCell,
+    Kind::Health,
+    Kind::Stats,
+    Kind::Pause,
+    Kind::Resume,
+    Kind::Shutdown,
+    Kind::FleetStats,
+    Kind::DrainShard,
+    Kind::KillShard,
+];
+
+const ALL_STATUSES: [Status; 6] = [
+    Status::Completed,
+    Status::Shed,
+    Status::Error,
+    Status::Cancelled,
+    Status::DeadlineExceeded,
+    Status::Ok,
+];
+
+/// Alphabet for generated strings: plain text plus every character the
+/// escaper has to work for — quotes, backslashes, braces, colons,
+/// newlines, tabs, a C0 control, and multi-byte unicode.
+const CHARSET: [char; 24] = [
+    'a', 'b', 'z', 'A', 'Z', '0', '9', '_', '-', ' ', '.', ',', '"', '\\', '{', '}', ':', '[',
+    '\n', '\t', '\u{1}', 'é', '∑', '🦀',
+];
+
+fn nasty_string(max_len: usize) -> impl Strategy<Value = String> {
+    collection::vec(0usize..CHARSET.len(), 0..max_len)
+        .prop_map(|picks| picks.into_iter().map(|i| CHARSET[i]).collect())
+}
+
+/// Arbitrary string→string map in the flat-object dialect.
+fn params_map() -> impl Strategy<Value = BTreeMap<String, String>> {
+    collection::vec((nasty_string(8), nasty_string(12)), 0..4)
+        .prop_map(|pairs| pairs.into_iter().collect())
+}
+
+fn any_kind() -> impl Strategy<Value = Kind> {
+    (0usize..ALL_KINDS.len()).prop_map(|i| ALL_KINDS[i])
+}
+
+fn any_request() -> impl Strategy<Value = Request> {
+    (
+        collection::vec(0usize..36, 1..12).prop_map(|picks| {
+            picks
+                .into_iter()
+                .map(|i| char::from_digit(i as u32, 36).unwrap())
+                .collect()
+        }),
+        any_kind(),
+        (proptest::bool::ANY, 0u64..100_000).prop_map(|(some, ms)| some.then_some(ms)),
+        params_map(),
+    )
+        .prop_map(|(id, kind, deadline_ms, params)| Request {
+            id,
+            kind,
+            deadline_ms,
+            params,
+        })
+}
+
+fn any_response() -> impl Strategy<Value = Response> {
+    (
+        nasty_string(8),
+        (0usize..ALL_STATUSES.len()).prop_map(|i| ALL_STATUSES[i]),
+        nasty_string(16),
+        params_map(),
+    )
+        .prop_map(|(id, status, reason, result)| Response {
+            id,
+            status,
+            reason,
+            result,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any request — job or control, nasty unicode params included —
+    /// survives its own serialisation.
+    #[test]
+    fn request_round_trips(req in any_request()) {
+        let line = req.to_line();
+        prop_assert!(!line.contains('\n'), "to_line must stay one line");
+        let parsed = Request::parse(&line).unwrap();
+        prop_assert_eq!(parsed, req);
+    }
+
+    /// Any response survives its own serialisation, and terminality is
+    /// a function of the wire form, not the in-memory one.
+    #[test]
+    fn response_round_trips(resp in any_response()) {
+        let line = resp.to_line();
+        prop_assert!(!line.contains('\n'), "to_line must stay one line");
+        let parsed = Response::parse(&line).unwrap();
+        prop_assert_eq!(parsed.is_terminal_job_reply(), resp.is_terminal_job_reply());
+        prop_assert_eq!(parsed, resp);
+    }
+
+    /// Truncating a valid frame at any byte never panics the parser,
+    /// and a strict prefix never parses as a *different* request.
+    #[test]
+    fn truncated_frames_never_panic(req in any_request(), cut in 0usize..1000) {
+        let line = req.to_line();
+        let mut end = cut % (line.len() + 1);
+        while !line.is_char_boundary(end) {
+            end -= 1;
+        }
+        let prefix = &line[..end];
+        match Request::parse(prefix) {
+            Ok(parsed) => prop_assert_eq!(parsed, req, "a prefix parsed as something else"),
+            Err(e) => prop_assert!(!e.is_empty(), "error must be reportable"),
+        }
+    }
+
+    /// Unknown-verb and unknown-status replies (the router's shard-reply
+    /// hazard) parse to an error, never a panic.
+    #[test]
+    fn unknown_verbs_and_statuses_are_errors(
+        picks in collection::vec(0usize..27, 1..14),
+        id_digit in 0u32..36,
+    ) {
+        let word: String = picks
+            .into_iter()
+            .map(|i| if i == 26 { '-' } else { (b'a' + i as u8) as char })
+            .collect();
+        let id = char::from_digit(id_digit, 36).unwrap();
+        if Kind::parse(&word).is_none() {
+            prop_assert!(Request::parse(
+                &format!("{{\"id\":\"{id}\",\"kind\":\"{word}\"}}")
+            ).is_err());
+        }
+        if Status::parse(&word).is_none() {
+            prop_assert!(Response::parse(
+                &format!("{{\"id\":\"{id}\",\"status\":\"{word}\"}}")
+            ).is_err());
+        }
+    }
+
+    /// Arbitrary text on the wire never panics either parser.
+    #[test]
+    fn garbage_never_panics(line in nasty_string(64)) {
+        let _ = Request::parse(&line);
+        let _ = Response::parse(&line);
+    }
+
+    /// Framing survives any mix of line lengths: every line comes back
+    /// in order, oversized ones are flagged with the remainder swallowed
+    /// so the *next* line is still intact.
+    #[test]
+    fn bounded_reader_keeps_framing(
+        lines in collection::vec(
+            collection::vec(0u8..=255u8, 0..96).prop_map(|mut bytes| {
+                for b in &mut bytes {
+                    if *b == b'\n' {
+                        *b = b'x';
+                    }
+                }
+                bytes
+            }),
+            1..12,
+        ),
+        max in 8usize..48,
+    ) {
+        let mut stream = Vec::new();
+        for line in &lines {
+            stream.extend_from_slice(line);
+            stream.push(b'\n');
+        }
+        let mut reader = BufReader::new(&stream[..]);
+        let mut buf = Vec::new();
+        let mut oversized = false;
+        for line in &lines {
+            prop_assert!(read_bounded_line(&mut reader, &mut buf, max, &mut oversized));
+            if line.len() + 1 > max {
+                prop_assert!(oversized, "long line must be flagged");
+            } else {
+                prop_assert!(!oversized);
+                prop_assert_eq!(&buf[..buf.len() - 1], &line[..], "short line must come back intact");
+            }
+        }
+        prop_assert!(!read_bounded_line(&mut reader, &mut buf, max, &mut oversized), "then EOF");
+    }
+
+    /// A stream interleaving job requests, control verbs, and oversized
+    /// garbage stays framed: every well-formed request is recovered
+    /// exactly, every garbage line is contained to itself.
+    #[test]
+    fn interleaved_control_verbs_stay_framed(
+        entries in collection::vec(
+            (proptest::bool::ANY, any_request())
+                .prop_map(|(junk, req)| if junk { None } else { Some(req) }),
+            1..10,
+        ),
+    ) {
+        const MAX: usize = 4096;
+        let mut stream = Vec::new();
+        for entry in &entries {
+            match entry {
+                Some(req) => {
+                    stream.extend_from_slice(req.to_line().as_bytes());
+                    stream.push(b'\n');
+                }
+                None => {
+                    stream.extend_from_slice(&vec![b'x'; MAX + 7]);
+                    stream.push(b'\n');
+                }
+            }
+        }
+        let mut reader = BufReader::new(&stream[..]);
+        let mut buf = Vec::new();
+        let mut oversized = false;
+        for entry in &entries {
+            prop_assert!(read_bounded_line(&mut reader, &mut buf, MAX, &mut oversized));
+            match entry {
+                Some(req) => {
+                    prop_assert!(!oversized);
+                    let line = std::str::from_utf8(&buf[..buf.len() - 1]).unwrap();
+                    prop_assert_eq!(&Request::parse(line).unwrap(), req);
+                }
+                None => prop_assert!(oversized, "junk line must be flagged, not leak onward"),
+            }
+        }
+        prop_assert!(!read_bounded_line(&mut reader, &mut buf, MAX, &mut oversized));
+    }
+}

@@ -18,8 +18,10 @@
 //! fastmm sweep    resume --spec table1 --out sweep_table1.jsonl
 //! fastmm sweep    report --file sweep_table1.jsonl [--bench BENCH_sweep.json]
 //! fastmm sweep    diff --base a.jsonl --cand b.jsonl [--tol 0.01]
-//! fastmm serve    [--addr 127.0.0.1:0] [--queue-depth 32] [--workers 2]
+//! fastmm serve    [--addr 127.0.0.1:0] [--queue-depth 32] [--workers 2] [--shard-id <i>]
+//! fastmm fleet    [--shards 3] [--addr 127.0.0.1:0] [--seed 0] [--attach a:p,b:p]
 //! fastmm loadgen  --addr HOST:PORT [--conns 4] [--requests 250] [--seed 1] [--burst 64] [--shutdown]
+//! fastmm loadgen  --addr HOST:PORT --fleet [--kill-shard-after 40] [--shutdown]
 //! ```
 //!
 //! Every command accepts a global `--metrics <path>` flag that enables
@@ -35,6 +37,7 @@
 
 use fastmm::cdag::dot::to_dot;
 use fastmm::cdag::RecursiveCdag;
+use fastmm::cli::{die, get_u64, get_usize, parse_flags};
 use fastmm::core::altbasis::{karstadt_schwartz, multiply_alt_counted};
 use fastmm::core::exec::multiply_fast_counted;
 use fastmm::core::{bounds, catalog, lemmas, Bilinear2x2};
@@ -52,7 +55,7 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 const USAGE: &str =
-    "usage: fastmm <multiply|bounds|verify|io|faults|pebble|dot|report|bench|sweep|serve|loadgen> [flags]\n\
+    "usage: fastmm <multiply|bounds|verify|io|faults|pebble|dot|report|bench|sweep|serve|fleet|loadgen> [flags]\n\
        global flags: --metrics <path.jsonl>  (collect full telemetry, write JSONL on exit)";
 
 const REPORT_USAGE: &str = "usage: fastmm report <metrics.jsonl>\n\
@@ -70,15 +73,34 @@ const BENCH_USAGE: &str = "usage: fastmm bench <run|diff|list> [flags]\n\
 const SERVE_USAGE: &str =
     "usage: fastmm serve [--addr 127.0.0.1:0] [--queue-depth 32] [--workers 2]\n\
        [--default-deadline-ms <ms>] [--max-line-bytes 65536] [--trace-seed <u64>]\n\
+       [--shard-id <i>] [--span-id-base <u64>]\n\
        Prints 'fastmm serve listening on HOST:PORT', serves until a client\n\
-       sends {\"kind\":\"shutdown\"}, then drains and exits 0.";
+       sends {\"kind\":\"shutdown\"}, then drains and exits 0. --shard-id tags\n\
+       health/stats replies when the server runs as a fleet shard;\n\
+       --span-id-base partitions span ids so merged fleet traces never\n\
+       collide.";
+
+const FLEET_USAGE: &str =
+    "usage: fastmm fleet [--shards 3] [--addr 127.0.0.1:0] [--queue-depth 32]\n\
+       [--workers 2] [--seed 0] [--default-deadline-ms <ms>] [--max-line-bytes 65536]\n\
+       [--poll-ms 100] [--max-attempts 5] [--attach host:port,...] [--shard-metrics-dir <dir>]\n\
+       Spawns N `fastmm serve` shard processes (or attaches to --attach\n\
+       addresses), routes jobs to shards by spec hash, prints\n\
+       'fastmm fleet listening on HOST:PORT (N shards)', serves until a client\n\
+       sends {\"kind\":\"shutdown\"}, drains every shard, and exits 0 iff the\n\
+       fleet-wide conservation law holds. Fleet-only verbs: fleet-stats,\n\
+       drain-shard (params.shard), kill-shard (chaos SIGKILL, params.seed).";
 
 const LOADGEN_USAGE: &str =
     "usage: fastmm loadgen --addr <host:port> [--conns 4] [--requests 250]\n\
        [--seed 1] [--poison-pct 10] [--oversized-pct 5] [--tiny-deadline-pct 5]\n\
        [--expensive-pct 10] [--deadline-ms 10000] [--burst <n>] [--shutdown]\n\
+       [--fleet] [--kill-shard-after <n>]\n\
        Drives a seeded chaos mix and prints a one-line JSON summary; exits\n\
-       nonzero if any request was lost or the server counters don't balance.";
+       nonzero if any request was lost or the server counters don't balance.\n\
+       --fleet targets a `fastmm fleet` router; --kill-shard-after N (fleet\n\
+       only) SIGKILLs one seeded-chosen shard once N requests are in flight\n\
+       and still demands zero lost replies.";
 
 const SWEEP_USAGE: &str = "usage: fastmm sweep <run|resume|report|diff|specs> [flags]\n\
        run    --spec <name> [--out <file>] [--seed <u64>] [--jobs <n>] [--max-cells <k>]\n\
@@ -93,67 +115,6 @@ const FAULTS_USAGE: &str =
        [--p <grid>] [--levels <k>] [--alg strassen|winograd] [--seed <u64>]\n\
        [--spec \"seed=7,crash=0.02,drop=0.01,dup=0.005,retries=8,crash@3:1\"]\n\
        [--recovery recompute|checkpoint:<period>|none]";
-
-/// Parse `--flag [value]` pairs, rejecting anything not in `allowed` —
-/// a misspelled flag must fail loudly, not silently run with defaults.
-/// Exits with status 2 on an unknown flag or a stray positional argument.
-fn parse_flags(args: &[String], allowed: &[&str]) -> HashMap<String, String> {
-    let mut flags = HashMap::new();
-    let mut it = args.iter().peekable();
-    while let Some(a) = it.next() {
-        let Some(name) = a.strip_prefix("--") else {
-            eprintln!("unexpected argument '{a}'");
-            eprintln!("{USAGE}");
-            std::process::exit(2);
-        };
-        if name != "metrics" && !allowed.contains(&name) {
-            let expected: Vec<String> = std::iter::once("--metrics".to_string())
-                .chain(allowed.iter().map(|f| format!("--{f}")))
-                .collect();
-            eprintln!(
-                "unknown flag '--{name}' (expected one of: {})",
-                expected.join(", ")
-            );
-            eprintln!("{USAGE}");
-            std::process::exit(2);
-        }
-        let value = match it.next_if(|v| !v.starts_with("--")) {
-            Some(v) => v.clone(),
-            None => "true".to_string(),
-        };
-        flags.insert(name.to_string(), value);
-    }
-    if flags.get("metrics").map(String::as_str) == Some("true") {
-        eprintln!("--metrics expects a file path");
-        std::process::exit(2);
-    }
-    if let Some(path) = flags.get("metrics") {
-        // Fail fast on an unwritable destination instead of running the
-        // whole command and losing the telemetry at exit. Append mode so
-        // the probe never clobbers an existing file.
-        if let Err(e) = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)
-        {
-            eprintln!("cannot open metrics path '{path}': {e}");
-            std::process::exit(2);
-        }
-    }
-    flags
-}
-
-fn get_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> usize {
-    flags
-        .get(key)
-        .map(|v| {
-            v.parse().unwrap_or_else(|_| {
-                eprintln!("--{key} expects a number, got '{v}'");
-                std::process::exit(2);
-            })
-        })
-        .unwrap_or(default)
-}
 
 fn algorithm(flags: &HashMap<String, String>) -> Bilinear2x2 {
     match flags.get("alg").map(String::as_str).unwrap_or("strassen") {
@@ -718,7 +679,11 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     };
     match verb.as_str() {
         "run" => {
-            let flags = parse_flags(&args[1..], &["profile", "out", "filter", "inject-slow"]);
+            let flags = parse_flags(
+                &args[1..],
+                &["profile", "out", "filter", "inject-slow"],
+                BENCH_USAGE,
+            );
             let profile = flags
                 .get("profile")
                 .map(|v| {
@@ -755,7 +720,11 @@ fn cmd_bench(args: &[String]) -> ExitCode {
             ExitCode::SUCCESS
         }
         "diff" => {
-            let flags = parse_flags(&args[1..], &["base", "cand", "tol", "warn-timing"]);
+            let flags = parse_flags(
+                &args[1..],
+                &["base", "cand", "tol", "warn-timing"],
+                BENCH_USAGE,
+            );
             let require = |key: &str| -> String {
                 flags.get(key).cloned().unwrap_or_else(|| {
                     eprintln!("bench diff requires --{key}");
@@ -793,7 +762,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
             }
         }
         "list" => {
-            parse_flags(&args[1..], &[]);
+            parse_flags(&args[1..], &[], BENCH_USAGE);
             let targets = all_targets();
             let width = targets.iter().map(|t| t.name.len()).max().unwrap_or(6);
             for t in &targets {
@@ -854,6 +823,7 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
                     "retry-cells",
                     "inject-hang",
                 ],
+                SWEEP_USAGE,
             );
             let spec = load_spec(&require(&flags, "spec"));
             let out = flags
@@ -929,7 +899,7 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
             }
         }
         "report" => {
-            let flags = parse_flags(&args[1..], &["file", "bench"]);
+            let flags = parse_flags(&args[1..], &["file", "bench"], SWEEP_USAGE);
             let path = require(&flags, "file");
             let (header, records) = match checkpoint::load(&path) {
                 Ok(x) => x,
@@ -951,7 +921,7 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
             ExitCode::SUCCESS
         }
         "diff" => {
-            let flags = parse_flags(&args[1..], &["base", "cand", "tol"]);
+            let flags = parse_flags(&args[1..], &["base", "cand", "tol"], SWEEP_USAGE);
             let base = require(&flags, "base");
             let cand = require(&flags, "cand");
             let tol: f64 = flags
@@ -979,7 +949,7 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
             }
         }
         "specs" => {
-            parse_flags(&args[1..], &[]);
+            parse_flags(&args[1..], &[], SWEEP_USAGE);
             for name in SweepSpec::builtin_names() {
                 let spec = SweepSpec::builtin(name).expect("builtin exists");
                 println!(
@@ -1021,6 +991,11 @@ fn write_metrics(path: &str) -> bool {
 
 fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
     use fastmm::serve::{ServerConfig, ServerHandle};
+    if flags.contains_key("span-id-base") {
+        // Fleet shards get disjoint span-id ranges so their span JSONL
+        // can be merged into one trace without id collisions.
+        fastmm::obs::span::set_span_id_base(get_u64(flags, "span-id-base", 0));
+    }
     let cfg = ServerConfig {
         addr: flags
             .get("addr")
@@ -1033,6 +1008,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
             .map(|_| get_usize(flags, "default-deadline-ms", 0) as u64),
         max_line_bytes: get_usize(flags, "max-line-bytes", 64 * 1024).max(1),
         trace_seed: get_usize(flags, "trace-seed", 0) as u64,
+        shard_id: flags.get("shard-id").map(|_| get_u64(flags, "shard-id", 0)),
     };
     let handle = match ServerHandle::start(cfg) {
         Ok(h) => h,
@@ -1091,7 +1067,25 @@ fn cmd_loadgen(flags: &HashMap<String, String>) -> ExitCode {
         oversized_bytes: defaults.oversized_bytes,
         burst: flags.get("burst").map(|_| get_usize(flags, "burst", 64)),
         shutdown: flags.contains_key("shutdown"),
+        fleet: flags.contains_key("fleet"),
+        kill_shard_after: flags
+            .get("kill-shard-after")
+            .map(|_| get_usize(flags, "kill-shard-after", 0)),
     };
+    if cfg.kill_shard_after.is_some() && !cfg.fleet {
+        die(
+            "--kill-shard-after is a fleet chaos flag; add --fleet",
+            LOADGEN_USAGE,
+        );
+    }
+    if cfg.fleet && cfg.burst.is_some() {
+        // The burst phase leans on pause/resume, which the router
+        // rejects (queue discipline is per-shard, not fleet-wide).
+        die(
+            "--burst drives a single server's pause/resume; drop it with --fleet",
+            LOADGEN_USAGE,
+        );
+    }
     match loadgen::run(&cfg) {
         Ok(summary) => {
             println!("{}", summary.to_json_line());
@@ -1110,6 +1104,181 @@ fn cmd_loadgen(flags: &HashMap<String, String>) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Spawn one `fastmm serve` shard and parse its banner for the bound
+/// address. The child's stdout stays attached to a drain thread for the
+/// shard's lifetime — the shard prints its drained-counters line at
+/// exit, and a closed pipe would turn that println into a panic.
+fn spawn_shard(
+    idx: usize,
+    queue_depth: usize,
+    workers: usize,
+    seed: u64,
+    metrics_dir: Option<&str>,
+) -> Result<(String, std::process::Child), String> {
+    use std::io::BufRead as _;
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("serve")
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .arg("--queue-depth")
+        .arg(queue_depth.to_string())
+        .arg("--workers")
+        .arg(workers.to_string())
+        .arg("--shard-id")
+        .arg(idx.to_string())
+        // Disjoint span-id ranges per shard, below 2^52 (span ids ride a
+        // JSON number parsed as f64).
+        .arg("--span-id-base")
+        .arg(((idx as u64 + 1) << 40).to_string())
+        .arg("--trace-seed")
+        .arg(seed.wrapping_add(idx as u64).to_string())
+        .stdout(std::process::Stdio::piped());
+    if let Some(dir) = metrics_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            return Err(format!("cannot create --shard-metrics-dir '{dir}': {e}"));
+        }
+        cmd.arg("--metrics").arg(format!("{dir}/shard{idx}.jsonl"));
+    }
+    let mut child = cmd.spawn().map_err(|e| format!("spawn shard {idx}: {e}"))?;
+    let stdout = child.stdout.take().expect("stdout was piped");
+    let mut reader = std::io::BufReader::new(stdout);
+    let addr = loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(format!("shard {idx} exited before printing its banner"));
+            }
+            Ok(_) => {
+                if let Some(rest) = line.trim().strip_prefix("fastmm serve listening on ") {
+                    break rest.to_string();
+                }
+            }
+        }
+    };
+    std::thread::spawn(move || {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => eprintln!("[shard {idx}] {}", line.trim_end()),
+            }
+        }
+    });
+    Ok((addr, child))
+}
+
+/// `fastmm fleet` — spawn (or attach to) N shards, run the router in the
+/// foreground, and at drain time assert the fleet-wide conservation law
+/// plus every acked shard's own law.
+fn cmd_fleet(flags: &HashMap<String, String>) -> ExitCode {
+    use fastmm::router::{RouterConfig, RouterHandle};
+    let seed = get_u64(flags, "seed", 0);
+    let (shard_addrs, procs): (Vec<String>, Vec<Option<std::process::Child>>) =
+        if let Some(list) = flags.get("attach") {
+            let addrs: Vec<String> = list
+                .split(',')
+                .map(str::trim)
+                .filter(|a| !a.is_empty())
+                .map(str::to_string)
+                .collect();
+            if addrs.is_empty() {
+                die("--attach expects host:port[,host:port...]", FLEET_USAGE);
+            }
+            let procs = addrs.iter().map(|_| None).collect();
+            (addrs, procs)
+        } else {
+            let shards = get_usize(flags, "shards", 3);
+            if shards == 0 {
+                die("--shards must be at least 1", FLEET_USAGE);
+            }
+            let queue_depth = get_usize(flags, "queue-depth", 32).max(1);
+            let workers = get_usize(flags, "workers", 2).max(1);
+            let metrics_dir = flags.get("shard-metrics-dir").map(String::as_str);
+            let mut addrs = Vec::with_capacity(shards);
+            let mut procs: Vec<Option<std::process::Child>> = Vec::with_capacity(shards);
+            for idx in 0..shards {
+                match spawn_shard(idx, queue_depth, workers, seed, metrics_dir) {
+                    Ok((addr, child)) => {
+                        addrs.push(addr);
+                        procs.push(Some(child));
+                    }
+                    Err(e) => {
+                        for p in procs.iter_mut().flatten() {
+                            let _ = p.kill();
+                            let _ = p.wait();
+                        }
+                        eprintln!("fleet: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            (addrs, procs)
+        };
+    let n = shard_addrs.len();
+    let cfg = RouterConfig {
+        addr: flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:0".to_string()),
+        shard_addrs,
+        seed,
+        default_deadline_ms: flags
+            .get("default-deadline-ms")
+            .map(|_| get_u64(flags, "default-deadline-ms", 0)),
+        max_line_bytes: get_usize(flags, "max-line-bytes", 64 * 1024).max(1),
+        poll_ms: get_u64(flags, "poll-ms", 100),
+        max_attempts: get_u64(flags, "max-attempts", 5).max(1) as u32,
+    };
+    let handle = match RouterHandle::start(cfg, procs) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("fleet: cannot start router: {e}");
+            eprintln!("{FLEET_USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    // The line CI (and humans) parse for the ephemeral port.
+    println!("fastmm fleet listening on {} ({n} shards)", handle.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let snap = handle.wait();
+    println!(
+        "fastmm fleet drained: accepted={} completed={} errored={} cancelled={} \
+         deadline_exceeded={} shed={} rejected={} redispatched={} dup_suppressed={} \
+         shards_killed={}",
+        snap.accepted,
+        snap.completed,
+        snap.errored,
+        snap.cancelled,
+        snap.deadline_exceeded,
+        snap.shed,
+        snap.rejected,
+        snap.redispatched,
+        snap.dup_suppressed,
+        snap.shards_killed
+    );
+    let acked = snap.shard_acks.iter().flatten().count();
+    println!(
+        "fastmm fleet shards: acked={acked}/{} accepted_sum={} completed_sum={}",
+        snap.shards,
+        snap.shards_sum("accepted"),
+        snap.shards_sum("completed")
+    );
+    if !snap.balanced() {
+        eprintln!("fleet: router counters do not balance after drain");
+        return ExitCode::FAILURE;
+    }
+    if !snap.shards_balanced() {
+        eprintln!("fleet: a shard's final counters do not balance");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -1162,46 +1331,78 @@ fn main() -> ExitCode {
         }
         return code;
     }
-    let allowed: &[&str] = match cmd.as_str() {
-        "multiply" => &["alg", "n", "cutoff", "seed"],
-        "bounds" => &["n", "m", "p"],
-        "verify" => &["n"],
-        "io" => &["alg", "n", "m", "seed", "policy", "faults"],
-        "faults" => &[
-            "schedule", "alg", "n", "p", "levels", "spec", "recovery", "seed",
-        ],
-        "pebble" => &[
-            "family", "m", "optimal", "len", "leaves", "rows", "cols", "n",
-        ],
-        "dot" => &["alg", "n", "out"],
-        "serve" => &[
-            "addr",
-            "queue-depth",
-            "workers",
-            "default-deadline-ms",
-            "max-line-bytes",
-            "trace-seed",
-        ],
-        "loadgen" => &[
-            "addr",
-            "conns",
-            "requests",
-            "seed",
-            "poison-pct",
-            "oversized-pct",
-            "tiny-deadline-pct",
-            "expensive-pct",
-            "deadline-ms",
-            "burst",
-            "shutdown",
-        ],
+    let (allowed, usage): (&[&str], &str) = match cmd.as_str() {
+        "multiply" => (&["alg", "n", "cutoff", "seed"], USAGE),
+        "bounds" => (&["n", "m", "p"], USAGE),
+        "verify" => (&["n"], USAGE),
+        "io" => (&["alg", "n", "m", "seed", "policy", "faults"], USAGE),
+        "faults" => (
+            &[
+                "schedule", "alg", "n", "p", "levels", "spec", "recovery", "seed",
+            ],
+            FAULTS_USAGE,
+        ),
+        "pebble" => (
+            &[
+                "family", "m", "optimal", "len", "leaves", "rows", "cols", "n",
+            ],
+            USAGE,
+        ),
+        "dot" => (&["alg", "n", "out"], USAGE),
+        "serve" => (
+            &[
+                "addr",
+                "queue-depth",
+                "workers",
+                "default-deadline-ms",
+                "max-line-bytes",
+                "trace-seed",
+                "shard-id",
+                "span-id-base",
+            ],
+            SERVE_USAGE,
+        ),
+        "fleet" => (
+            &[
+                "shards",
+                "addr",
+                "queue-depth",
+                "workers",
+                "seed",
+                "default-deadline-ms",
+                "max-line-bytes",
+                "poll-ms",
+                "max-attempts",
+                "attach",
+                "shard-metrics-dir",
+            ],
+            FLEET_USAGE,
+        ),
+        "loadgen" => (
+            &[
+                "addr",
+                "conns",
+                "requests",
+                "seed",
+                "poison-pct",
+                "oversized-pct",
+                "tiny-deadline-pct",
+                "expensive-pct",
+                "deadline-ms",
+                "burst",
+                "shutdown",
+                "fleet",
+                "kill-shard-after",
+            ],
+            LOADGEN_USAGE,
+        ),
         other => {
             eprintln!("unknown command '{other}'");
             eprintln!("{USAGE}");
             return ExitCode::from(2);
         }
     };
-    let flags = parse_flags(&args[1..], allowed);
+    let flags = parse_flags(&args[1..], allowed, usage);
     if flags.contains_key("metrics") {
         fastmm::obs::set_level(fastmm::obs::Level::Full);
     }
@@ -1226,6 +1427,7 @@ fn main() -> ExitCode {
         }
         "dot" => cmd_dot(&flags),
         "serve" => cmd_serve(&flags),
+        "fleet" => cmd_fleet(&flags),
         "loadgen" => cmd_loadgen(&flags),
         _ => unreachable!("command validated above"),
     };

@@ -1,0 +1,143 @@
+//! Shared CLI plumbing for the `fastmm` subcommands.
+//!
+//! Every subcommand (`serve`, `loadgen`, `bench`, `sweep`, `fleet`, …)
+//! parses the same `--flag [value]` grammar, wants the same "unknown flag
+//! fails loudly" behaviour, and reports usage errors the same way: one
+//! line on stderr, the relevant usage text, exit status 2. Those helpers
+//! accreted as near-identical copies inside `src/bin/fastmm.rs`; this
+//! module is the single shared implementation.
+//!
+//! Exit-2 semantics are deliberate: status 2 means "the command line was
+//! wrong", distinct from status 1 ("the command ran and its invariants
+//! failed"). CI scripts lean on the distinction.
+
+use std::collections::HashMap;
+
+/// One-line error + usage text, then exit 2. Never returns.
+pub fn die(message: &str, usage: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!("{usage}");
+    std::process::exit(2);
+}
+
+/// Parse `--flag [value]` pairs, rejecting anything not in `allowed` — a
+/// misspelled flag must fail loudly, not silently run with defaults.
+/// Exits with status 2 (printing `usage`) on an unknown flag or a stray
+/// positional argument.
+///
+/// The global `--metrics <path>` flag is always accepted; its path is
+/// validated up front (fail fast on an unwritable destination instead of
+/// running the whole command and losing the telemetry at exit).
+pub fn parse_flags(args: &[String], allowed: &[&str], usage: &str) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        let Some(name) = a.strip_prefix("--") else {
+            die(&format!("unexpected argument '{a}'"), usage);
+        };
+        if name != "metrics" && !allowed.contains(&name) {
+            let expected: Vec<String> = std::iter::once("--metrics".to_string())
+                .chain(allowed.iter().map(|f| format!("--{f}")))
+                .collect();
+            die(
+                &format!(
+                    "unknown flag '--{name}' (expected one of: {})",
+                    expected.join(", ")
+                ),
+                usage,
+            );
+        }
+        let value = match it.next_if(|v| !v.starts_with("--")) {
+            Some(v) => v.clone(),
+            None => "true".to_string(),
+        };
+        flags.insert(name.to_string(), value);
+    }
+    if flags.get("metrics").map(String::as_str) == Some("true") {
+        die("--metrics expects a file path", usage);
+    }
+    if let Some(path) = flags.get("metrics") {
+        // Append mode so the probe never clobbers an existing file.
+        if let Err(e) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            die(&format!("cannot open metrics path '{path}': {e}"), usage);
+        }
+    }
+    flags
+}
+
+/// `--key <number>` with a default; exits 2 on a non-numeric value.
+pub fn get_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> usize {
+    flags
+        .get(key)
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--{key} expects a number, got '{v}'");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(default)
+}
+
+/// `--key <u64>` with a default; exits 2 on a non-numeric value.
+pub fn get_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> u64 {
+    flags
+        .get(key)
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--{key} expects a number, got '{v}'");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(default)
+}
+
+/// A flag the subcommand cannot run without; exits 2 when absent.
+pub fn require(flags: &HashMap<String, String>, key: &str, what: &str, usage: &str) -> String {
+    flags
+        .get(key)
+        .cloned()
+        .unwrap_or_else(|| die(&format!("{what} requires --{key}"), usage))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_values_and_bare_booleans() {
+        let flags = parse_flags(
+            &args(&["--n", "32", "--verbose", "--seed", "7"]),
+            &["n", "verbose", "seed"],
+            "usage",
+        );
+        assert_eq!(flags["n"], "32");
+        assert_eq!(flags["verbose"], "true");
+        assert_eq!(flags["seed"], "7");
+    }
+
+    #[test]
+    fn numeric_getters_fall_back_to_defaults() {
+        let flags = parse_flags(&args(&["--n", "32"]), &["n"], "usage");
+        assert_eq!(get_usize(&flags, "n", 0), 32);
+        assert_eq!(get_usize(&flags, "m", 96), 96);
+        assert_eq!(get_u64(&flags, "seed", 61453), 61453);
+    }
+
+    #[test]
+    fn metrics_is_always_allowed() {
+        let dir = std::env::temp_dir().join("fastmm_cli_metrics_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.jsonl");
+        let flags = parse_flags(&args(&["--metrics", path.to_str().unwrap()]), &[], "usage");
+        assert!(flags.contains_key("metrics"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

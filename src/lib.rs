@@ -4,6 +4,8 @@
 //! I/O-Complexity of Fast Matrix Multiplication with Recomputations"*
 //! (Nissim & Schwartz, IPDPS 2019). See the README for a map.
 
+pub mod cli;
+
 pub use fmm_bench as bench;
 pub use fmm_cdag as cdag;
 pub use fmm_core as core;
@@ -12,5 +14,6 @@ pub use fmm_matrix as matrix;
 pub use fmm_memsim as memsim;
 pub use fmm_obs as obs;
 pub use fmm_pebbling as pebbling;
+pub use fmm_router as router;
 pub use fmm_serve as serve;
 pub use fmm_sweep as sweep;

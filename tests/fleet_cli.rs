@@ -1,0 +1,163 @@
+//! Binary-level contract for `fastmm fleet` + `fastmm loadgen --fleet`:
+//! the chaos acceptance run of the routed fleet. A router over three
+//! spawned shards takes 1040 requests from eight connections while one
+//! shard is SIGKILLed mid-run; the run must lose zero replies, keep the
+//! fleet conservation law balanced, drain to exit 0, and reproduce the
+//! same summary for the same seed.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+fn fastmm_cmd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fastmm"))
+}
+
+/// Start `fastmm fleet`, parse the advertised router address off its
+/// first stdout line, and hand back (child, addr).
+fn spawn_fleet(extra: &[&str]) -> (Child, String) {
+    let mut child = fastmm_cmd()
+        .args([
+            "fleet",
+            "--shards",
+            "3",
+            "--queue-depth",
+            "32",
+            "--workers",
+            "2",
+            "--seed",
+            "7",
+        ])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn fastmm fleet");
+    let mut first = String::new();
+    BufReader::new(child.stdout.as_mut().expect("stdout piped"))
+        .read_line(&mut first)
+        .expect("read listening line");
+    let addr = first
+        .trim()
+        .strip_prefix("fastmm fleet listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {first:?}"))
+        .split(" (")
+        .next()
+        .unwrap()
+        .to_string();
+    (child, addr)
+}
+
+fn chaos_loadgen(addr: &str) -> std::process::Output {
+    fastmm_cmd()
+        .args([
+            "loadgen",
+            "--fleet",
+            "--addr",
+            addr,
+            "--conns",
+            "8",
+            "--requests",
+            "130",
+            "--seed",
+            "7",
+            "--kill-shard-after",
+            "40",
+            "--shutdown",
+        ])
+        .output()
+        .expect("run fastmm loadgen --fleet")
+}
+
+#[test]
+fn kill_a_shard_chaos_run_loses_nothing_and_reproduces() {
+    let (mut fleet, addr) = spawn_fleet(&[]);
+    let load = chaos_loadgen(&addr);
+    let summary = String::from_utf8_lossy(&load.stdout);
+    assert_eq!(
+        load.status.code(),
+        Some(0),
+        "chaos loadgen failed\nstdout: {summary}\nstderr: {}",
+        String::from_utf8_lossy(&load.stderr)
+    );
+    let line = summary.trim().to_string();
+
+    // 8 conns x 130 requests, one shard SIGKILLed mid-run: every request
+    // got a reply, the kill verb fired exactly once, nothing mismatched.
+    assert!(line.contains("\"sent\":1040"), "{line}");
+    assert!(line.contains("\"lost\":0"), "{line}");
+    assert!(line.contains("\"mismatched\":0"), "{line}");
+    assert!(line.contains("\"killed\":1"), "{line}");
+    assert!(line.contains("\"ok\":1"), "{line}");
+
+    // The fleet drains to exit 0 (its own balance asserts ran) and
+    // reports both the router counters and the per-shard ack roll-up.
+    let status = fleet.wait().expect("fleet exits");
+    assert_eq!(status.code(), Some(0), "fleet must drain and exit 0");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut fleet.stdout.take().expect("stdout piped"), &mut rest)
+        .expect("read drained lines");
+    assert!(rest.contains("fastmm fleet drained: accepted="), "{rest}");
+    assert!(rest.contains("shards_killed=1"), "{rest}");
+    assert!(rest.contains("fastmm fleet shards: acked=2/3"), "{rest}");
+
+    // The shutdown ack embedded in the summary is the router's final
+    // core counters: check the conservation law right off the wire.
+    let counter = |key: &str| -> u64 {
+        let tag = format!("\"{key}\":\"");
+        let at = line
+            .find(&tag)
+            .unwrap_or_else(|| panic!("no {key} in {line}"));
+        line[at + tag.len()..]
+            .split('"')
+            .next()
+            .unwrap()
+            .parse()
+            .expect("counter parses")
+    };
+    let accepted = counter("accepted");
+    let settled = counter("completed")
+        + counter("errored")
+        + counter("cancelled")
+        + counter("deadline_exceeded");
+    assert_eq!(accepted, settled, "fleet conservation law violated: {line}");
+
+    // Same seed, fresh fleet: the summary line reproduces exactly.
+    let (mut fleet2, addr2) = spawn_fleet(&[]);
+    let load2 = chaos_loadgen(&addr2);
+    assert_eq!(load2.status.code(), Some(0));
+    assert_eq!(
+        String::from_utf8_lossy(&load2.stdout).trim(),
+        line,
+        "chaos summary must be seed-reproducible"
+    );
+    assert_eq!(fleet2.wait().expect("fleet2 exits").code(), Some(0));
+}
+
+#[test]
+fn fleet_rejects_bad_flags_with_exit_2() {
+    let out = fastmm_cmd()
+        .args(["fleet", "--shards", "0"])
+        .output()
+        .expect("run fastmm fleet");
+    assert_eq!(out.status.code(), Some(2), "bad flag must exit 2");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--shards must be at least 1"),
+        "stderr must say what was wrong"
+    );
+
+    let out = fastmm_cmd()
+        .args([
+            "loadgen",
+            "--addr",
+            "127.0.0.1:1",
+            "--kill-shard-after",
+            "5",
+        ])
+        .output()
+        .expect("run fastmm loadgen");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "--kill-shard-after without --fleet must exit 2"
+    );
+}
