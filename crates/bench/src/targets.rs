@@ -15,6 +15,7 @@ use fmm_obs::Histogram;
 use fmm_serve::loadgen::{self, LoadgenConfig};
 use fmm_serve::server::{ServerConfig, ServerHandle};
 use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// How many passes a run makes. Profiles are ordered: a target gated at
@@ -119,6 +120,90 @@ fn memsim_opt_n32() -> BTreeMap<String, String> {
 }
 fn memsim_lru_n128() -> BTreeMap<String, String> {
     memsim_pass("lru", 128, 1024)
+}
+
+/// Predicted I/O for a kernel grid cell, from the sequential cache
+/// simulator at M = 1024 words with the same seeded workload shape —
+/// the number EXPERIMENTS §X16 correlates measured wall time against.
+/// A full simulated multiply is far more expensive than the real one,
+/// so each cell is computed once per process; timed passes then pay
+/// only for the actual kernel work.
+fn model_io(alg: fmm_kernel::Alg, n: usize, leaf: usize) -> u64 {
+    static CACHE: OnceLock<Mutex<BTreeMap<(&'static str, usize, usize), u64>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let mut map = cache.lock().expect("model_io cache");
+    *map.entry((alg.as_str(), n, leaf)).or_insert_with(|| {
+        let algo = strassen();
+        let run = |mem: &mut seq::Mem, a: &seq::TMat, b: &seq::TMat| -> seq::TMat {
+            match alg {
+                fmm_kernel::Alg::Classical => seq::classical_blocked(mem, a, b, leaf),
+                fmm_kernel::Alg::Strassen => seq::fast_recursive(mem, &algo, a, b, leaf),
+            }
+        };
+        seq::measure_seeded(n, 1024, Policy::Lru, seq::DEFAULT_WORKLOAD_SEED, run)
+            .1
+            .io()
+    })
+}
+
+/// One real multiply through `fmm-kernel` (f64, seeded small-integer
+/// entries, so the checksum is exact and machine-stable). Extras carry
+/// the checksum, the classical-equivalent flop count, and the simulator's
+/// predicted I/O for the same (alg, n, cutoff) cell.
+fn kernel_pass(
+    alg: fmm_kernel::Alg,
+    n: usize,
+    cutoff: usize,
+    threads: usize,
+) -> BTreeMap<String, String> {
+    let a = crate::bench_matrix_f64(n, 1);
+    let b = crate::bench_matrix_f64(n, 2);
+    let cfg = fmm_kernel::KernelCfg {
+        alg,
+        cutoff,
+        threads,
+    };
+    let c = fmm_kernel::multiply(&cfg, &a, &b);
+    let sum: f64 = c.as_slice().iter().sum();
+    let leaf = match alg {
+        fmm_kernel::Alg::Classical => seq::natural_tile(1024),
+        fmm_kernel::Alg::Strassen => cutoff,
+    };
+    extras(&[
+        ("checksum", format!("{sum:.0}")),
+        ("flops", fmm_kernel::classical_flops(n).to_string()),
+        ("model_io", model_io(alg, n, leaf).to_string()),
+    ])
+}
+
+fn kernel_classical_n128() -> BTreeMap<String, String> {
+    kernel_pass(fmm_kernel::Alg::Classical, 128, 64, 1)
+}
+fn kernel_strassen_n128() -> BTreeMap<String, String> {
+    kernel_pass(fmm_kernel::Alg::Strassen, 128, 32, 1)
+}
+fn kernel_classical_n512() -> BTreeMap<String, String> {
+    kernel_pass(fmm_kernel::Alg::Classical, 512, 64, 1)
+}
+fn kernel_strassen_n512() -> BTreeMap<String, String> {
+    kernel_pass(fmm_kernel::Alg::Strassen, 512, 64, 1)
+}
+fn kernel_strassen_mt_n512() -> BTreeMap<String, String> {
+    kernel_pass(fmm_kernel::Alg::Strassen, 512, 64, 2)
+}
+
+/// The naive reference at the acceptance grid cell — the denominator of
+/// the "Strassen-with-cutoff is ≥5× naive" claim BENCH_kernel.json
+/// records.
+fn kernel_naive_n512() -> BTreeMap<String, String> {
+    let a = crate::bench_matrix_f64(512, 1);
+    let b = crate::bench_matrix_f64(512, 2);
+    let c = fmm_matrix::multiply::multiply_naive(&a, &b);
+    let sum: f64 = c.as_slice().iter().sum();
+    extras(&[
+        ("checksum", format!("{sum:.0}")),
+        ("flops", fmm_kernel::classical_flops(512).to_string()),
+    ])
 }
 
 /// The first few smoke-spec sweep cells, end to end (cell throughput).
@@ -277,6 +362,48 @@ pub fn all_targets() -> Vec<Target> {
             tol: 0.35,
             min_profile: Profile::Standard,
             run: memsim_lru_n128,
+        },
+        Target {
+            name: "kernel/classical/n128_f64",
+            group: "kernel",
+            tol: 0.35,
+            min_profile: Profile::Quick,
+            run: kernel_classical_n128,
+        },
+        Target {
+            name: "kernel/strassen/n128_c32_f64",
+            group: "kernel",
+            tol: 0.35,
+            min_profile: Profile::Quick,
+            run: kernel_strassen_n128,
+        },
+        Target {
+            name: "kernel/naive/n512_f64",
+            group: "kernel",
+            tol: 0.35,
+            min_profile: Profile::Standard,
+            run: kernel_naive_n512,
+        },
+        Target {
+            name: "kernel/classical/n512_f64",
+            group: "kernel",
+            tol: 0.35,
+            min_profile: Profile::Standard,
+            run: kernel_classical_n512,
+        },
+        Target {
+            name: "kernel/strassen/n512_c64_f64",
+            group: "kernel",
+            tol: 0.35,
+            min_profile: Profile::Standard,
+            run: kernel_strassen_n512,
+        },
+        Target {
+            name: "kernel/strassen_mt/n512_c64_t2_f64",
+            group: "kernel",
+            tol: 0.50,
+            min_profile: Profile::Standard,
+            run: kernel_strassen_mt_n512,
         },
         Target {
             name: "sweep/smoke_cells",
@@ -441,6 +568,40 @@ mod tests {
         assert!(t.extras["words"].parse::<u64>().unwrap() > 0);
         let round = crate::doc::BenchDoc::parse(&doc.to_jsonl()).unwrap();
         assert_eq!(round, doc);
+    }
+
+    #[test]
+    fn kernel_quick_targets_have_exact_repeatable_extras() {
+        let run = || {
+            run_targets(&RunOptions {
+                filter: Some("kernel/".into()),
+                ..RunOptions::default()
+            })
+        };
+        let (first, second) = (run(), run());
+        assert_eq!(first.targets.len(), 2, "two kernel targets in quick");
+        for (a, b) in first.targets.iter().zip(&second.targets) {
+            assert_eq!(a.extras, b.extras, "{} extras drifted", a.name);
+            assert!(a.extras["model_io"].parse::<u64>().unwrap() > 0);
+            assert!(a.extras["checksum"].parse::<i64>().is_ok());
+        }
+        // At n=128 with M=1024 the simulator charges Strassen *more*
+        // I/O than blocked classical: the recursion's temporaries all
+        // spill, and the asymptotic n^{log2 7} advantage hasn't kicked
+        // in yet at this order. §X16 reports the same inversion.
+        let io = |doc: &crate::doc::BenchDoc, name: &str| -> u64 {
+            doc.targets
+                .iter()
+                .find(|t| t.name == name)
+                .unwrap()
+                .extras["model_io"]
+                .parse()
+                .unwrap()
+        };
+        assert!(
+            io(&first, "kernel/strassen/n128_c32_f64") > io(&first, "kernel/classical/n128_f64"),
+            "strassen's temporaries should out-spill blocked classical at n=128"
+        );
     }
 
     #[test]

@@ -1,0 +1,310 @@
+//! # fmm-kernel — the measured hot path
+//!
+//! Everything else in the workspace *simulates* I/O; this crate actually
+//! multiplies matrices fast, so measured wall time can be correlated
+//! against [`fmm-memsim`]'s predicted I/O for the same (algorithm, n,
+//! cutoff) grid cell (EXPERIMENTS §X16).
+//!
+//! Three backends, all generic over [`fmm_matrix::Scalar`] (the two that
+//! matter in practice are `f64` and `i64` — the differential suite proves
+//! bit-exact `i64` agreement with the naive reference):
+//!
+//! * [`classical_tiled`] — cache-blocked classical multiplication. A
+//!   BLIS-style loop nest packs contiguous panels of A (`MC`×`KC`) and B
+//!   (`KC`×`NC`) and runs an autovectorizable [`MR`]-row micro-kernel over
+//!   them; C rows stay resident across the K sweep.
+//! * [`strassen`] — recursive Strassen with a tuned cutoff n₀: recursion
+//!   while the order exceeds the cutoff, then the classical tile kernel
+//!   on the leaves. Non-power-of-two orders are padded up and cropped.
+//! * [`classical_tiled_mt`] / [`strassen_mt`] — thread-pooled variants:
+//!   std threads pulling from a row-panel (classical) or subproduct
+//!   (Strassen) work queue.
+//!
+//! Cancellation: every backend polls [`fmm_faults::cancel`] at micro-tile
+//! boundaries, so a served kernel job honours deadlines and drains. The
+//! threaded variants re-publish the caller's scoped token into each
+//! worker; a fired token unwinds every worker, the scope joins them all
+//! (no wedged threads, by construction), and the sentinel is re-raised
+//! once on the calling thread.
+//!
+//! Observability: [`multiply_with_report`] returns a [`Report`] (packing
+//! time, micro-tile and leaf counts, per-level recursion fan-out) and
+//! mirrors it into `fmm-obs` counters (`kernel_pack_ns`,
+//! `kernel_micro_tiles`, `kernel_leaf_products`, `kernel_level_products`)
+//! under a `kernel.multiply` span.
+
+pub mod classical;
+pub mod strassen;
+
+pub use classical::{classical_tiled, classical_tiled_mt};
+pub use strassen::{strassen, strassen_mt};
+
+use fmm_matrix::{Matrix, Scalar};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Rows per packed A panel (and per row-panel work item in the threaded
+/// classical backend).
+pub const MC: usize = 64;
+/// Shared inner dimension per packed panel pair.
+pub const KC: usize = 256;
+/// Columns per packed B panel.
+pub const NC: usize = 512;
+/// Rows the micro-kernel computes at once (register tiling).
+pub const MR: usize = 4;
+
+/// Which backend [`multiply`] runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Alg {
+    Classical,
+    Strassen,
+}
+
+impl Alg {
+    pub fn parse(s: &str) -> Option<Alg> {
+        Some(match s {
+            "classical" => Alg::Classical,
+            "strassen" => Alg::Strassen,
+            _ => return None,
+        })
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Alg::Classical => "classical",
+            Alg::Strassen => "strassen",
+        }
+    }
+}
+
+/// How [`multiply`] runs: backend, Strassen cutoff n₀ (leaves at or
+/// below this order use the classical tile kernel), and worker threads
+/// (1 = run on the calling thread).
+#[derive(Clone, Copy, Debug)]
+pub struct KernelCfg {
+    pub alg: Alg,
+    pub cutoff: usize,
+    pub threads: usize,
+}
+
+impl Default for KernelCfg {
+    fn default() -> KernelCfg {
+        KernelCfg {
+            alg: Alg::Strassen,
+            cutoff: 64,
+            threads: 1,
+        }
+    }
+}
+
+/// What one multiply did, for the CLI report table and the obs mirror.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Report {
+    /// Nanoseconds spent gathering A/B tiles into contiguous panels.
+    pub pack_ns: u64,
+    /// Micro-kernel invocations (each computes up to [`MR`]×[`NC`] of C).
+    pub micro_tiles: u64,
+    /// Classical leaf products run by the Strassen recursion (0 for a
+    /// pure classical multiply).
+    pub leaf_products: u64,
+    /// Subproducts spawned per recursion level: `level_products[d]` is
+    /// the number of recursive products entered at depth `d`.
+    pub level_products: Vec<u64>,
+}
+
+const MAX_LEVELS: usize = 32;
+
+/// Shared accumulator the backends thread through (atomics, so the
+/// worker pools add to it without locks).
+#[derive(Default)]
+pub(crate) struct Stats {
+    pack_ns: AtomicU64,
+    micro_tiles: AtomicU64,
+    leaf_products: AtomicU64,
+    levels: [AtomicU64; MAX_LEVELS],
+}
+
+impl Stats {
+    pub(crate) fn pack(&self, ns: u64) {
+        self.pack_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+    pub(crate) fn tiles(&self, n: u64) {
+        self.micro_tiles.fetch_add(n, Ordering::Relaxed);
+    }
+    pub(crate) fn leaf(&self) {
+        self.leaf_products.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn level(&self, depth: usize, products: u64) {
+        self.levels[depth.min(MAX_LEVELS - 1)].fetch_add(products, Ordering::Relaxed);
+    }
+
+    fn report(&self) -> Report {
+        let mut level_products: Vec<u64> = self
+            .levels
+            .iter()
+            .map(|l| l.load(Ordering::Relaxed))
+            .collect();
+        while level_products.last() == Some(&0) {
+            level_products.pop();
+        }
+        Report {
+            pack_ns: self.pack_ns.load(Ordering::Relaxed),
+            micro_tiles: self.micro_tiles.load(Ordering::Relaxed),
+            leaf_products: self.leaf_products.load(Ordering::Relaxed),
+            level_products,
+        }
+    }
+}
+
+/// Digit names for the per-level counter labels (labels are `&'static str`).
+const LEVEL_NAMES: [&str; MAX_LEVELS] = [
+    "0", "1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "16",
+    "17", "18", "19", "20", "21", "22", "23", "24", "25", "26", "27", "28", "29", "30", "31",
+];
+
+/// Multiply under `cfg`. Panics on a dimension mismatch, on `cutoff ==
+/// 0` / `threads == 0` (validate at the CLI/admission layer; these are
+/// programmer errors here), and — cooperatively — when the scoped
+/// [`fmm_faults::cancel`] token fires mid-multiply.
+pub fn multiply<T: Scalar>(cfg: &KernelCfg, a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    multiply_with_report(cfg, a, b).0
+}
+
+/// [`multiply`], also returning the [`Report`] and mirroring it into the
+/// global `fmm-obs` registry.
+pub fn multiply_with_report<T: Scalar>(
+    cfg: &KernelCfg,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+) -> (Matrix<T>, Report) {
+    assert!(cfg.cutoff >= 1, "kernel cutoff must be at least 1");
+    assert!(cfg.threads >= 1, "kernel threads must be at least 1");
+    let mut span = fmm_obs::span::Span::enter("kernel.multiply");
+    let stats = Stats::default();
+    let c = match cfg.alg {
+        Alg::Classical => classical::multiply(a, b, cfg.threads, &stats),
+        Alg::Strassen => strassen::multiply(a, b, cfg.cutoff, cfg.threads, &stats),
+    };
+    let report = stats.report();
+    publish(&report);
+    span.record("n", a.rows() as u64);
+    span.record("cutoff", cfg.cutoff as u64);
+    span.record("threads", cfg.threads as u64);
+    span.record("micro_tiles", report.micro_tiles);
+    span.record("pack_ns", report.pack_ns);
+    (c, report)
+}
+
+fn publish(report: &Report) {
+    fmm_obs::observe("kernel_pack_ns", &[], report.pack_ns);
+    fmm_obs::add("kernel_micro_tiles", &[], report.micro_tiles);
+    fmm_obs::add("kernel_leaf_products", &[], report.leaf_products);
+    for (depth, products) in report.level_products.iter().enumerate() {
+        if *products > 0 {
+            fmm_obs::add(
+                "kernel_level_products",
+                &[("level", LEVEL_NAMES[depth].to_string())],
+                *products,
+            );
+        }
+    }
+}
+
+/// Classical-equivalent flop count `2n³ − n²` for a square order-`n`
+/// multiply — the normaliser rate reports use (Strassen does fewer).
+pub fn classical_flops(n: usize) -> u64 {
+    let n = n as u64;
+    2 * n * n * n - n * n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmm_matrix::multiply::multiply_naive;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pair(n: usize, seed: u64) -> (Matrix<i64>, Matrix<i64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (
+            Matrix::<i64>::random_small(n, n, &mut rng),
+            Matrix::<i64>::random_small(n, n, &mut rng),
+        )
+    }
+
+    #[test]
+    fn alg_parses_and_round_trips() {
+        assert_eq!(Alg::parse("classical"), Some(Alg::Classical));
+        assert_eq!(Alg::parse("strassen"), Some(Alg::Strassen));
+        assert_eq!(Alg::parse("winograd"), None);
+        for alg in [Alg::Classical, Alg::Strassen] {
+            assert_eq!(Alg::parse(alg.as_str()), Some(alg));
+        }
+    }
+
+    #[test]
+    fn both_algs_match_naive_through_the_config_entry_point() {
+        let (a, b) = pair(37, 9);
+        let reference = multiply_naive(&a, &b);
+        for alg in [Alg::Classical, Alg::Strassen] {
+            for threads in [1, 3] {
+                let cfg = KernelCfg {
+                    alg,
+                    cutoff: 8,
+                    threads,
+                };
+                assert_eq!(multiply(&cfg, &a, &b), reference, "{alg:?} t{threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn report_counts_strassen_levels_and_leaves() {
+        let (a, b) = pair(32, 3);
+        let cfg = KernelCfg {
+            alg: Alg::Strassen,
+            cutoff: 8,
+            threads: 1,
+        };
+        let (_, report) = multiply_with_report(&cfg, &a, &b);
+        // 32 → 16 → 8: two recursion levels, 7 then 49 products, then
+        // 49 classical leaves.
+        assert_eq!(report.level_products, vec![7, 49]);
+        assert_eq!(report.leaf_products, 49);
+        assert!(report.micro_tiles > 0);
+    }
+
+    #[test]
+    fn classical_report_has_no_recursion() {
+        let (a, b) = pair(48, 4);
+        let cfg = KernelCfg {
+            alg: Alg::Classical,
+            cutoff: 64,
+            threads: 1,
+        };
+        let (c, report) = multiply_with_report(&cfg, &a, &b);
+        assert_eq!(c, multiply_naive(&a, &b));
+        assert!(report.level_products.is_empty());
+        assert_eq!(report.leaf_products, 0);
+        // 48 rows → 12 MR-row groups in one panel.
+        assert_eq!(report.micro_tiles, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff must be at least 1")]
+    fn zero_cutoff_is_a_programmer_error() {
+        let (a, b) = pair(4, 1);
+        let cfg = KernelCfg {
+            alg: Alg::Strassen,
+            cutoff: 0,
+            threads: 1,
+        };
+        let _ = multiply(&cfg, &a, &b);
+    }
+
+    #[test]
+    fn classical_flops_matches_the_closed_form() {
+        assert_eq!(classical_flops(1), 1);
+        assert_eq!(classical_flops(2), 12);
+        assert_eq!(classical_flops(512), 2 * 512u64.pow(3) - 512u64.pow(2));
+    }
+}

@@ -1,0 +1,252 @@
+//! Recursive Strassen with a tuned cutoff, falling back to the packed
+//! classical tile kernel at the leaves.
+//!
+//! The recursion is the textbook seven-product scheme over quadrants
+//! (the same 2×2 bilinear algorithm `fmm-core` analyses symbolically);
+//! what makes it a *kernel* rather than an operation counter is the
+//! base case: once the order drops to the cutoff n₀, the subproblem is
+//! handed to [`crate::classical::gemm_block`], so leaf work runs on
+//! packed panels at full micro-kernel speed. Non-power-of-two orders
+//! are padded to the next power of two and cropped on the way out.
+//!
+//! The threaded variant expands the *top* recursion level into its
+//! seven independent subproducts and runs them over a work queue — the
+//! same pool shape as the classical row-panel queue, with the same
+//! cancellation contract (workers re-enter the caller's token, a fired
+//! token unwinds everyone, the scope joins all threads).
+
+use crate::{classical, Stats};
+use fmm_faults::cancel;
+use fmm_matrix::ops::{add, sub};
+use fmm_matrix::quad::{crop, join_quadrants, next_pow2, pad_to, split_quadrants};
+use fmm_matrix::{Matrix, Scalar};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// Strassen with cutoff `n0` (recurse while the order exceeds `n0`).
+/// Requires square operands of equal order; any order works (padding).
+pub fn strassen<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, cutoff: usize) -> Matrix<T> {
+    let stats = Stats::default();
+    multiply(a, b, cutoff, 1, &stats)
+}
+
+/// [`strassen`] with the top level's seven subproducts spread over a
+/// pool of `threads` std threads.
+pub fn strassen_mt<T: Scalar>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    cutoff: usize,
+    threads: usize,
+) -> Matrix<T> {
+    let stats = Stats::default();
+    multiply(a, b, cutoff, threads.max(1), &stats)
+}
+
+pub(crate) fn multiply<T: Scalar>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    cutoff: usize,
+    threads: usize,
+    stats: &Stats,
+) -> Matrix<T> {
+    assert!(cutoff >= 1, "kernel cutoff must be at least 1");
+    assert_eq!(a.rows(), a.cols(), "strassen needs a square left operand");
+    assert_eq!(b.rows(), b.cols(), "strassen needs a square right operand");
+    assert_eq!(a.rows(), b.rows(), "strassen needs equal orders");
+    let n = a.rows();
+    if n == 0 {
+        return Matrix::zeros(0, 0);
+    }
+    let padded = next_pow2(n);
+    if padded != n {
+        let (pa, pb) = (pad_to(a, padded), pad_to(b, padded));
+        let pc = pow2_entry(&pa, &pb, cutoff, threads, stats);
+        return crop(&pc, n, n);
+    }
+    pow2_entry(a, b, cutoff, threads, stats)
+}
+
+fn pow2_entry<T: Scalar>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    cutoff: usize,
+    threads: usize,
+    stats: &Stats,
+) -> Matrix<T> {
+    if threads <= 1 || a.rows() <= cutoff {
+        return recurse(a, b, cutoff, 0, stats);
+    }
+    top_level_mt(a, b, cutoff, threads, stats)
+}
+
+/// Leaf: the packed classical tile kernel.
+fn leaf<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, stats: &Stats) -> Matrix<T> {
+    let n = a.rows();
+    let mut c = Matrix::zeros(n, n);
+    classical::gemm_block(a.as_slice(), b.as_slice(), c.as_mut_slice(), n, n, n, stats);
+    stats.leaf();
+    c
+}
+
+/// The seven operand pairs of one Strassen step, in M1..M7 order.
+fn operand_pairs<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Vec<(Matrix<T>, Matrix<T>)> {
+    let [a11, a12, a21, a22] = split_quadrants(a);
+    let [b11, b12, b21, b22] = split_quadrants(b);
+    vec![
+        (add(&a11, &a22), add(&b11, &b22)), // M1
+        (add(&a21, &a22), b11.clone()),     // M2
+        (a11.clone(), sub(&b12, &b22)),     // M3
+        (a22.clone(), sub(&b21, &b11)),     // M4
+        (add(&a11, &a12), b22.clone()),     // M5
+        (sub(&a21, &a11), add(&b11, &b12)), // M6
+        (sub(&a12, &a22), add(&b21, &b22)), // M7
+    ]
+}
+
+/// Combine M1..M7 into C.
+fn combine<T: Scalar>(m: Vec<Matrix<T>>) -> Matrix<T> {
+    let [m1, m2, m3, m4, m5, m6, m7]: [Matrix<T>; 7] =
+        m.try_into().expect("exactly seven subproducts");
+    let c11 = add(&sub(&add(&m1, &m4), &m5), &m7);
+    let c12 = add(&m3, &m5);
+    let c21 = add(&m2, &m4);
+    let c22 = add(&sub(&add(&m1, &m3), &m2), &m6);
+    join_quadrants(&[c11, c12, c21, c22])
+}
+
+fn recurse<T: Scalar>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    cutoff: usize,
+    depth: usize,
+    stats: &Stats,
+) -> Matrix<T> {
+    let n = a.rows();
+    if n <= cutoff || n == 1 {
+        return leaf(a, b, stats);
+    }
+    cancel::poll();
+    stats.level(depth, 7);
+    let products = operand_pairs(a, b)
+        .into_iter()
+        .map(|(x, y)| recurse(&x, &y, cutoff, depth + 1, stats))
+        .collect();
+    combine(products)
+}
+
+/// One level of task parallelism: the seven top subproducts on a work
+/// queue, each computed by the sequential recursion at depth 1.
+fn top_level_mt<T: Scalar>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    cutoff: usize,
+    threads: usize,
+    stats: &Stats,
+) -> Matrix<T> {
+    stats.level(0, 7);
+    let token = cancel::current();
+    let queue: Mutex<Vec<(usize, Matrix<T>, Matrix<T>)>> = Mutex::new(
+        operand_pairs(a, b)
+            .into_iter()
+            .enumerate()
+            .map(|(i, (x, y))| (i, x, y))
+            .collect(),
+    );
+    let slots: Vec<Mutex<Option<Matrix<T>>>> = (0..7).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for w in 0..threads.min(7) {
+            let token = token.clone();
+            let (queue, slots) = (&queue, &slots);
+            std::thread::Builder::new()
+                .name(format!("fmm-kernel-{w}"))
+                .spawn_scoped(scope, move || {
+                    let _guard = token.as_ref().map(cancel::enter);
+                    let outcome = catch_unwind(AssertUnwindSafe(|| loop {
+                        let item = queue.lock().expect("task queue").pop();
+                        let Some((idx, x, y)) = item else { break };
+                        let product = recurse(&x, &y, cutoff, 1, stats);
+                        *slots[idx].lock().expect("result slot") = Some(product);
+                    }));
+                    if let Err(payload) = outcome {
+                        if cancel::cancelled_reason(payload.as_ref()).is_none() {
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                })
+                .expect("spawn kernel worker");
+        }
+    });
+    if let Some(t) = &token {
+        t.bail_if_cancelled();
+    }
+    let products = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot")
+                .expect("uncancelled run fills every slot")
+        })
+        .collect();
+    combine(products)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmm_matrix::multiply::multiply_naive;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pair(n: usize, seed: u64) -> (Matrix<i64>, Matrix<i64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (
+            Matrix::<i64>::random_small(n, n, &mut rng),
+            Matrix::<i64>::random_small(n, n, &mut rng),
+        )
+    }
+
+    #[test]
+    fn power_of_two_orders_match_naive() {
+        for n in [1, 2, 4, 8, 32, 64] {
+            let (a, b) = pair(n, n as u64);
+            assert_eq!(strassen(&a, &b, 8), multiply_naive(&a, &b), "n={n}");
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_orders_pad_and_crop() {
+        for n in [3, 7, 24, 37, 100] {
+            let (a, b) = pair(n, 100 + n as u64);
+            assert_eq!(strassen(&a, &b, 4), multiply_naive(&a, &b), "n={n}");
+        }
+    }
+
+    #[test]
+    fn cutoff_extremes_agree() {
+        let (a, b) = pair(32, 77);
+        let reference = multiply_naive(&a, &b);
+        // cutoff 1: recurse to scalars; cutoff ≥ n: one classical leaf.
+        assert_eq!(strassen(&a, &b, 1), reference);
+        assert_eq!(strassen(&a, &b, 32), reference);
+        assert_eq!(strassen(&a, &b, 1000), reference);
+    }
+
+    #[test]
+    fn threaded_top_level_matches_sequential() {
+        let (a, b) = pair(64, 5);
+        let reference = strassen(&a, &b, 16);
+        for threads in [2, 4, 7, 12] {
+            assert_eq!(strassen_mt(&a, &b, 16, threads), reference);
+        }
+    }
+
+    #[test]
+    fn f64_agrees_with_classical_on_small_integers() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = Matrix::<f64>::random_small(48, 48, &mut rng);
+        let b = Matrix::<f64>::random_small(48, 48, &mut rng);
+        // Integer-valued f64 inputs keep every intermediate exact, so
+        // Strassen's rearranged additions still agree bitwise.
+        assert_eq!(strassen(&a, &b, 16), multiply_naive(&a, &b));
+    }
+}

@@ -1,0 +1,203 @@
+//! Differential proofs for the real kernel, against `fmm-matrix`'s
+//! references.
+//!
+//! The claims, in order of strength:
+//!
+//! * **Bit-exact `i64` agreement.** Integer arithmetic has one right
+//!   answer; the packed tile kernel and the Strassen recursion must both
+//!   produce it for every generated shape, cutoff, and thread count.
+//! * **`f64` against an exact rational reference.** Floating products are
+//!   compared entrywise (tolerance scaled to the inner dimension) against
+//!   the same multiply done in [`fmm_matrix::Rational`], which never
+//!   rounds. For the small-integer workloads used everywhere in this
+//!   workspace the f64 kernel is in fact *exact*, and a tighter assert
+//!   pins that down.
+//! * **Cancellation soundness.** A fired token unwinds the multiply with
+//!   the `Cancelled` sentinel and leaves no `fmm-kernel-*` worker threads
+//!   behind (checked against `/proc/self/task/*/comm`).
+
+use fmm_faults::cancel;
+use fmm_kernel::{classical_tiled, classical_tiled_mt, strassen, strassen_mt};
+use fmm_matrix::multiply::multiply_naive;
+use fmm_matrix::{Matrix, Rational};
+use proptest::prelude::*;
+
+fn int_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<i64>> {
+    proptest::collection::vec(-9i64..=9, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// A compatible (m×k, k×n) pair with every dimension drawn independently,
+/// crossing the MR=4 row-group and panel boundaries.
+fn mul_pair() -> impl Strategy<Value = (Matrix<i64>, Matrix<i64>)> {
+    (1usize..=40, 1usize..=40, 1usize..=40)
+        .prop_flat_map(|(m, k, n)| (int_matrix(m, k), int_matrix(k, n)))
+}
+
+fn square_pair(max: usize) -> impl Strategy<Value = (Matrix<i64>, Matrix<i64>)> {
+    (1usize..=max).prop_flat_map(|n| (int_matrix(n, n), int_matrix(n, n)))
+}
+
+fn to_f64(m: &Matrix<i64>) -> Matrix<f64> {
+    Matrix::from_fn(m.rows(), m.cols(), |i, j| m[(i, j)] as f64)
+}
+
+fn to_rational(m: &Matrix<i64>) -> Matrix<Rational> {
+    Matrix::from_fn(m.rows(), m.cols(), |i, j| Rational::new(m[(i, j)] as i128, 1))
+}
+
+proptest! {
+    #[test]
+    fn classical_tiled_is_bit_exact_i64(
+        pair in mul_pair(),
+        threads in 1usize..=4,
+    ) {
+        let (a, b) = pair;
+        let reference = multiply_naive(&a, &b);
+        prop_assert_eq!(classical_tiled(&a, &b), reference.clone());
+        prop_assert_eq!(classical_tiled_mt(&a, &b, threads), reference);
+    }
+
+    #[test]
+    fn strassen_matches_classical_i64(
+        pair in square_pair(48),
+        cutoff in 1usize..=64,
+        threads in 1usize..=4,
+    ) {
+        let (a, b) = pair;
+        // Covers non-powers-of-two (padding path), cutoffs above and
+        // below the order (pure-leaf and deep-recursion extremes), and
+        // the top-level subproduct pool.
+        let reference = classical_tiled(&a, &b);
+        prop_assert_eq!(strassen(&a, &b, cutoff), reference.clone());
+        prop_assert_eq!(strassen_mt(&a, &b, cutoff, threads), reference);
+    }
+
+    #[test]
+    fn f64_kernel_tracks_the_rational_reference(
+        pair in square_pair(24),
+        cutoff in 1usize..=16,
+    ) {
+        let (a, b) = pair;
+        let exact = multiply_naive(&to_rational(&a), &to_rational(&b));
+        let (af, bf) = (to_f64(&a), to_f64(&b));
+        // Entrywise bound: k products of magnitude ≤ 81, each rounding
+        // at most half an ulp, summed — generous at these sizes.
+        let tol = 1e-9 * a.cols() as f64;
+        for c in [classical_tiled(&af, &bf), strassen(&af, &bf, cutoff)] {
+            for i in 0..c.rows() {
+                for j in 0..c.cols() {
+                    let want = exact[(i, j)].to_f64();
+                    prop_assert!(
+                        (c[(i, j)] - want).abs() <= tol,
+                        "({}, {}): {} vs exact {}", i, j, c[(i, j)], want
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f64_small_int_products_are_exact(
+        pair in square_pair(32),
+        cutoff in 1usize..=16,
+    ) {
+        let (a, b) = pair;
+        // Stronger than the tolerance claim: entries in [-9, 9] keep every
+        // partial sum inside the 53-bit mantissa, so the f64 kernel agrees
+        // with integer arithmetic to the last bit regardless of the
+        // summation order the blocking/recursion picks.
+        let exact = to_f64(&multiply_naive(&a, &b));
+        let (af, bf) = (to_f64(&a), to_f64(&b));
+        prop_assert_eq!(classical_tiled(&af, &bf), exact.clone());
+        prop_assert_eq!(strassen(&af, &bf, cutoff), exact);
+    }
+}
+
+/// The two thread-leak tests scan `/proc/self/task` for the whole
+/// process, so they must not overlap with each other (the harness runs
+/// `#[test]`s concurrently).
+static THREAD_SCAN: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Worker threads this process currently runs, by name prefix.
+fn live_kernel_threads() -> Vec<String> {
+    let mut names = Vec::new();
+    for entry in std::fs::read_dir("/proc/self/task").expect("procfs") {
+        let comm = entry.expect("task entry").path().join("comm");
+        if let Ok(name) = std::fs::read_to_string(comm) {
+            if name.trim_end().starts_with("fmm-kernel") {
+                names.push(name.trim_end().to_string());
+            }
+        }
+    }
+    names
+}
+
+/// "No wedged workers": every `fmm-kernel-*` task disappears promptly.
+/// The scope has logically joined by the time the multiply returns, but
+/// the *OS-level* task entry can outlive the join by a scheduler tick,
+/// so this polls briefly instead of asserting on a single snapshot.
+#[track_caller]
+fn assert_workers_exit(ctx: &str) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let live = live_kernel_threads();
+        if live.is_empty() {
+            return;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "{ctx}: workers still alive after 10s: {live:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn cancelled_multiply_unwinds_with_the_sentinel_and_leaves_no_threads() {
+    let _serial = THREAD_SCAN.lock().unwrap();
+    let _quiet = cancel::quiet_panics();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+    let a = Matrix::<i64>::random_small(96, 96, &mut rng);
+    let b = Matrix::<i64>::random_small(96, 96, &mut rng);
+    for threads in [1, 3] {
+        let token = cancel::CancelToken::new();
+        token.cancel();
+        let _guard = cancel::enter(&token);
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            strassen_mt(&a, &b, 16, threads)
+        }))
+        .expect_err("a pre-cancelled token must abort the multiply");
+        assert!(
+            cancel::cancelled_reason(payload.as_ref()).is_some(),
+            "threads={threads}: panic payload was not the Cancelled sentinel"
+        );
+        assert_workers_exit(&format!("threads={threads}"));
+    }
+}
+
+#[test]
+fn deadline_token_cuts_a_long_multiply_short() {
+    let _serial = THREAD_SCAN.lock().unwrap();
+    let _quiet = cancel::quiet_panics();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(8);
+    let a = Matrix::<i64>::random_small(256, 256, &mut rng);
+    let b = Matrix::<i64>::random_small(256, 256, &mut rng);
+    let token = cancel::CancelToken::with_deadline(std::time::Duration::from_millis(1));
+    let _guard = cancel::enter(&token);
+    let start = std::time::Instant::now();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        classical_tiled_mt(&a, &b, 2)
+    }));
+    // Micro-tile-granularity polling: either the multiply finished inside
+    // the budget (tiny machines do exist) or it bailed promptly — it must
+    // not run to completion long after the deadline.
+    if let Err(payload) = outcome {
+        assert!(cancel::cancelled_reason(payload.as_ref()).is_some());
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(20),
+            "bail took implausibly long"
+        );
+    }
+    assert_workers_exit("deadline");
+}

@@ -470,6 +470,7 @@ fn route_span_name(kind: Kind) -> &'static str {
         Kind::Bounds => "route.bounds",
         Kind::Faults => "route.faults",
         Kind::SweepCell => "route.sweep-cell",
+        Kind::Kernel => "route.kernel",
         _ => "route.control",
     }
 }

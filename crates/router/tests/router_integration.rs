@@ -370,3 +370,53 @@ fn dead_fleet_sheds_instead_of_losing_jobs() {
     assert_eq!(snap.shed, 1);
     assert_eq!(snap.shards_dead, 1);
 }
+
+/// Kernel jobs ride the same spec-hash ring as the simulators: the same
+/// (alg, n, cutoff, dtype) cell always lands on the same shard, fresh
+/// ids notwithstanding, and the fleet conservation law still balances
+/// around real flop-burning work.
+#[test]
+fn kernel_jobs_route_sticky_by_spec_hash() {
+    let (shards, router) = start_fleet(2, 13);
+    let addr = router.addr().to_string();
+    let mut client = Client::connect(&addr);
+
+    let kernel_job = |id: &str, n: usize, cutoff: usize| {
+        Request::new(id, Kind::Kernel)
+            .with_deadline(120_000)
+            .with_param("alg", "strassen")
+            .with_param("n", &n.to_string())
+            .with_param("cutoff", &cutoff.to_string())
+            .with_param("seed", &n.to_string())
+            .with_param("dtype", "i64")
+    };
+
+    let mut shard_of: BTreeMap<usize, String> = BTreeMap::new();
+    for i in 0..8 {
+        let resp = client.roundtrip(&kernel_job(&format!("k{i}"), 16 + 4 * i, 8));
+        assert_eq!(resp.status, Status::Completed, "reason: {}", resp.reason);
+        assert!(resp.result["checksum"].parse::<i64>().is_ok());
+        shard_of.insert(i, resp.result.get("shard").expect("shard tag").clone());
+    }
+    let distinct: std::collections::BTreeSet<&String> = shard_of.values().collect();
+    assert_eq!(distinct.len(), 2, "8 distinct cells should split across both shards");
+
+    for i in 0..8 {
+        let resp = client.roundtrip(&kernel_job(&format!("re{i}"), 16 + 4 * i, 8));
+        assert_eq!(resp.status, Status::Completed);
+        assert_eq!(
+            resp.result.get("shard"),
+            shard_of.get(&i),
+            "cell {i} moved shards between runs"
+        );
+    }
+
+    drop(client);
+    let snap = router.shutdown_and_wait();
+    assert!(snap.balanced(), "fleet conservation law: {snap:?}");
+    assert_eq!(snap.accepted, 16);
+    assert_eq!(snap.completed, 16);
+    for shard in shards {
+        assert!(shard.wait().balanced(), "shard conservation law");
+    }
+}

@@ -50,6 +50,17 @@ pub enum JobSpec {
         cell: usize,
         seed: u64,
     },
+    /// A real cache-blocked multiply (mirrors `fastmm kernel`): the one
+    /// job kind that burns actual flops instead of simulating them.
+    Kernel {
+        alg: fmm_kernel::Alg,
+        n: usize,
+        cutoff: usize,
+        threads: usize,
+        seed: u64,
+        dtype: String,
+        check: bool,
+    },
     /// Test-only: spin until cancelled (or `ms` elapse). Lets the
     /// deadline and drain paths be exercised without a heavyweight
     /// simulator run.
@@ -105,6 +116,7 @@ impl JobSpec {
             JobSpec::Bounds { .. } => "job.bounds",
             JobSpec::Faults { .. } => "job.faults",
             JobSpec::SweepCell { .. } => "job.sweep-cell",
+            JobSpec::Kernel { .. } => "job.kernel",
             JobSpec::Sleep { .. } => "job.sleep",
         }
     }
@@ -183,6 +195,42 @@ impl JobSpec {
                     spec,
                     cell: p_usize(params, "cell", 0)?,
                     seed: p_u64(params, "seed", 42)?,
+                })
+            }
+            Kind::Kernel => {
+                let alg_name = params.get("alg").map(String::as_str).unwrap_or("strassen");
+                let alg = fmm_kernel::Alg::parse(alg_name)
+                    .ok_or_else(|| format!("unknown alg '{alg_name}' (classical|strassen)"))?;
+                let cutoff = p_usize(params, "cutoff", 64)?;
+                if cutoff == 0 {
+                    return Err("param 'cutoff' must be at least 1".into());
+                }
+                let threads = p_usize(params, "threads", 1)?;
+                if threads == 0 {
+                    return Err("param 'threads' must be at least 1".into());
+                }
+                let dtype = params
+                    .get("dtype")
+                    .map(String::as_str)
+                    .unwrap_or("f64")
+                    .to_string();
+                if !matches!(dtype.as_str(), "f64" | "i64") {
+                    return Err(format!("unknown dtype '{dtype}' (f64|i64)"));
+                }
+                let check = match params.get("check").map(String::as_str) {
+                    None => false,
+                    Some("true") => true,
+                    Some("false") => false,
+                    Some(v) => return Err(format!("param 'check' expects true|false, got '{v}'")),
+                };
+                Ok(JobSpec::Kernel {
+                    alg,
+                    n: p_usize(params, "n", 64)?,
+                    cutoff,
+                    threads,
+                    seed: p_u64(params, "seed", 42)?,
+                    dtype,
+                    check,
                 })
             }
             _ => Err(format!("'{}' is not a job kind", kind.as_str())),
@@ -318,6 +366,58 @@ impl JobSpec {
                 out.insert("bound".into(), format!("{:.0}", m.bound));
                 out.insert("ratio".into(), format!("{:.4}", m.ratio));
             }
+            JobSpec::Kernel {
+                alg,
+                n,
+                cutoff,
+                threads,
+                seed,
+                dtype,
+                check,
+            } => {
+                let cfg = fmm_kernel::KernelCfg {
+                    alg: *alg,
+                    cutoff: *cutoff,
+                    threads: *threads,
+                };
+                let started = std::time::Instant::now();
+                let (checksum, matches) = if dtype == "i64" {
+                    let mut rng = StdRng::seed_from_u64(*seed);
+                    let a = Matrix::<i64>::random_small(*n, *n, &mut rng);
+                    let b = Matrix::<i64>::random_small(*n, *n, &mut rng);
+                    let c = fmm_kernel::multiply(&cfg, &a, &b);
+                    let sum: i64 = c.as_slice().iter().sum();
+                    let matches =
+                        check.then(|| c == fmm_matrix::multiply::multiply_naive(&a, &b));
+                    (sum.to_string(), matches)
+                } else {
+                    let mut rng = StdRng::seed_from_u64(*seed);
+                    let a = Matrix::<f64>::random_small(*n, *n, &mut rng);
+                    let b = Matrix::<f64>::random_small(*n, *n, &mut rng);
+                    let c = fmm_kernel::multiply(&cfg, &a, &b);
+                    let sum: f64 = c.as_slice().iter().sum();
+                    // Small-integer entries: every partial sum is exactly
+                    // representable, so this is deterministic.
+                    let matches =
+                        check.then(|| c == fmm_matrix::multiply::multiply_naive(&a, &b));
+                    (format!("{sum:.0}"), matches)
+                };
+                let wall_us = started.elapsed().as_micros();
+                out.insert("alg".into(), alg.as_str().into());
+                out.insert("n".into(), n.to_string());
+                out.insert("cutoff".into(), cutoff.to_string());
+                out.insert("threads".into(), threads.to_string());
+                out.insert("dtype".into(), dtype.clone());
+                out.insert("checksum".into(), checksum);
+                out.insert("flops".into(), fmm_kernel::classical_flops(*n).to_string());
+                out.insert("wall_us".into(), wall_us.to_string());
+                if let Some(matched) = matches {
+                    if !matched {
+                        return Err("kernel product diverged from naive reference".into());
+                    }
+                    out.insert("matches".into(), "true".into());
+                }
+            }
             JobSpec::Sleep { ms } => {
                 // Cancellable by construction: polls the scoped token.
                 match fmm_faults::cancel::current() {
@@ -409,7 +509,53 @@ mod tests {
         assert!(JobSpec::from_request(Kind::Faults, &params(&[("schedule", "ring")])).is_err());
         assert!(JobSpec::from_request(Kind::Faults, &params(&[("spec", "drop=lots")])).is_err());
         assert!(JobSpec::from_request(Kind::SweepCell, &params(&[("spec", "nope")])).is_err());
+        assert!(JobSpec::from_request(Kind::Kernel, &params(&[("alg", "winograd")])).is_err());
+        assert!(JobSpec::from_request(Kind::Kernel, &params(&[("cutoff", "0")])).is_err());
+        assert!(JobSpec::from_request(Kind::Kernel, &params(&[("threads", "0")])).is_err());
+        assert!(JobSpec::from_request(Kind::Kernel, &params(&[("dtype", "f32")])).is_err());
+        assert!(JobSpec::from_request(Kind::Kernel, &params(&[("check", "yes")])).is_err());
         assert!(JobSpec::from_request(Kind::Health, &params(&[])).is_err());
+    }
+
+    #[test]
+    fn kernel_job_runs_both_dtypes_and_verifies_when_asked() {
+        for dtype in ["i64", "f64"] {
+            let spec = JobSpec::from_request(
+                Kind::Kernel,
+                &params(&[
+                    ("alg", "strassen"),
+                    ("n", "24"),
+                    ("cutoff", "8"),
+                    ("dtype", dtype),
+                    ("check", "true"),
+                ]),
+            )
+            .unwrap();
+            assert_eq!(spec.span_name(), "job.kernel");
+            let out = spec.run().unwrap();
+            assert_eq!(out["matches"], "true");
+            assert_eq!(out["alg"], "strassen");
+            assert_eq!(out["dtype"], dtype);
+            assert_eq!(out["flops"], fmm_kernel::classical_flops(24).to_string());
+            assert!(out["wall_us"].parse::<u64>().is_ok());
+        }
+    }
+
+    #[test]
+    fn kernel_job_checksum_is_dtype_independent_for_small_ints() {
+        // Same seed, same entries: the f64 sums are exact, so both dtypes
+        // land on the same checksum string.
+        let run = |dtype: &str| {
+            JobSpec::from_request(
+                Kind::Kernel,
+                &params(&[("alg", "classical"), ("n", "16"), ("dtype", dtype)]),
+            )
+            .unwrap()
+            .run()
+            .unwrap()["checksum"]
+                .clone()
+        };
+        assert_eq!(run("i64"), run("f64"));
     }
 
     #[test]

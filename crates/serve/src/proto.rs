@@ -28,6 +28,9 @@ pub enum Kind {
     Faults,
     /// One cell of a built-in sweep spec ([`fmm_sweep::run_cell`]).
     SweepCell,
+    /// A real cache-blocked multiply ([`fmm_kernel`]): the measured hot
+    /// path, not a simulation.
+    Kernel,
     /// Liveness probe: uptime, queue depth, outstanding jobs.
     Health,
     /// Counter snapshot.
@@ -55,6 +58,7 @@ impl Kind {
             "bounds" => Kind::Bounds,
             "faults" => Kind::Faults,
             "sweep-cell" => Kind::SweepCell,
+            "kernel" => Kind::Kernel,
             "health" => Kind::Health,
             "stats" => Kind::Stats,
             "pause" => Kind::Pause,
@@ -73,6 +77,7 @@ impl Kind {
             Kind::Bounds => "bounds",
             Kind::Faults => "faults",
             Kind::SweepCell => "sweep-cell",
+            Kind::Kernel => "kernel",
             Kind::Health => "health",
             Kind::Stats => "stats",
             Kind::Pause => "pause",
@@ -88,7 +93,7 @@ impl Kind {
     pub fn is_job(self) -> bool {
         matches!(
             self,
-            Kind::Io | Kind::Bounds | Kind::Faults | Kind::SweepCell
+            Kind::Io | Kind::Bounds | Kind::Faults | Kind::SweepCell | Kind::Kernel
         )
     }
 }
@@ -422,6 +427,7 @@ mod tests {
             Kind::Bounds,
             Kind::Faults,
             Kind::SweepCell,
+            Kind::Kernel,
             Kind::Health,
             Kind::Stats,
             Kind::Pause,
@@ -436,7 +442,7 @@ mod tests {
                 kind.is_job(),
                 matches!(
                     kind,
-                    Kind::Io | Kind::Bounds | Kind::Faults | Kind::SweepCell
+                    Kind::Io | Kind::Bounds | Kind::Faults | Kind::SweepCell | Kind::Kernel
                 )
             );
         }

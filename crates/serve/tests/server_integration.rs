@@ -341,3 +341,52 @@ fn seeded_chaos_run_loses_nothing_and_reproduces() {
     let (summary2, _) = run_once();
     assert_eq!(summary, summary2);
 }
+
+#[test]
+fn kernel_job_completes_verifies_and_honours_its_deadline() {
+    let server = small_server(8, 1);
+    let mut client = Client::connect(&server);
+
+    // A real multiply, checked against the naive reference on the server.
+    let quick = Request::new("k-ok", Kind::Kernel)
+        .with_deadline(120_000)
+        .with_param("alg", "strassen")
+        .with_param("n", "24")
+        .with_param("cutoff", "8")
+        .with_param("dtype", "i64")
+        .with_param("check", "true");
+    let resp = client.round_trip(&quick);
+    assert_eq!(resp.status, Status::Completed);
+    assert_eq!(resp.result["matches"], "true");
+    assert_eq!(resp.result["alg"], "strassen");
+    assert!(resp.result["checksum"].parse::<i64>().is_ok());
+    assert!(resp.result["flops"].parse::<u64>().unwrap() > 0);
+
+    // Bad params never consume a queue slot.
+    let bad = Request::new("k-bad", Kind::Kernel).with_param("cutoff", "0");
+    let resp = client.round_trip(&bad);
+    assert_eq!(resp.status, Status::Error);
+    assert!(resp.reason.starts_with("rejected:"), "got: {}", resp.reason);
+
+    // An order-512 multiply cannot finish in 50 ms in a debug build; the
+    // micro-tile cancellation polls must cut it short, and the worker
+    // (plus its kernel thread pool) must come back for the next job.
+    let big = Request::new("k-slow", Kind::Kernel)
+        .with_deadline(50)
+        .with_param("n", "512")
+        .with_param("threads", "2");
+    let started = std::time::Instant::now();
+    let resp = client.round_trip(&big);
+    assert_eq!(resp.status, Status::DeadlineExceeded);
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(30),
+        "kernel job ignored its deadline"
+    );
+    let next = client.round_trip(&cheap_io("after"));
+    assert_eq!(next.status, Status::Completed);
+
+    let stats = server.shutdown_and_wait();
+    assert_eq!(stats.deadline_exceeded, 1);
+    assert_eq!(stats.rejected, 1);
+    assert!(stats.balanced(), "conservation law must hold: {stats:?}");
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! fastmm multiply --alg winograd --n 256 [--cutoff 16] [--seed 42]
+//! fastmm kernel   --alg strassen --n 512 [--cutoff 64] [--threads 1] [--dtype f64] [--check]
 //! fastmm bounds   --n 4096 --m 1024 [--p 49]
 //! fastmm verify   [--n 4]
 //! fastmm io       --alg strassen --n 32 --m 96 [--policy lru|fifo|opt] [--seed 61453]
@@ -55,8 +56,16 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 const USAGE: &str =
-    "usage: fastmm <multiply|bounds|verify|io|faults|pebble|dot|report|bench|sweep|serve|fleet|loadgen> [flags]\n\
+    "usage: fastmm <multiply|kernel|bounds|verify|io|faults|pebble|dot|report|bench|sweep|serve|fleet|loadgen> [flags]\n\
        global flags: --metrics <path.jsonl>  (collect full telemetry, write JSONL on exit)";
+
+const KERNEL_USAGE: &str =
+    "usage: fastmm kernel [--alg classical|strassen] [--n 256] [--cutoff 64]\n\
+       [--threads 1] [--dtype f64|i64] [--seed 42] [--check]\n\
+       Runs the real cache-blocked kernel (fmm-kernel) once and prints a\n\
+       report: wall time, classical-equivalent GFLOP/s, packing time, and\n\
+       micro-tile / recursion counts. --check also runs the naive\n\
+       reference and exits 1 unless the products agree exactly.";
 
 const REPORT_USAGE: &str = "usage: fastmm report <metrics.jsonl>\n\
        fastmm report --traces <metrics.jsonl> [--top <k>]\n\
@@ -164,6 +173,98 @@ fn cmd_multiply(flags: &HashMap<String, String>) {
         counts.scalar_mults, counts.scalar_adds
     );
     println!("  wall time:  {dt:?}");
+}
+
+/// One seeded multiply through the real kernel: wall time, the [`Report`]
+/// the backend accumulated, and — under `--check` — whether the product
+/// matched the naive reference. Generic so `--dtype i64` and `--dtype
+/// f64` share the whole path; small-integer entries make even the f64
+/// comparison exact (every partial sum fits in the 53-bit mantissa).
+fn run_kernel_typed<T: fastmm::matrix::Scalar>(
+    cfg: &fastmm::kernel::KernelCfg,
+    n: usize,
+    seed: u64,
+    check: bool,
+) -> (std::time::Duration, fastmm::kernel::Report, Option<bool>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = Matrix::<T>::random_small(n, n, &mut rng);
+    let b = Matrix::<T>::random_small(n, n, &mut rng);
+    let start = std::time::Instant::now();
+    let (c, report) = fastmm::kernel::multiply_with_report(cfg, &a, &b);
+    let dt = start.elapsed();
+    let matches = check.then(|| c == multiply_naive(&a, &b));
+    (dt, report, matches)
+}
+
+fn cmd_kernel(flags: &HashMap<String, String>) -> ExitCode {
+    let alg_name = flags.get("alg").map(String::as_str).unwrap_or("strassen");
+    let Some(alg) = fastmm::kernel::Alg::parse(alg_name) else {
+        die(
+            &format!("unknown algorithm '{alg_name}' (classical|strassen)"),
+            KERNEL_USAGE,
+        );
+    };
+    let n = get_usize(flags, "n", 256);
+    if n == 0 {
+        die("--n must be at least 1", KERNEL_USAGE);
+    }
+    let cutoff = get_usize(flags, "cutoff", 64);
+    if cutoff == 0 {
+        die("--cutoff must be at least 1", KERNEL_USAGE);
+    }
+    let threads = get_usize(flags, "threads", 1);
+    if threads == 0 {
+        die("--threads must be at least 1", KERNEL_USAGE);
+    }
+    let dtype = flags.get("dtype").map(String::as_str).unwrap_or("f64");
+    if !matches!(dtype, "f64" | "i64") {
+        die(&format!("unknown dtype '{dtype}' (f64|i64)"), KERNEL_USAGE);
+    }
+    let seed = get_u64(flags, "seed", 42);
+    let check = flags.contains_key("check");
+    let cfg = fastmm::kernel::KernelCfg {
+        alg,
+        cutoff,
+        threads,
+    };
+    let (dt, report, matches) = if dtype == "i64" {
+        run_kernel_typed::<i64>(&cfg, n, seed, check)
+    } else {
+        run_kernel_typed::<f64>(&cfg, n, seed, check)
+    };
+    let flops = fastmm::kernel::classical_flops(n);
+    let gflops = flops as f64 / dt.as_secs_f64() / 1e9;
+    println!(
+        "{} kernel, n = {n}, cutoff = {cutoff}, threads = {threads}, dtype = {dtype}",
+        alg.as_str()
+    );
+    println!("  wall time:      {dt:?}");
+    println!("  rate:           {gflops:.2} GFLOP/s (classical-equivalent, {flops} flops)");
+    println!(
+        "  packing time:   {:?}",
+        std::time::Duration::from_nanos(report.pack_ns)
+    );
+    println!("  micro tiles:    {}", report.micro_tiles);
+    if alg == fastmm::kernel::Alg::Strassen {
+        let levels: Vec<String> = report
+            .level_products
+            .iter()
+            .map(|p| p.to_string())
+            .collect();
+        println!("  leaf products:  {}", report.leaf_products);
+        println!("  level products: [{}]", levels.join(", "));
+    }
+    match matches {
+        Some(true) => {
+            println!("  check:          product matches naive reference");
+            ExitCode::SUCCESS
+        }
+        Some(false) => {
+            eprintln!("  check:          MISMATCH against naive reference");
+            ExitCode::FAILURE
+        }
+        None => ExitCode::SUCCESS,
+    }
 }
 
 fn cmd_bounds(flags: &HashMap<String, String>) {
@@ -1333,6 +1434,10 @@ fn main() -> ExitCode {
     }
     let (allowed, usage): (&[&str], &str) = match cmd.as_str() {
         "multiply" => (&["alg", "n", "cutoff", "seed"], USAGE),
+        "kernel" => (
+            &["alg", "n", "cutoff", "threads", "dtype", "seed", "check"],
+            KERNEL_USAGE,
+        ),
         "bounds" => (&["n", "m", "p"], USAGE),
         "verify" => (&["n"], USAGE),
         "io" => (&["alg", "n", "m", "seed", "policy", "faults"], USAGE),
@@ -1411,6 +1516,7 @@ fn main() -> ExitCode {
             cmd_multiply(&flags);
             ExitCode::SUCCESS
         }
+        "kernel" => cmd_kernel(&flags),
         "bounds" => {
             cmd_bounds(&flags);
             ExitCode::SUCCESS

@@ -10,6 +10,7 @@ pub use fmm_bench as bench;
 pub use fmm_cdag as cdag;
 pub use fmm_core as core;
 pub use fmm_faults as faults;
+pub use fmm_kernel as kernel;
 pub use fmm_matrix as matrix;
 pub use fmm_memsim as memsim;
 pub use fmm_obs as obs;
