@@ -129,6 +129,7 @@ fn memsim_lru_n128() -> BTreeMap<String, String> {
 /// so each cell is computed once per process; timed passes then pay
 /// only for the actual kernel work.
 fn model_io(alg: fmm_kernel::Alg, n: usize, leaf: usize) -> u64 {
+    #[allow(clippy::type_complexity)]
     static CACHE: OnceLock<Mutex<BTreeMap<(&'static str, usize, usize), u64>>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
     let mut map = cache.lock().expect("model_io cache");

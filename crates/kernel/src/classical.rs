@@ -178,6 +178,7 @@ pub(crate) fn gemm_block<T: Scalar>(
 /// panel. Slicing every row to exactly `nc` up front lets the compiler
 /// drop the bounds checks and vectorize the `j` loop.
 #[inline]
+#[allow(clippy::too_many_arguments)]
 fn micro_4<T: Scalar>(
     pa: &[T],
     kc: usize,

@@ -145,6 +145,7 @@ fn top_level_mt<T: Scalar>(
 ) -> Matrix<T> {
     stats.level(0, 7);
     let token = cancel::current();
+    #[allow(clippy::type_complexity)]
     let queue: Mutex<Vec<(usize, Matrix<T>, Matrix<T>)>> = Mutex::new(
         operand_pairs(a, b)
             .into_iter()

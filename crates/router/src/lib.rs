@@ -19,9 +19,17 @@
 //! with `shed`/`rejected` refused pre-admission and `redispatched` /
 //! `dup_suppressed` as router-level observability counters, not ledger
 //! entries.
+//!
+//! The self-healing layer (PR 9) keeps the same ledger exact across
+//! *router* death too: a supervisor respawns dead shards at their ring
+//! index behind a crash-loop breaker, and a write-ahead job journal
+//! ([`journal`]) lets `fastmm fleet --resume` rebuild counters, the
+//! idempotency map, and the in-flight set after a SIGKILL.
 
+pub mod journal;
 pub mod ring;
 pub mod router;
 
+pub use journal::{load_lenient, replay, Journal, Replay, TornTail};
 pub use ring::{spec_hash, Ring, VNODES};
-pub use router::{FleetSnapshot, RouterConfig, RouterHandle};
+pub use router::{FleetSnapshot, RouterConfig, RouterHandle, ShardSpawner, StartOptions};

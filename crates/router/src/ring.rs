@@ -20,12 +20,14 @@ pub const VNODES: usize = 64;
 /// every parameter, sorted by key (the `BTreeMap` order), with the
 /// router's own propagation params excluded — `trace_id`/`parent_span`
 /// are transport, not spec, and must not move a re-dispatched job to a
-/// different ring position than its first attempt.
+/// different ring position than its first attempt. `client_tag` is
+/// likewise identity, not spec: a reconnecting client re-sending under
+/// the same tag must hash to the same key so dup-suppression can see it.
 pub fn spec_hash(kind: Kind, params: &BTreeMap<String, String>) -> u64 {
     let mut buf: Vec<u8> = Vec::with_capacity(64);
     buf.extend_from_slice(kind.as_str().as_bytes());
     for (k, v) in params {
-        if k == "trace_id" || k == "parent_span" {
+        if k == "trace_id" || k == "parent_span" || k == "client_tag" {
             continue;
         }
         buf.push(0);
@@ -104,6 +106,7 @@ mod tests {
                 ("n", "32"),
                 ("trace_id", "00000000deadbeef"),
                 ("parent_span", "42"),
+                ("client_tag", "lg-c3"),
             ]),
         );
         assert_eq!(base, with_trace, "transport params must not move keys");

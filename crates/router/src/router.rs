@@ -7,7 +7,9 @@
 //! router-accept ────── nonblocking accept; owns the drain sequence
 //!   ├── router-conn (one per client; admits jobs, answers fleet verbs)
 //!   ├── router-shard-{0..N} ── reply reader per shard job connection
-//!   └── router-health ─────── periodic health probes, degraded/dead marks
+//!   ├── router-health ─────── periodic health probes, degraded/dead marks
+//!   ├── router-supervisor ─── respawns dead shards (breaker-guarded)
+//!   └── router-resume ─────── re-dispatches journal-replayed in-flight jobs
 //! ```
 //!
 //! Invariant, mirroring the single server's: **every job the router
@@ -27,7 +29,27 @@
 //! job's [`fmm_faults::CancelToken`] — armed at *router* admission —
 //! turns a job that out-waits its deadline while bouncing between
 //! shards into an honest `deadline-exceeded`.
+//!
+//! Two crash-robustness layers sit on top (PR 9):
+//!
+//! * **Supervision.** When started with a [`ShardSpawner`]
+//!   (`fleet --supervise`), a supervisor thread respawns dead shards
+//!   with [`fmm_faults::backoff_micros`]-shaped delays, re-inserting the
+//!   replacement at the *same ring index* so sticky routing resumes
+//!   untouched. A crash-loop breaker quarantines a shard after
+//!   `breaker_k` crashes inside `breaker_window_ms` — a poison shard
+//!   redistributes permanently instead of flapping.
+//! * **Journaling.** With `journal_path` set, every admission,
+//!   settlement, and refusal is appended to a write-ahead JSONL journal
+//!   ([`crate::journal`]) *before* the corresponding reply is sent.
+//!   After a router SIGKILL, `fleet --resume <journal>` replays the log:
+//!   counters and the settled-status table are rebuilt, unsettled
+//!   admissions are re-dispatched against the surviving shards, and a
+//!   reconnecting client re-sending under the same `client_tag` either
+//!   reattaches to the live job or gets the already-settled terminal
+//!   status replayed — the conservation law closes across the crash.
 
+use crate::journal::{Journal, Record, Replay};
 use crate::ring::{spec_hash, Ring};
 use fmm_faults::{backoff_micros, splitmix64, CancelReason, CancelToken};
 use fmm_obs::span::SpanRecord;
@@ -58,11 +80,24 @@ pub struct RouterConfig {
     pub default_deadline_ms: Option<u64>,
     /// Lines longer than this are rejected unread, on both sides.
     pub max_line_bytes: usize,
-    /// Health probe interval.
+    /// Health probe interval (also the supervisor's scan cadence).
     pub poll_ms: u64,
     /// Dispatch attempts per job (first dispatch included) before the
     /// router gives up and sheds it back to the client.
     pub max_attempts: u32,
+    /// Respawn dead shards (requires a [`ShardSpawner`] in
+    /// [`StartOptions`]; no-op without one).
+    pub supervise: bool,
+    /// Crash-loop breaker: this many crashes inside
+    /// [`RouterConfig::breaker_window_ms`] quarantines the shard.
+    pub breaker_k: u32,
+    /// Sliding window for the crash-loop breaker.
+    pub breaker_window_ms: u64,
+    /// Write-ahead job journal path; `None` disables journaling.
+    pub journal_path: Option<String>,
+    /// Honour the `kill-router` chaos verb (the fleet *binary* enables
+    /// this; in-process routers must never SIGKILL their host).
+    pub allow_kill_router: bool,
 }
 
 impl Default for RouterConfig {
@@ -75,6 +110,11 @@ impl Default for RouterConfig {
             max_line_bytes: 64 * 1024,
             poll_ms: 100,
             max_attempts: 5,
+            supervise: false,
+            breaker_k: 3,
+            breaker_window_ms: 30_000,
+            journal_path: None,
+            allow_kill_router: false,
         }
     }
 }
@@ -84,19 +124,25 @@ const HEALTHY: u8 = 0;
 const DEGRADED: u8 = 1;
 const DRAINING: u8 = 2;
 const DEAD: u8 = 3;
+/// Crash-loop breaker open: like dead, but the supervisor must never
+/// respawn it and nothing may downgrade it back.
+const QUARANTINED: u8 = 4;
 
 fn state_name(state: u8) -> &'static str {
     match state {
         HEALTHY => "healthy",
         DEGRADED => "degraded",
         DRAINING => "draining",
+        QUARANTINED => "quarantined",
         _ => "dead",
     }
 }
 
 struct Shard {
     idx: usize,
-    addr: String,
+    /// Current address; a respawned shard comes back on a fresh
+    /// ephemeral port but keeps its ring index.
+    addr: Mutex<String>,
     state: AtomicU8,
     /// Writer half of the persistent job connection; `None` once down.
     conn: Mutex<Option<TcpStream>>,
@@ -105,24 +151,56 @@ struct Shard {
     child: Mutex<Option<Child>>,
     /// Consecutive failed health probes.
     misses: AtomicU32,
+    /// Recent unplanned-death timestamps, pruned to the breaker window.
+    crashes: Mutex<Vec<Instant>>,
+    /// Deliberately removed (drained or shut down): the supervisor must
+    /// not resurrect it.
+    retired: AtomicBool,
+    /// Connection generation, bumped at every respawn; a reply reader
+    /// only marks the shard down if its generation is still current.
+    epoch: AtomicU64,
 }
 
 impl Shard {
     fn routable(&self) -> bool {
         self.state.load(Ordering::SeqCst) <= DEGRADED
     }
+
+    fn addr(&self) -> String {
+        self.addr.lock().unwrap().clone()
+    }
 }
 
-/// Serialised writer half of one *client* connection.
+/// Respawn callback: given a shard index, bring up a replacement
+/// process/listener and return its address (plus the child process when
+/// the caller owns one). Supplied by the fleet binary (re-running
+/// `spawn_shard`) or by tests (starting an in-process server).
+pub type ShardSpawner = Arc<dyn Fn(usize) -> Result<(String, Option<Child>), String> + Send + Sync>;
+
+/// Serialised writer half of one *client* connection. `None` is a
+/// discard sink: a journal-resumed job whose original client is gone
+/// still settles (and is counted) but has nowhere to write — unless the
+/// client re-sends under the same `client_tag` and reattaches, swapping
+/// a live stream in.
 #[derive(Clone)]
-struct Reply(Arc<Mutex<TcpStream>>);
+struct Reply(Arc<Mutex<Option<TcpStream>>>);
 
 impl Reply {
+    fn new(stream: TcpStream) -> Reply {
+        Reply(Arc::new(Mutex::new(Some(stream))))
+    }
+
+    fn discard() -> Reply {
+        Reply(Arc::new(Mutex::new(None)))
+    }
+
     fn send(&self, resp: &Response) {
         let line = resp.to_line();
         let mut stream = self.0.lock().unwrap();
-        let _ = writeln!(stream, "{line}");
-        let _ = stream.flush();
+        if let Some(stream) = stream.as_mut() {
+            let _ = writeln!(stream, "{line}");
+            let _ = stream.flush();
+        }
     }
 }
 
@@ -155,6 +233,10 @@ struct JobState {
     route_span: u64,
     token: CancelToken,
     admitted: Instant,
+    /// Rebuilt from the journal: a re-sent duplicate reattaches instead
+    /// of being rejected, and the settle is remembered with its status
+    /// so an even later re-send gets the terminal reply replayed.
+    resumed: bool,
 }
 
 type SharedJob = Arc<Mutex<JobState>>;
@@ -172,6 +254,10 @@ struct Counters {
     dup_suppressed: AtomicU64,
     shards_killed: AtomicU64,
     malformed_shard_replies: AtomicU64,
+    restarts: AtomicU64,
+    breaker_open: AtomicU64,
+    journal_replayed: AtomicU64,
+    resumed_inflight: AtomicU64,
 }
 
 fn bump(which: &AtomicU64, obs_name: &str) {
@@ -198,10 +284,20 @@ pub struct FleetSnapshot {
     pub shards_killed: u64,
     /// Shard reply lines that failed to parse (the router skips them).
     pub malformed_shard_replies: u64,
+    /// Dead shards respawned by the supervisor.
+    pub restarts: u64,
+    /// Crash-loop breakers opened (shards quarantined).
+    pub breaker_open: u64,
+    /// Journal records replayed at resume (admits + settles + refusals).
+    pub journal_replayed: u64,
+    /// Unsettled admissions rebuilt from the journal and re-dispatched.
+    pub resumed_inflight: u64,
     /// Fleet size (fixed).
     pub shards: usize,
     /// Shards currently marked dead.
     pub shards_dead: usize,
+    /// Shards quarantined by the crash-loop breaker.
+    pub shards_quarantined: usize,
     /// Final counters per shard from its shutdown ack; `None` for a
     /// shard that died unacknowledged (e.g. SIGKILLed).
     pub shard_acks: Vec<Option<BTreeMap<String, String>>>,
@@ -274,12 +370,20 @@ impl FleetSnapshot {
             "malformed_shard_replies".into(),
             self.malformed_shard_replies.to_string(),
         );
+        m.insert("restarts".into(), self.restarts.to_string());
+        m.insert("breaker_open".into(), self.breaker_open.to_string());
+        m.insert("journal_replayed".into(), self.journal_replayed.to_string());
+        m.insert("resumed_inflight".into(), self.resumed_inflight.to_string());
         m.insert("shards".into(), self.shards.to_string());
         m.insert(
             "shards_live".into(),
-            (self.shards - self.shards_dead).to_string(),
+            (self.shards - self.shards_dead - self.shards_quarantined).to_string(),
         );
         m.insert("shards_dead".into(), self.shards_dead.to_string());
+        m.insert(
+            "shards_quarantined".into(),
+            self.shards_quarantined.to_string(),
+        );
         m
     }
 }
@@ -294,8 +398,17 @@ struct SharedRouter {
     /// Live idempotency keys (admitted, not yet settled).
     idem_live: Mutex<HashMap<IdemKey, SharedJob>>,
     /// Recently settled keys, bounded, for late-duplicate admission
-    /// suppression.
-    settled_recently: Mutex<(VecDeque<IdemKey>, HashSet<IdemKey>)>,
+    /// suppression. A `Some((status, reason))` value — recorded for
+    /// journal-replayed settles and for settles of resumed jobs — means
+    /// a duplicate re-send gets that terminal status *replayed* rather
+    /// than a duplicate rejection: the reconnecting client's answer.
+    #[allow(clippy::type_complexity)]
+    settled_recently: Mutex<(
+        VecDeque<IdemKey>,
+        HashMap<IdemKey, Option<(Status, String)>>,
+    )>,
+    /// Write-ahead job journal (`None` when journaling is off).
+    journal: Option<Journal>,
     draining: AtomicBool,
     shutdown: AtomicBool,
     /// The shard shutdown sequence ran (guards double-drain).
@@ -330,15 +443,50 @@ impl SharedRouter {
             dup_suppressed: c.dup_suppressed.load(Ordering::SeqCst),
             shards_killed: c.shards_killed.load(Ordering::SeqCst),
             malformed_shard_replies: c.malformed_shard_replies.load(Ordering::SeqCst),
+            restarts: c.restarts.load(Ordering::SeqCst),
+            breaker_open: c.breaker_open.load(Ordering::SeqCst),
+            journal_replayed: c.journal_replayed.load(Ordering::SeqCst),
+            resumed_inflight: c.resumed_inflight.load(Ordering::SeqCst),
             shards: self.shards.len(),
             shards_dead: self
                 .shards
                 .iter()
                 .filter(|s| s.state.load(Ordering::SeqCst) == DEAD)
                 .count(),
+            shards_quarantined: self
+                .shards
+                .iter()
+                .filter(|s| s.state.load(Ordering::SeqCst) == QUARANTINED)
+                .count(),
             shard_acks: self.shard_acks.lock().unwrap().clone(),
         }
     }
+
+    /// Remember a settled key (bounded), optionally with its terminal
+    /// status for duplicate-replay.
+    fn remember_settled(&self, idem: IdemKey, replayable: Option<(Status, String)>) {
+        let mut settled = self.settled_recently.lock().unwrap();
+        settled.0.push_back(idem.clone());
+        settled.1.insert(idem, replayable);
+        while settled.0.len() > SETTLED_CAP {
+            if let Some(old) = settled.0.pop_front() {
+                settled.1.remove(&old);
+            }
+        }
+    }
+}
+
+/// Everything [`RouterHandle::start_with`] may take beyond the config.
+#[derive(Default)]
+pub struct StartOptions {
+    /// Spawned shard processes in shard order (`None` per slot when
+    /// attaching to externally managed shards); a missing tail is
+    /// treated as all-`None`.
+    pub procs: Vec<Option<Child>>,
+    /// Respawn callback for the supervisor ([`RouterConfig::supervise`]).
+    pub spawner: Option<ShardSpawner>,
+    /// A replayed journal to resume from (see [`crate::journal::replay`]).
+    pub resume: Option<Replay>,
 }
 
 /// A running fleet router. Dropping the handle initiates shutdown and
@@ -350,29 +498,68 @@ pub struct RouterHandle {
 }
 
 impl RouterHandle {
-    /// Connect to every shard, bind the front end, and return. `procs`
-    /// carries the spawned shard processes in shard order (use `None`
-    /// per slot when attaching to externally managed shards); a missing
-    /// tail is treated as all-`None`.
+    /// Connect to every shard, bind the front end, and return.
     pub fn start(cfg: RouterConfig, procs: Vec<Option<Child>>) -> std::io::Result<RouterHandle> {
+        RouterHandle::start_with(
+            cfg,
+            StartOptions {
+                procs,
+                ..StartOptions::default()
+            },
+        )
+    }
+
+    /// [`RouterHandle::start`] plus supervision and journal-resume.
+    ///
+    /// Without a resume, an unreachable shard fails the start (a fresh
+    /// fleet must come up whole). *With* one, unreachable shards come up
+    /// `dead` instead — shards are separate processes that normally
+    /// outlive a router SIGKILL, but any that didn't are exactly what
+    /// the supervisor is for.
+    pub fn start_with(cfg: RouterConfig, opts: StartOptions) -> std::io::Result<RouterHandle> {
+        let io_err = |e: String| std::io::Error::other(e);
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let mut procs = procs;
+        let mut procs = opts.procs;
         procs.resize_with(cfg.shard_addrs.len(), || None);
+        let resuming = opts.resume.is_some();
+        let journal = match (&cfg.journal_path, resuming) {
+            (Some(path), false) => {
+                Some(Journal::create(path, cfg.seed, &cfg.shard_addrs).map_err(io_err)?)
+            }
+            (Some(path), true) => Some(Journal::open_append(path).map_err(io_err)?),
+            (None, _) => None,
+        };
         let mut shards = Vec::with_capacity(cfg.shard_addrs.len());
         let mut readers = Vec::with_capacity(cfg.shard_addrs.len());
         for (idx, (shard_addr, child)) in cfg.shard_addrs.iter().zip(procs).enumerate() {
-            let stream = TcpStream::connect(shard_addr)?;
-            let _ = stream.set_nodelay(true);
-            readers.push(stream.try_clone()?);
+            let (state, conn, crashes) = match TcpStream::connect(shard_addr) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    readers.push(Some(stream.try_clone()?));
+                    (HEALTHY, Some(stream), Vec::new())
+                }
+                Err(e) if resuming => {
+                    eprintln!(
+                        "fleet: shard {idx} at {shard_addr} unreachable on resume ({e}); \
+                         starting it dead"
+                    );
+                    readers.push(None);
+                    (DEAD, None, vec![Instant::now()])
+                }
+                Err(e) => return Err(e),
+            };
             shards.push(Shard {
                 idx,
-                addr: shard_addr.clone(),
-                state: AtomicU8::new(HEALTHY),
-                conn: Mutex::new(Some(stream)),
+                addr: Mutex::new(shard_addr.clone()),
+                state: AtomicU8::new(state),
+                conn: Mutex::new(conn),
                 child: Mutex::new(child),
                 misses: AtomicU32::new(0),
+                crashes: Mutex::new(crashes),
+                retired: AtomicBool::new(false),
+                epoch: AtomicU64::new(0),
             });
         }
         let ring = Ring::build(shards.len());
@@ -384,7 +571,8 @@ impl RouterHandle {
             counters: Counters::default(),
             pending: Mutex::new(HashMap::new()),
             idem_live: Mutex::new(HashMap::new()),
-            settled_recently: Mutex::new((VecDeque::new(), HashSet::new())),
+            settled_recently: Mutex::new((VecDeque::new(), HashMap::new())),
+            journal,
             draining: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
             shards_shut: AtomicBool::new(false),
@@ -395,17 +583,41 @@ impl RouterHandle {
             client_conns: Mutex::new(Vec::new()),
             shard_acks: Mutex::new(vec![None; n]),
         });
+        let resumed_jobs = match opts.resume {
+            Some(replay) => apply_replay(&shared, replay),
+            None => Vec::new(),
+        };
         for (idx, stream) in readers.into_iter().enumerate() {
-            let shared = Arc::clone(&shared);
-            let _ = std::thread::Builder::new()
-                .name(format!("router-shard-{idx}"))
-                .spawn(move || shard_reader(&shared, idx, stream));
+            if let Some(stream) = stream {
+                spawn_shard_reader(&shared, idx, stream);
+            }
         }
         {
             let shared = Arc::clone(&shared);
             let _ = std::thread::Builder::new()
                 .name("router-health".to_string())
                 .spawn(move || health_poller(&shared));
+        }
+        if shared.cfg.supervise {
+            if let Some(spawner) = opts.spawner {
+                let shared = Arc::clone(&shared);
+                let _ = std::thread::Builder::new()
+                    .name("router-supervisor".to_string())
+                    .spawn(move || supervisor(&shared, spawner));
+            }
+        }
+        if !resumed_jobs.is_empty() {
+            // Dispatch blocks (backoff, possibly no live shard yet), so
+            // the replayed in-flight set re-dispatches off-thread while
+            // the front end comes up and clients reconnect.
+            let shared = Arc::clone(&shared);
+            let _ = std::thread::Builder::new()
+                .name("router-resume".to_string())
+                .spawn(move || {
+                    for job in resumed_jobs {
+                        dispatch(&shared, &job);
+                    }
+                });
         }
         let accept = {
             let shared = Arc::clone(&shared);
@@ -496,6 +708,8 @@ fn dispatch(shared: &Arc<SharedRouter>, job: &SharedJob) {
             let env = shared.env_seq.fetch_add(1, Ordering::SeqCst);
             let mut fwd = st.req.clone();
             fwd.id = format!("f{env:x}");
+            // Client identity is router-side state, not shard spec.
+            fwd.params.remove("client_tag");
             fwd.params
                 .insert("trace_id".into(), format!("{:016x}", st.trace));
             if st.route_span != 0 {
@@ -574,7 +788,7 @@ fn redispatch(shared: &Arc<SharedRouter>, job: &SharedJob, last: Option<Response
 
 /// Forward a terminal reply to the client and count it — exactly once.
 fn settle(shared: &Arc<SharedRouter>, job: &SharedJob, mut resp: Response) {
-    let (envs, idem, reply) = {
+    let (envs, idem, reply, resumed) = {
         let mut st = job.lock().unwrap();
         if st.settled {
             bump(&shared.counters.dup_suppressed, "router_dup_suppressed");
@@ -612,8 +826,22 @@ fn settle(shared: &Arc<SharedRouter>, job: &SharedJob, mut resp: Response) {
         resp.result.insert("shard".into(), st.shard.to_string());
         resp.result
             .insert("attempts".into(), st.attempts.to_string());
-        (st.envelopes.clone(), st.idem.clone(), st.reply.clone())
+        (
+            st.envelopes.clone(),
+            st.idem.clone(),
+            st.reply.clone(),
+            st.resumed,
+        )
     };
+    // Journal the settle *before* the reply leaves: a SIGKILL between
+    // the two re-settles (and replays) rather than double-counts.
+    if let Some(j) = &shared.journal {
+        j.append(&Record::Settle {
+            key: idem.clone(),
+            status: resp.status,
+            reason: resp.reason.clone(),
+        });
+    }
     reply.send(&resp);
     {
         let mut pending = shared.pending.lock().unwrap();
@@ -623,14 +851,11 @@ fn settle(shared: &Arc<SharedRouter>, job: &SharedJob, mut resp: Response) {
         fmm_obs::gauge("router_pending", &[], pending.len() as f64);
     }
     shared.idem_live.lock().unwrap().remove(&idem);
-    let mut settled = shared.settled_recently.lock().unwrap();
-    settled.0.push_back(idem.clone());
-    settled.1.insert(idem);
-    while settled.0.len() > SETTLED_CAP {
-        if let Some(old) = settled.0.pop_front() {
-            settled.1.remove(&old);
-        }
-    }
+    // A resumed job's client may still be reconnecting: keep the
+    // terminal status replayable. Ordinary settles keep the old
+    // duplicate-rejection semantics.
+    let replayable = resumed.then(|| (resp.status, resp.reason.clone()));
+    shared.remember_settled(idem, replayable);
 }
 
 /// Give a job back to the client unadmitted: roll the acceptance back
@@ -647,6 +872,11 @@ fn refuse(shared: &Arc<SharedRouter>, job: &SharedJob, last: Option<Response>) {
         (st.idem.clone(), st.reply.clone(), st.client_id.clone())
     };
     shared.counters.accepted.fetch_sub(1, Ordering::SeqCst);
+    // Cancel the admission in the journal too, or a resume would count
+    // an accepted job that never got a terminal reply.
+    if let Some(j) = &shared.journal {
+        j.append(&Record::Refuse { key: idem.clone() });
+    }
     let mut resp = match last {
         Some(r)
             if r.status == Status::Shed
@@ -676,7 +906,7 @@ fn refuse(shared: &Arc<SharedRouter>, job: &SharedJob, last: Option<Response>) {
 // Shard side: reply reader, death sweep, health poller
 // ---------------------------------------------------------------------
 
-fn shard_reader(shared: &Arc<SharedRouter>, idx: usize, stream: TcpStream) {
+fn shard_reader(shared: &Arc<SharedRouter>, stream: TcpStream) {
     let mut reader = BufReader::new(stream);
     let mut buf = Vec::new();
     let mut oversized = false;
@@ -716,7 +946,8 @@ fn shard_reader(shared: &Arc<SharedRouter>, idx: usize, stream: TcpStream) {
         handle_shard_reply(shared, resp);
     }
     // EOF: the shard exited (killed, drained, or shutdown closed it).
-    on_shard_down(shared, idx);
+    // The epoch-guarded wrapper in [`spawn_shard_reader`] marks it down
+    // — unless a respawn already replaced this connection.
 }
 
 fn handle_shard_reply(shared: &Arc<SharedRouter>, resp: Response) {
@@ -751,13 +982,20 @@ fn handle_shard_reply(shared: &Arc<SharedRouter>, resp: Response) {
     }
 }
 
-/// Mark a shard dead (idempotent) and re-dispatch every unsettled job
-/// assigned to it.
+/// Mark a shard dead (idempotent, and never downgrading a quarantine)
+/// and re-dispatch every unsettled job assigned to it.
 fn on_shard_down(shared: &Arc<SharedRouter>, idx: usize) {
     let shard = &shared.shards[idx];
-    if shard.state.swap(DEAD, Ordering::SeqCst) == DEAD {
+    let newly_dead = shard
+        .state
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |s| {
+            (s != DEAD && s != QUARANTINED).then_some(DEAD)
+        })
+        .is_ok();
+    if !newly_dead {
         return;
     }
+    shard.crashes.lock().unwrap().push(Instant::now());
     fmm_obs::add("router_shard_down", &[], 1);
     if let Some(conn) = shard.conn.lock().unwrap().take() {
         let _ = conn.shutdown(Shutdown::Both);
@@ -786,6 +1024,172 @@ fn on_shard_down(shared: &Arc<SharedRouter>, idx: usize) {
             redispatch(shared, &job, None);
         }
     }
+}
+
+/// Spawn the reply-reader thread for one shard job connection. `epoch`
+/// guards the EOF mark-down: a stale reader from before a respawn must
+/// not kill the replacement shard.
+fn spawn_shard_reader(shared: &Arc<SharedRouter>, idx: usize, stream: TcpStream) {
+    let epoch = shared.shards[idx].epoch.load(Ordering::SeqCst);
+    let shared = Arc::clone(shared);
+    let _ = std::thread::Builder::new()
+        .name(format!("router-shard-{idx}"))
+        .spawn(move || {
+            shard_reader(&shared, stream);
+            if shared.shards[idx].epoch.load(Ordering::SeqCst) == epoch {
+                on_shard_down(&shared, idx);
+            }
+        });
+}
+
+/// The self-healing loop: respawn dead shards at the *same ring index*
+/// (sticky routing resumes untouched), with fmm-faults exponential
+/// backoff between attempts — unless the crash-loop breaker says the
+/// shard is poison, in which case it is quarantined for good and its
+/// keys stay redistributed.
+fn supervisor(shared: &Arc<SharedRouter>, spawner: ShardSpawner) {
+    let scan = Duration::from_millis(shared.cfg.poll_ms.max(10));
+    let window = Duration::from_millis(shared.cfg.breaker_window_ms);
+    let mut attempts: Vec<u32> = vec![0; shared.shards.len()];
+    while !shared.shutdown.load(Ordering::SeqCst) && !shared.draining.load(Ordering::SeqCst) {
+        for shard in &shared.shards {
+            if shard.state.load(Ordering::SeqCst) != DEAD || shard.retired.load(Ordering::SeqCst) {
+                continue;
+            }
+            let recent = {
+                let mut crashes = shard.crashes.lock().unwrap();
+                crashes.retain(|t| t.elapsed() < window);
+                crashes.len() as u32
+            };
+            if recent >= shared.cfg.breaker_k {
+                if shard
+                    .state
+                    .compare_exchange(DEAD, QUARANTINED, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    bump(&shared.counters.breaker_open, "router_breaker_open");
+                    eprintln!(
+                        "fleet: shard {} crash-looped ({recent} crashes in {}ms); \
+                         breaker open, shard quarantined",
+                        shard.idx, shared.cfg.breaker_window_ms
+                    );
+                }
+                continue;
+            }
+            attempts[shard.idx] = attempts[shard.idx].saturating_add(1);
+            // The fault toolkit's 50µs→5ms curve, shaped to process
+            // respawn scale (5ms→500ms).
+            std::thread::sleep(Duration::from_micros(
+                backoff_micros(attempts[shard.idx]) * 100,
+            ));
+            match respawn(shared, shard, &spawner) {
+                Ok(()) => {
+                    attempts[shard.idx] = 0;
+                    bump(&shared.counters.restarts, "router_restarts");
+                    eprintln!(
+                        "fleet: shard {} respawned at {} (ring index unchanged)",
+                        shard.idx,
+                        shard.addr()
+                    );
+                }
+                Err(e) => eprintln!("fleet: shard {} respawn failed: {e}", shard.idx),
+            }
+        }
+        std::thread::sleep(scan);
+    }
+}
+
+/// Bring one replacement shard up and splice it into the same slot.
+fn respawn(
+    shared: &Arc<SharedRouter>,
+    shard: &Shard,
+    spawner: &ShardSpawner,
+) -> Result<(), String> {
+    let (new_addr, child) = spawner(shard.idx)?;
+    let stream = match TcpStream::connect(&new_addr) {
+        Ok(s) => s,
+        Err(e) => {
+            if let Some(mut c) = child {
+                let _ = c.kill();
+                let _ = c.wait();
+            }
+            return Err(format!("connect {new_addr}: {e}"));
+        }
+    };
+    let _ = stream.set_nodelay(true);
+    let reader = stream.try_clone().map_err(|e| e.to_string())?;
+    shard.epoch.fetch_add(1, Ordering::SeqCst);
+    *shard.addr.lock().unwrap() = new_addr;
+    *shard.conn.lock().unwrap() = Some(stream);
+    *shard.child.lock().unwrap() = child;
+    shard.misses.store(0, Ordering::SeqCst);
+    shard.state.store(HEALTHY, Ordering::SeqCst);
+    spawn_shard_reader(shared, shard.idx, reader);
+    Ok(())
+}
+
+/// Seed a fresh router's counters, settled table, and in-flight set
+/// from a replayed journal. Returns the rebuilt jobs, ready to
+/// dispatch once the fleet is up.
+fn apply_replay(shared: &Arc<SharedRouter>, replay: Replay) -> Vec<SharedJob> {
+    let c = &shared.counters;
+    c.accepted.store(replay.accepted, Ordering::SeqCst);
+    c.completed.store(replay.completed, Ordering::SeqCst);
+    c.errored.store(replay.errored, Ordering::SeqCst);
+    c.cancelled.store(replay.cancelled, Ordering::SeqCst);
+    c.deadline_exceeded
+        .store(replay.deadline_exceeded, Ordering::SeqCst);
+    c.journal_replayed.store(replay.replayed, Ordering::SeqCst);
+    c.resumed_inflight
+        .store(replay.inflight.len() as u64, Ordering::SeqCst);
+    fmm_obs::add("router_journal_replayed", &[], replay.replayed);
+    for (key, status, reason) in replay.settled {
+        shared.remember_settled(key, Some((status, reason)));
+    }
+    let mut jobs = Vec::with_capacity(replay.inflight.len());
+    for (idem, trace, req_line) in replay.inflight {
+        let req = match Request::parse(&req_line) {
+            Ok(r) => r,
+            Err(e) => {
+                // Unreplayable: roll its admission back so the
+                // conservation law still closes.
+                eprintln!("fleet: resume cannot re-parse a journaled request ({e}); dropping it");
+                c.accepted.fetch_sub(1, Ordering::SeqCst);
+                c.resumed_inflight.fetch_sub(1, Ordering::SeqCst);
+                continue;
+            }
+        };
+        // The journal records the *resolved* deadline, not elapsed
+        // runtime: the budget restarts at resume.
+        let token = match req.deadline_ms {
+            Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+            None => CancelToken::new(),
+        };
+        let job = Arc::new(Mutex::new(JobState {
+            client_id: req.id.clone(),
+            reply: Reply::discard(),
+            kind: req.kind,
+            hash: idem.0,
+            idem: idem.clone(),
+            attempts: 0,
+            shard: usize::MAX,
+            envelopes: Vec::new(),
+            settled: false,
+            trace,
+            route_span: 0,
+            token,
+            admitted: Instant::now(),
+            resumed: true,
+            req,
+        }));
+        shared
+            .idem_live
+            .lock()
+            .unwrap()
+            .insert(idem, Arc::clone(&job));
+        jobs.push(job);
+    }
+    jobs
 }
 
 fn probe_health(addr: &str, timeout: Duration, max_line_bytes: usize) -> bool {
@@ -839,7 +1243,7 @@ fn health_poller(shared: &Arc<SharedRouter>) {
                 continue;
             }
             if probe_health(
-                &shard.addr,
+                &shard.addr(),
                 poll.max(Duration::from_millis(50)),
                 shared.cfg.max_line_bytes,
             ) {
@@ -919,12 +1323,15 @@ fn shutdown_shards(shared: &Arc<SharedRouter>) {
         return;
     }
     for shard in &shared.shards {
-        if shard.state.load(Ordering::SeqCst) == DEAD {
+        // Retire first so the supervisor can never resurrect a shard
+        // the drain already decided about.
+        shard.retired.store(true, Ordering::SeqCst);
+        if shard.state.load(Ordering::SeqCst) >= DEAD {
             continue;
         }
         shard.state.store(DRAINING, Ordering::SeqCst);
         if control_roundtrip(
-            &shard.addr,
+            &shard.addr(),
             &Request::new("stop", Kind::Shutdown),
             Duration::from_secs(20),
             shared.cfg.max_line_bytes,
@@ -935,6 +1342,10 @@ fn shutdown_shards(shared: &Arc<SharedRouter>) {
             reap_acked_child(shard);
         }
         on_shard_down(shared, shard.idx);
+    }
+    // The fleet is down; make the journal durable through its last line.
+    if let Some(j) = &shared.journal {
+        j.sync();
     }
 }
 
@@ -987,7 +1398,7 @@ fn control_roundtrip(
 
 fn conn_loop(shared: &Arc<SharedRouter>, stream: TcpStream) {
     let reply = match stream.try_clone() {
-        Ok(clone) => Reply(Arc::new(Mutex::new(clone))),
+        Ok(clone) => Reply::new(clone),
         Err(_) => return,
     };
     let conn_serial = shared.conn_seq.fetch_add(1, Ordering::SeqCst);
@@ -1048,19 +1459,73 @@ fn admit(shared: &Arc<SharedRouter>, reply: &Reply, mut req: Request, conn_seria
         return;
     }
     let hash = spec_hash(req.kind, &req.params);
+    // A client that names itself (`client_tag` param) keeps its identity
+    // across reconnects — the whole point: its re-sent requests land on
+    // the same idempotency keys. Anonymous clients fall back to the
+    // per-connection serial, where a reconnect is a new identity.
+    let tag = match req.params.get("client_tag") {
+        Some(t) => format!("{t}:{}", req.id),
+        None => format!("{conn_serial}:{}", req.id),
+    };
     let idem: IdemKey = (
         hash,
         req.params.get("seed").cloned().unwrap_or_default(),
-        format!("{conn_serial}:{}", req.id),
+        tag,
     );
-    let duplicate = shared.idem_live.lock().unwrap().contains_key(&idem)
-        || shared.settled_recently.lock().unwrap().1.contains(&idem);
-    if duplicate {
+    let live = shared.idem_live.lock().unwrap().get(&idem).cloned();
+    if let Some(job) = live {
+        let mut st = job.lock().unwrap();
+        if !st.settled {
+            if st.resumed {
+                // A journal-resumed job whose client came back: swap the
+                // live connection in; the settle answers here.
+                st.client_id = req.id.clone();
+                st.reply = reply.clone();
+                drop(st);
+                bump(&shared.counters.dup_suppressed, "router_dup_suppressed");
+                return;
+            }
+            drop(st);
+            bump(&shared.counters.dup_suppressed, "router_dup_suppressed");
+            bump(&shared.counters.rejected, "router_rejected");
+            reply.send(&Response::new(&req.id, Status::Error).with_reason(
+                "rejected: duplicate (spec_hash, seed, client_tag) in flight or recently settled",
+            ));
+            return;
+        }
+        // Settled while we looked: the settled-recently table below has
+        // the verdict.
+    }
+    let settled_dup = shared
+        .settled_recently
+        .lock()
+        .unwrap()
+        .1
+        .get(&idem)
+        .cloned();
+    if let Some(replayable) = settled_dup {
         bump(&shared.counters.dup_suppressed, "router_dup_suppressed");
-        bump(&shared.counters.rejected, "router_rejected");
-        reply.send(&Response::new(&req.id, Status::Error).with_reason(
-            "rejected: duplicate (spec_hash, seed, client_tag) in flight or recently settled",
-        ));
+        match replayable {
+            Some((status, reason)) => {
+                // The job already settled (journal replay, or a resumed
+                // job that finished before its client reattached):
+                // replay the terminal status instead of rejecting — the
+                // client's re-send settles exactly once, with the same
+                // answer. No counter moves; the settle was counted.
+                let mut resp = Response::new(&req.id, status);
+                if !reason.is_empty() {
+                    resp = resp.with_reason(&reason);
+                }
+                resp.result.insert("replayed".into(), "journal".into());
+                reply.send(&resp);
+            }
+            None => {
+                bump(&shared.counters.rejected, "router_rejected");
+                reply.send(&Response::new(&req.id, Status::Error).with_reason(
+                    "rejected: duplicate (spec_hash, seed, client_tag) in flight or recently settled",
+                ));
+            }
+        }
         return;
     }
     let deadline = req.deadline_ms.or(shared.cfg.default_deadline_ms);
@@ -1079,6 +1544,17 @@ fn admit(shared: &Arc<SharedRouter>, reply: &Reply, mut req: Request, conn_seria
     } else {
         0
     };
+    // Journal the admission before the first dispatch: a SIGKILL after
+    // this line re-dispatches the job at resume instead of losing it.
+    if let Some(j) = &shared.journal {
+        let shard_hint = shared.ring.route(hash, &shared.alive_mask()).unwrap_or(0);
+        j.append(&Record::Admit {
+            key: idem.clone(),
+            trace_id: trace,
+            shard: shard_hint,
+            req_line: req.to_line(),
+        });
+    }
     let job = Arc::new(Mutex::new(JobState {
         client_id: req.id.clone(),
         reply: reply.clone(),
@@ -1093,6 +1569,7 @@ fn admit(shared: &Arc<SharedRouter>, reply: &Reply, mut req: Request, conn_seria
         route_span,
         token,
         admitted: Instant::now(),
+        resumed: false,
         req,
     }));
     bump(&shared.counters.accepted, "router_accepted");
@@ -1154,6 +1631,28 @@ fn handle_control(shared: &Arc<SharedRouter>, reply: &Reply, req: &Request) -> b
             kill_shard(shared, reply, req);
             true
         }
+        Kind::KillRouter => {
+            // Chaos verb: die like a machine does — no drain, no reply,
+            // no destructors. Only the journal survives, which is the
+            // point; an unjournaled or in-process router refuses (a
+            // library must never SIGKILL its host).
+            if !shared.cfg.allow_kill_router || shared.journal.is_none() {
+                bump(&shared.counters.rejected, "router_rejected");
+                reply.send(&Response::new(&req.id, Status::Error).with_reason(
+                    "rejected: kill-router requires the fleet binary running with --journal",
+                ));
+                return true;
+            }
+            if let Some(j) = &shared.journal {
+                j.sync();
+            }
+            let _ = std::process::Command::new("kill")
+                .args(["-9", &std::process::id().to_string()])
+                .status();
+            // SIGKILL is not deliverable to ourselves on some platforms'
+            // shells; die abruptly regardless.
+            std::process::abort();
+        }
         Kind::Pause | Kind::Resume => {
             bump(&shared.counters.rejected, "router_rejected");
             reply.send(&Response::new(&req.id, Status::Error).with_reason(
@@ -1206,9 +1705,10 @@ fn drain_shard(shared: &Arc<SharedRouter>, reply: &Reply, req: &Request) {
         )));
         return;
     }
+    shard.retired.store(true, Ordering::SeqCst);
     shard.state.store(DRAINING, Ordering::SeqCst);
     let ack = control_roundtrip(
-        &shard.addr,
+        &shard.addr(),
         &Request::new("drain", Kind::Shutdown),
         Duration::from_secs(20),
         shared.cfg.max_line_bytes,
@@ -1253,8 +1753,10 @@ fn drain_shard(shared: &Arc<SharedRouter>, reply: &Reply, req: &Request) {
     }
 }
 
-/// `kill-shard`: chaos verb. SIGKILL one seeded-chosen spawned live
-/// shard; the reply-reader's EOF triggers the orphan re-dispatch.
+/// `kill-shard`: chaos verb. SIGKILL a spawned live shard — the one
+/// named by `params.shard`, or a seeded choice — and let the
+/// reply-reader's EOF trigger the orphan re-dispatch (and, when
+/// supervised, the respawn).
 fn kill_shard(shared: &Arc<SharedRouter>, reply: &Reply, req: &Request) {
     let seed = req
         .params
@@ -1275,7 +1777,18 @@ fn kill_shard(shared: &Arc<SharedRouter>, reply: &Reply, req: &Request) {
         );
         return;
     }
-    let victim = victims[(splitmix64(seed) % victims.len() as u64) as usize];
+    let victim = match req.params.get("shard").map(|v| v.parse::<usize>()) {
+        None => victims[(splitmix64(seed) % victims.len() as u64) as usize],
+        Some(Ok(idx)) if victims.contains(&idx) => idx,
+        Some(_) => {
+            bump(&shared.counters.rejected, "router_rejected");
+            reply.send(
+                &Response::new(&req.id, Status::Error)
+                    .with_reason("rejected: params.shard must name a spawned live shard"),
+            );
+            return;
+        }
+    };
     {
         let mut child = shared.shards[victim].child.lock().unwrap();
         if let Some(c) = child.as_mut() {

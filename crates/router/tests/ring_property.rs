@@ -1,0 +1,98 @@
+//! Property tests for the consistent-hash ring's rebalance guarantee.
+//!
+//! The supervisor's whole value proposition rests on one property: when
+//! a shard dies and is later respawned *at the same ring index*, sticky
+//! routing resumes — no other shard's keys ever moved. These tests pin
+//! that minimal-disruption contract under arbitrary fleet sizes, victim
+//! choices, and key populations, so a future ring tweak (vnode count,
+//! hash mix, tie-breaking) cannot silently turn every shard death into
+//! a fleet-wide reshuffle.
+
+use fmm_router::ring::Ring;
+use fmm_sweep::spec::fnv1a;
+use proptest::prelude::*;
+
+/// Route `keys` against `ring` under the given liveness mask.
+fn placements(ring: &Ring, keys: &[u64], alive: &[bool]) -> Vec<Option<usize>> {
+    keys.iter().map(|&h| ring.route(h, alive)).collect()
+}
+
+proptest! {
+    /// Killing one shard moves only that shard's keys, and every moved
+    /// key lands on a still-live shard.
+    #[test]
+    fn removing_one_shard_moves_only_its_keys(
+        shards in 2usize..8,
+        victim_pick in 0usize..8,
+        keys in collection::vec(0u64..=u64::MAX, 1..300),
+    ) {
+        let victim = victim_pick % shards;
+        let ring = Ring::build(shards);
+        let hashes: Vec<u64> = keys.iter().map(|k| fnv1a(&k.to_le_bytes())).collect();
+        let all = vec![true; shards];
+        let mut without = all.clone();
+        without[victim] = false;
+
+        let before = placements(&ring, &hashes, &all);
+        let after = placements(&ring, &hashes, &without);
+        for (b, a) in before.iter().zip(&after) {
+            let b = b.expect("all-alive routing always succeeds");
+            let a = a.expect("n-1 live shards still route");
+            prop_assert!(a != victim, "routed to the dead shard");
+            if b != a {
+                prop_assert!(b == victim, "a surviving shard's key moved");
+            }
+        }
+    }
+
+    /// Re-adding the shard at the same index restores the original
+    /// placement exactly — respawn really does resume sticky routing.
+    #[test]
+    fn readding_the_shard_restores_original_placement(
+        shards in 2usize..8,
+        victim_pick in 0usize..8,
+        keys in collection::vec(0u64..=u64::MAX, 1..300),
+    ) {
+        let victim = victim_pick % shards;
+        let ring = Ring::build(shards);
+        let hashes: Vec<u64> = keys.iter().map(|k| fnv1a(&k.to_le_bytes())).collect();
+        let all = vec![true; shards];
+        let mut without = all.clone();
+        without[victim] = false;
+
+        let before = placements(&ring, &hashes, &all);
+        let _ = placements(&ring, &hashes, &without);
+        let restored = placements(&ring, &hashes, &all);
+        prop_assert!(before == restored, "respawn at the same index must be a no-op");
+    }
+
+    /// Two *successive* deaths never disturb keys owned by the
+    /// survivors: disruption composes, it doesn't cascade.
+    #[test]
+    fn successive_deaths_never_move_survivor_keys(
+        shards in 3usize..8,
+        picks in (0usize..8, 0usize..8),
+        keys in collection::vec(0u64..=u64::MAX, 1..200),
+    ) {
+        let v1 = picks.0 % shards;
+        let v2 = {
+            let c = picks.1 % shards;
+            if c == v1 { (c + 1) % shards } else { c }
+        };
+        let ring = Ring::build(shards);
+        let hashes: Vec<u64> = keys.iter().map(|k| fnv1a(&k.to_le_bytes())).collect();
+        let all = vec![true; shards];
+        let mut mask = all.clone();
+        mask[v1] = false;
+        let one_down = placements(&ring, &hashes, &mask);
+        mask[v2] = false;
+        let two_down = placements(&ring, &hashes, &mask);
+        for (b, a) in one_down.iter().zip(&two_down) {
+            let b = b.expect("route with one dead shard");
+            let a = a.expect("route with two dead shards");
+            if b != a {
+                prop_assert!(b == v2, "a key not owned by the second victim moved");
+            }
+        }
+    }
+}

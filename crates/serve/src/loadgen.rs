@@ -57,6 +57,16 @@ pub struct LoadgenConfig {
     /// SIGKILLs a seeded-chosen shard mid-run and must re-dispatch its
     /// orphans so the run still loses nothing.
     pub kill_shard_after: Option<usize>,
+    /// Bounded reconnect budget per connection when the server vanishes
+    /// mid-run (seeded exponential backoff between attempts, unsettled
+    /// requests re-sent under the same id + `client_tag`). `0` keeps
+    /// the old behaviour: a dropped connection fails the run.
+    pub reconnect: u32,
+    /// Fleet chaos: once this many requests have been sent, send one
+    /// `kill-router` verb — the router SIGKILLs *itself*, the harness
+    /// resumes it from its journal, and the reconnecting workers must
+    /// still settle every request exactly once.
+    pub kill_router_after: Option<usize>,
 }
 
 impl Default for LoadgenConfig {
@@ -76,6 +86,8 @@ impl Default for LoadgenConfig {
             shutdown: false,
             fleet: false,
             kill_shard_after: None,
+            reconnect: 0,
+            kill_router_after: None,
         }
     }
 }
@@ -100,6 +112,15 @@ pub struct Summary {
     /// Acknowledged `kill-shard` verbs (deterministic: 1 when
     /// `kill_shard_after` was set, else 0).
     pub killed: u64,
+    /// Delivered `kill-router` verbs (deterministic: 1 when
+    /// `kill_router_after` was set, else 0). "Delivered" because the
+    /// verb is never acknowledged — the router dies instead; the hangup
+    /// is the confirmation.
+    pub router_killed: u64,
+    /// Requests re-sent after a reconnect. Timing-dependent (how many
+    /// were in flight when the connection died), so excluded from the
+    /// equality contract and the JSON line; reported on stderr.
+    pub resent: u64,
     /// The server's own final counters from the shutdown ack, when
     /// `shutdown` was requested.
     pub server_counters: BTreeMap<String, String>,
@@ -124,6 +145,7 @@ impl PartialEq for Summary {
             && self.mismatched == other.mismatched
             && self.burst_shed == other.burst_shed
             && self.killed == other.killed
+            && self.router_killed == other.router_killed
             && self.server_counters == other.server_counters
     }
 }
@@ -143,6 +165,8 @@ impl Summary {
         self.mismatched += other.mismatched;
         self.burst_shed += other.burst_shed;
         self.killed += other.killed;
+        self.router_killed += other.router_killed;
+        self.resent += other.resent;
         self.trace_ids.extend(other.trace_ids.iter().cloned());
         self.trace_ids.sort();
     }
@@ -201,7 +225,7 @@ impl Summary {
         let mut out = format!(
             "{{\"sent\":{},\"completed\":{},\"shed\":{},\"errored\":{},\"cancelled\":{},\
              \"deadline_exceeded\":{},\"rejected\":{},\"lost\":{},\"mismatched\":{},\
-             \"burst_shed\":{},\"killed\":{},\"ok\":{}",
+             \"burst_shed\":{},\"killed\":{},\"router_killed\":{},\"ok\":{}",
             self.sent,
             self.completed,
             self.shed,
@@ -213,6 +237,7 @@ impl Summary {
             self.mismatched,
             self.burst_shed,
             self.killed,
+            self.router_killed,
             // 1/0 rather than true/false: stays inside the value shapes
             // fmm_obs::json::parse_line understands.
             u64::from(self.ok())
@@ -317,23 +342,91 @@ impl Conn {
     }
 }
 
+/// Seeded backoff between reconnect attempts: the fmm-faults 50µs→5ms
+/// curve shaped to process-restart scale (5ms→500ms).
+fn reconnect_pause(attempt: u32) {
+    std::thread::sleep(std::time::Duration::from_micros(
+        fmm_faults::backoff_micros(attempt) * 100,
+    ));
+}
+
+/// `Conn::open` with the run's reconnect budget applied — a single
+/// attempt at `--reconnect 0` (the old behaviour).
+fn open_with_retry(cfg: &LoadgenConfig) -> Result<Conn, String> {
+    let mut attempt = 0u32;
+    loop {
+        match Conn::open(&cfg.addr) {
+            Ok(c) => return Ok(c),
+            Err(e) if attempt >= cfg.reconnect => return Err(e),
+            Err(_) => {
+                attempt += 1;
+                reconnect_pause(attempt);
+            }
+        }
+    }
+}
+
 /// One closed-loop connection: send, await the reply, repeat. `sent`
-/// is the run-wide send counter the kill-shard watcher triggers on.
+/// is the run-wide send counter the kill-shard/kill-router watchers
+/// trigger on.
+///
+/// With a reconnect budget, a vanished server (router SIGKILL chaos, or
+/// a plain restart) is survivable: reconnect with seeded backoff and
+/// re-send the unsettled request under the same id and `client_tag` —
+/// the resumed router's dup-suppression reattaches or replays the
+/// terminal status, so the request still settles exactly once and is
+/// still classified exactly once here.
 fn conn_worker(cfg: &LoadgenConfig, conn_idx: usize, sent: &AtomicU64) -> Result<Summary, String> {
     let mut conn = Conn::open(&cfg.addr)?;
     let mut s = Summary::default();
+    let mut reconnects = 0u32;
     for i in 0..cfg.requests {
-        let req = pick_request(cfg, conn_idx, i);
-        conn.send(&req)?;
-        s.sent += 1;
-        sent.fetch_add(1, Ordering::Relaxed);
-        match conn.recv()? {
-            Some(resp) => s.classify(&req.id, &resp),
-            None => {
-                // Server hung up mid-run: this and all unsent requests
-                // count as lost so the run cannot quietly pass.
-                s.lost += 1;
-                break;
+        let mut req = pick_request(cfg, conn_idx, i);
+        if cfg.fleet {
+            // A stable self-chosen identity: what makes the re-sent
+            // request the *same* request across reconnects.
+            req.params
+                .insert("client_tag".into(), format!("lg-c{conn_idx}"));
+        }
+        let mut counted = false;
+        loop {
+            let outcome = match conn.send(&req) {
+                Ok(()) => {
+                    if !counted {
+                        counted = true;
+                        s.sent += 1;
+                        sent.fetch_add(1, Ordering::Relaxed);
+                    }
+                    conn.recv()
+                }
+                Err(e) => Err(e),
+            };
+            match outcome {
+                Ok(Some(resp)) => {
+                    s.classify(&req.id, &resp);
+                    break;
+                }
+                dead if reconnects < cfg.reconnect => {
+                    let _ = dead;
+                    reconnects += 1;
+                    if counted {
+                        s.resent += 1;
+                    }
+                    reconnect_pause(reconnects);
+                    if let Ok(c) = Conn::open(&cfg.addr) {
+                        conn = c;
+                    }
+                    // A failed reopen burns the attempt and retries on
+                    // the dead connection — bounded either way.
+                }
+                Ok(None) => {
+                    // Server hung up mid-run and the budget (default 0)
+                    // is spent: this request counts as lost so the run
+                    // cannot quietly pass.
+                    s.lost += 1;
+                    return Ok(s);
+                }
+                Err(e) => return Err(e),
             }
         }
     }
@@ -396,8 +489,10 @@ fn burst_phase(cfg: &LoadgenConfig, burst: usize) -> Result<Summary, String> {
 }
 
 /// Graceful-stop phase: the ack carries the server's final counters.
+/// Opens with the reconnect budget — after router-kill chaos the resumed
+/// router may still be coming up when the workers finish.
 fn shutdown_phase(cfg: &LoadgenConfig, summary: &mut Summary) -> Result<(), String> {
-    let mut conn = Conn::open(&cfg.addr)?;
+    let mut conn = open_with_retry(cfg)?;
     conn.send(&Request::new("stop", Kind::Shutdown))?;
     match conn.recv()? {
         Some(resp) if resp.status == Status::Ok => {
@@ -433,6 +528,30 @@ fn kill_shard_phase(
     }
 }
 
+/// Chaos watcher for the router itself: wait for the send threshold,
+/// then deliver `kill-router`. No ack ever comes — the router SIGKILLs
+/// itself mid-verb — so the *hangup* is the success signal; an explicit
+/// reply means the verb was refused.
+fn kill_router_phase(
+    cfg: &LoadgenConfig,
+    after: usize,
+    sent: &AtomicU64,
+    done: &AtomicBool,
+) -> Result<Summary, String> {
+    while (sent.load(Ordering::Relaxed) as usize) < after && !done.load(Ordering::Relaxed) {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let mut conn = Conn::open(&cfg.addr)?;
+    conn.send(&Request::new("chaos-kill-router", Kind::KillRouter))?;
+    match conn.recv() {
+        Ok(None) | Err(_) => Ok(Summary {
+            router_killed: 1,
+            ..Summary::default()
+        }),
+        Ok(Some(resp)) => Err(format!("kill-router was refused: {resp:?}")),
+    }
+}
+
 /// Run the full scenario. `Err` means the scenario could not be driven
 /// (connection refused, protocol breakdown) — distinct from a driven run
 /// whose invariants failed, which returns `Ok` with `summary.ok() == false`.
@@ -440,7 +559,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Summary, String> {
     let mut summary = Summary::default();
     let sent = AtomicU64::new(0);
     let done = AtomicBool::new(false);
-    let (results, kill_result) = std::thread::scope(|scope| {
+    let (results, kill_result, router_kill_result) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.conns)
             .map(|c| {
                 let sent = &sent;
@@ -450,6 +569,10 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Summary, String> {
         let killer = cfg.kill_shard_after.map(|after| {
             let (sent, done) = (&sent, &done);
             scope.spawn(move || kill_shard_phase(cfg, after, sent, done))
+        });
+        let router_killer = cfg.kill_router_after.map(|after| {
+            let (sent, done) = (&sent, &done);
+            scope.spawn(move || kill_router_phase(cfg, after, sent, done))
         });
         let results: Vec<Result<Summary, String>> = handles
             .into_iter()
@@ -463,12 +586,19 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Summary, String> {
             h.join()
                 .unwrap_or_else(|_| Err("loadgen kill-shard thread panicked".to_string()))
         });
-        (results, kill_result)
+        let router_kill_result = router_killer.map(|h| {
+            h.join()
+                .unwrap_or_else(|_| Err("loadgen kill-router thread panicked".to_string()))
+        });
+        (results, kill_result, router_kill_result)
     });
     for r in results {
         summary.absorb(&r?);
     }
     if let Some(r) = kill_result {
+        summary.absorb(&r?);
+    }
+    if let Some(r) = router_kill_result {
         summary.absorb(&r?);
     }
     if let Some(burst) = cfg.burst {

@@ -49,6 +49,10 @@ pub enum Kind {
     DrainShard,
     /// Chaos verb: SIGKILL one seeded-chosen spawned shard (fleet only).
     KillShard,
+    /// Chaos verb: SIGKILL the router process itself, mid-run, with no
+    /// drain and no reply — the journal is all that survives (fleet
+    /// only, and only when the fleet was started with a journal).
+    KillRouter,
 }
 
 impl Kind {
@@ -67,6 +71,7 @@ impl Kind {
             "fleet-stats" => Kind::FleetStats,
             "drain-shard" => Kind::DrainShard,
             "kill-shard" => Kind::KillShard,
+            "kill-router" => Kind::KillRouter,
             _ => return None,
         })
     }
@@ -86,6 +91,7 @@ impl Kind {
             Kind::FleetStats => "fleet-stats",
             Kind::DrainShard => "drain-shard",
             Kind::KillShard => "kill-shard",
+            Kind::KillRouter => "kill-router",
         }
     }
 
@@ -436,6 +442,7 @@ mod tests {
             Kind::FleetStats,
             Kind::DrainShard,
             Kind::KillShard,
+            Kind::KillRouter,
         ] {
             assert_eq!(Kind::parse(kind.as_str()), Some(kind));
             assert_eq!(

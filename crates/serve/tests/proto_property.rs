@@ -10,11 +10,12 @@ use proptest::prelude::*;
 use std::collections::BTreeMap;
 use std::io::BufReader;
 
-const ALL_KINDS: [Kind; 12] = [
+const ALL_KINDS: [Kind; 14] = [
     Kind::Io,
     Kind::Bounds,
     Kind::Faults,
     Kind::SweepCell,
+    Kind::Kernel,
     Kind::Health,
     Kind::Stats,
     Kind::Pause,
@@ -23,6 +24,7 @@ const ALL_KINDS: [Kind; 12] = [
     Kind::FleetStats,
     Kind::DrainShard,
     Kind::KillShard,
+    Kind::KillRouter,
 ];
 
 const ALL_STATUSES: [Status; 6] = [

@@ -92,24 +92,39 @@ const SERVE_USAGE: &str =
 const FLEET_USAGE: &str =
     "usage: fastmm fleet [--shards 3] [--addr 127.0.0.1:0] [--queue-depth 32]\n\
        [--workers 2] [--seed 0] [--default-deadline-ms <ms>] [--max-line-bytes 65536]\n\
-       [--poll-ms 100] [--max-attempts 5] [--attach host:port,...] [--shard-metrics-dir <dir>]\n\
+       [--probe-interval-ms 100] [--max-attempts 5] [--attach host:port,...]\n\
+       [--shard-metrics-dir <dir>] [--supervise] [--breaker-k 3]\n\
+       [--breaker-window-ms 30000] [--journal <path>] [--resume <path>]\n\
        Spawns N `fastmm serve` shard processes (or attaches to --attach\n\
        addresses), routes jobs to shards by spec hash, prints\n\
        'fastmm fleet listening on HOST:PORT (N shards)', serves until a client\n\
        sends {\"kind\":\"shutdown\"}, drains every shard, and exits 0 iff the\n\
-       fleet-wide conservation law holds. Fleet-only verbs: fleet-stats,\n\
-       drain-shard (params.shard), kill-shard (chaos SIGKILL, params.seed).";
+       fleet-wide conservation law holds. --supervise respawns dead shards at\n\
+       the same ring index (a crash loop of --breaker-k deaths inside\n\
+       --breaker-window-ms quarantines the shard instead). --journal writes a\n\
+       write-ahead job journal; --resume <journal> rebuilds counters, the\n\
+       idempotency map, and the in-flight set after a router SIGKILL,\n\
+       reattaching to the journal's recorded shard addresses. Fleet-only\n\
+       verbs: fleet-stats, drain-shard (params.shard), kill-shard (chaos\n\
+       SIGKILL, params.seed or params.shard), kill-router (journaled fleets).";
+
+const POLL_MS_DEFAULT: u64 = 100;
 
 const LOADGEN_USAGE: &str =
     "usage: fastmm loadgen --addr <host:port> [--conns 4] [--requests 250]\n\
        [--seed 1] [--poison-pct 10] [--oversized-pct 5] [--tiny-deadline-pct 5]\n\
        [--expensive-pct 10] [--deadline-ms 10000] [--burst <n>] [--shutdown]\n\
-       [--fleet] [--kill-shard-after <n>]\n\
+       [--fleet] [--kill-shard-after <n>] [--reconnect <n>] [--kill-router-after <n>]\n\
        Drives a seeded chaos mix and prints a one-line JSON summary; exits\n\
        nonzero if any request was lost or the server counters don't balance.\n\
        --fleet targets a `fastmm fleet` router; --kill-shard-after N (fleet\n\
        only) SIGKILLs one seeded-chosen shard once N requests are in flight\n\
-       and still demands zero lost replies.";
+       and still demands zero lost replies. --reconnect N survives a vanished\n\
+       server with up to N seeded-backoff reconnects per connection, re-sending\n\
+       unsettled requests under the same client_tag (0 = old fail-fast\n\
+       behaviour); --kill-router-after N (fleet only, needs --reconnect)\n\
+       SIGKILLs the router itself mid-run — resume it from its journal and\n\
+       the run must still lose nothing.";
 
 const SWEEP_USAGE: &str = "usage: fastmm sweep <run|resume|report|diff|specs> [flags]\n\
        run    --spec <name> [--out <file>] [--seed <u64>] [--jobs <n>] [--max-cells <k>]\n\
@@ -1172,10 +1187,26 @@ fn cmd_loadgen(flags: &HashMap<String, String>) -> ExitCode {
         kill_shard_after: flags
             .get("kill-shard-after")
             .map(|_| get_usize(flags, "kill-shard-after", 0)),
+        reconnect: get_usize(flags, "reconnect", 0) as u32,
+        kill_router_after: flags
+            .get("kill-router-after")
+            .map(|_| get_usize(flags, "kill-router-after", 0)),
     };
     if cfg.kill_shard_after.is_some() && !cfg.fleet {
         die(
             "--kill-shard-after is a fleet chaos flag; add --fleet",
+            LOADGEN_USAGE,
+        );
+    }
+    if cfg.kill_router_after.is_some() && !cfg.fleet {
+        die(
+            "--kill-router-after is a fleet chaos flag; add --fleet",
+            LOADGEN_USAGE,
+        );
+    }
+    if cfg.kill_router_after.is_some() && cfg.reconnect == 0 {
+        die(
+            "--kill-router-after needs --reconnect N so workers survive the router's death",
             LOADGEN_USAGE,
         );
     }
@@ -1190,6 +1221,12 @@ fn cmd_loadgen(flags: &HashMap<String, String>) -> ExitCode {
     match loadgen::run(&cfg) {
         Ok(summary) => {
             println!("{}", summary.to_json_line());
+            if summary.resent > 0 {
+                eprintln!(
+                    "loadgen: {} request(s) re-sent across reconnects (dup-suppressed server-side)",
+                    summary.resent
+                );
+            }
             if summary.ok() {
                 ExitCode::SUCCESS
             } else {
@@ -1278,10 +1315,46 @@ fn spawn_shard(
 /// foreground, and at drain time assert the fleet-wide conservation law
 /// plus every acked shard's own law.
 fn cmd_fleet(flags: &HashMap<String, String>) -> ExitCode {
-    use fastmm::router::{RouterConfig, RouterHandle};
-    let seed = get_u64(flags, "seed", 0);
+    use fastmm::router::{journal, RouterConfig, RouterHandle, ShardSpawner, StartOptions};
+    // --resume loads the journal up front: the header fixes the shard
+    // addresses and the seed (ring geometry must match the dead router's),
+    // and the records rebuild counters + the in-flight set.
+    let resume: Option<(String, journal::Header, fastmm::router::Replay)> =
+        match flags.get("resume") {
+            Some(path) => {
+                if flags.contains_key("attach") {
+                    die(
+                        "--resume replays the journal's recorded shard addresses; drop --attach",
+                        FLEET_USAGE,
+                    );
+                }
+                match journal::load_lenient(path) {
+                    Ok((header, records, torn)) => {
+                        if let Some(t) = torn {
+                            eprintln!(
+                                "fleet: journal tail torn at line {} ({}); dropped",
+                                t.line, t.detail
+                            );
+                        }
+                        Some((path.clone(), header, journal::replay(&records)))
+                    }
+                    Err(e) => {
+                        eprintln!("fleet: cannot resume: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            None => None,
+        };
+    let seed = match &resume {
+        Some((_, header, _)) => get_u64(flags, "seed", header.seed),
+        None => get_u64(flags, "seed", 0),
+    };
     let (shard_addrs, procs): (Vec<String>, Vec<Option<std::process::Child>>) =
-        if let Some(list) = flags.get("attach") {
+        if let Some((_, header, _)) = &resume {
+            let procs = header.shard_addrs.iter().map(|_| None).collect();
+            (header.shard_addrs.clone(), procs)
+        } else if let Some(list) = flags.get("attach") {
             let addrs: Vec<String> = list
                 .split(',')
                 .map(str::trim)
@@ -1322,6 +1395,25 @@ fn cmd_fleet(flags: &HashMap<String, String>) -> ExitCode {
             (addrs, procs)
         };
     let n = shard_addrs.len();
+    // --probe-interval-ms is the documented spelling; --poll-ms stays as a
+    // compatibility alias from earlier fleet revisions.
+    let poll_ms = if flags.contains_key("probe-interval-ms") {
+        get_u64(flags, "probe-interval-ms", POLL_MS_DEFAULT)
+    } else {
+        get_u64(flags, "poll-ms", POLL_MS_DEFAULT)
+    };
+    let supervise = flags.contains_key("supervise");
+    let spawner: Option<ShardSpawner> = if supervise {
+        let queue_depth = get_usize(flags, "queue-depth", 32).max(1);
+        let workers = get_usize(flags, "workers", 2).max(1);
+        let metrics_dir = flags.get("shard-metrics-dir").cloned();
+        Some(std::sync::Arc::new(move |idx: usize| {
+            spawn_shard(idx, queue_depth, workers, seed, metrics_dir.as_deref())
+                .map(|(addr, child)| (addr, Some(child)))
+        }))
+    } else {
+        None
+    };
     let cfg = RouterConfig {
         addr: flags
             .get("addr")
@@ -1333,10 +1425,23 @@ fn cmd_fleet(flags: &HashMap<String, String>) -> ExitCode {
             .get("default-deadline-ms")
             .map(|_| get_u64(flags, "default-deadline-ms", 0)),
         max_line_bytes: get_usize(flags, "max-line-bytes", 64 * 1024).max(1),
-        poll_ms: get_u64(flags, "poll-ms", 100),
+        poll_ms,
         max_attempts: get_u64(flags, "max-attempts", 5).max(1) as u32,
+        supervise,
+        breaker_k: get_u64(flags, "breaker-k", 3).max(1) as u32,
+        breaker_window_ms: get_u64(flags, "breaker-window-ms", 30_000).max(1),
+        journal_path: flags
+            .get("journal")
+            .cloned()
+            .or_else(|| resume.as_ref().map(|(path, _, _)| path.clone())),
+        allow_kill_router: true,
     };
-    let handle = match RouterHandle::start(cfg, procs) {
+    let opts = StartOptions {
+        procs,
+        spawner,
+        resume: resume.map(|(_, _, replay)| replay),
+    };
+    let handle = match RouterHandle::start_with(cfg, opts) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("fleet: cannot start router: {e}");
@@ -1352,7 +1457,8 @@ fn cmd_fleet(flags: &HashMap<String, String>) -> ExitCode {
     println!(
         "fastmm fleet drained: accepted={} completed={} errored={} cancelled={} \
          deadline_exceeded={} shed={} rejected={} redispatched={} dup_suppressed={} \
-         shards_killed={}",
+         shards_killed={} restarts={} breaker_open={} journal_replayed={} \
+         resumed_inflight={}",
         snap.accepted,
         snap.completed,
         snap.errored,
@@ -1362,7 +1468,11 @@ fn cmd_fleet(flags: &HashMap<String, String>) -> ExitCode {
         snap.rejected,
         snap.redispatched,
         snap.dup_suppressed,
-        snap.shards_killed
+        snap.shards_killed,
+        snap.restarts,
+        snap.breaker_open,
+        snap.journal_replayed,
+        snap.resumed_inflight
     );
     let acked = snap.shard_acks.iter().flatten().count();
     println!(
@@ -1477,9 +1587,15 @@ fn main() -> ExitCode {
                 "default-deadline-ms",
                 "max-line-bytes",
                 "poll-ms",
+                "probe-interval-ms",
                 "max-attempts",
                 "attach",
                 "shard-metrics-dir",
+                "supervise",
+                "breaker-k",
+                "breaker-window-ms",
+                "journal",
+                "resume",
             ],
             FLEET_USAGE,
         ),
@@ -1498,6 +1614,8 @@ fn main() -> ExitCode {
                 "shutdown",
                 "fleet",
                 "kill-shard-after",
+                "reconnect",
+                "kill-router-after",
             ],
             LOADGEN_USAGE,
         ),
