@@ -29,10 +29,15 @@
 //!   plus optional deadline) polled by the simulators' hot loops, so the
 //!   job server and the sweep engine can stop work at loop granularity
 //!   instead of abandoning detached threads.
+//! * [`link`] — the gray-failure adversary: [`LinkChaosSpec`] describes
+//!   seeded per-shard reply delays, stalls, and garbling for the
+//!   router's chaos link layer, keyed by `(seed, shard, seq)`.
 
 pub mod cancel;
+pub mod link;
 
 pub use cancel::{CancelReason, CancelToken, Cancelled};
+pub use link::LinkChaosSpec;
 
 /// splitmix64 — the standard 64-bit finalizing mixer.
 #[inline]

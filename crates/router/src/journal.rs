@@ -26,6 +26,7 @@
 //! {"type":"settle","spec_hash":"…","seed":"…","client_tag":"…",
 //!  "status":"completed","reason":""}
 //! {"type":"refuse","spec_hash":"…","seed":"…","client_tag":"…"}
+//! {"type":"hedge","spec_hash":"…","seed":"…","client_tag":"…","shard":1}
 //! ```
 //!
 //! The `req` field embeds the original request line as an escaped
@@ -86,12 +87,19 @@ pub enum Record {
     /// An accepted job was rolled back pre-settle (shed back to the
     /// client); it no longer counts as accepted.
     Refuse { key: JobKey },
+    /// A hedged duplicate dispatch launched for an in-flight job.
+    /// Observability only: replay ignores it — the job's ledger entry
+    /// is its admit/settle pair, however many envelopes raced.
+    Hedge { key: JobKey, shard: usize },
 }
 
 impl Record {
     fn key(&self) -> &JobKey {
         match self {
-            Record::Admit { key, .. } | Record::Settle { key, .. } | Record::Refuse { key } => key,
+            Record::Admit { key, .. }
+            | Record::Settle { key, .. }
+            | Record::Refuse { key }
+            | Record::Hedge { key, .. } => key,
         }
     }
 
@@ -131,6 +139,10 @@ impl Record {
             Record::Refuse { key } => {
                 format!("{{\"type\":\"refuse\",{}}}", Self::key_fields(key))
             }
+            Record::Hedge { key, shard } => format!(
+                "{{\"type\":\"hedge\",{},\"shard\":{shard}}}",
+                Self::key_fields(key)
+            ),
         }
     }
 }
@@ -186,6 +198,14 @@ fn parse_record(line: &str) -> Result<Record, String> {
         }),
         Some("refuse") => Ok(Record::Refuse {
             key: parse_key(&map)?,
+        }),
+        Some("hedge") => Ok(Record::Hedge {
+            key: parse_key(&map)?,
+            shard: map
+                .get("shard")
+                .and_then(Value::as_num)
+                .map(|n| n as usize)
+                .ok_or("bad 'shard'")?,
         }),
         Some(other) => Err(format!("unknown record type '{other}'")),
         None => Err("missing 'type'".to_string()),
@@ -402,6 +422,9 @@ pub fn replay(records: &[Record]) -> Replay {
                 out.accepted = out.accepted.saturating_sub(1);
                 open.retain(|(k, _, _)| k != key);
             }
+            // A hedge is not a ledger event: the job it raced for is
+            // already `open` (or already settled) under its own key.
+            Record::Hedge { .. } => {}
         }
     }
     out.inflight = open;
@@ -429,6 +452,10 @@ mod tests {
                 trace_id: 0xbeef,
                 shard: 1,
                 req_line: "{\"id\":\"b\",\"kind\":\"io\",\"params\":{\"n\":\"8\"}}".into(),
+            },
+            Record::Hedge {
+                key: key(2),
+                shard: 0,
             },
             Record::Settle {
                 key: key(1),
@@ -480,7 +507,7 @@ mod tests {
         assert_eq!(torn, None);
 
         let r = replay(&records);
-        assert_eq!(r.replayed, 5);
+        assert_eq!(r.replayed, 6);
         assert_eq!(r.accepted, 2, "3 admits minus 1 refusal");
         assert_eq!(r.completed, 1);
         assert_eq!(r.settled.len(), 1);
@@ -500,7 +527,7 @@ mod tests {
         let (_, records, torn) = load_lenient(path.to_str().unwrap()).unwrap();
         assert_eq!(records, sample_records(), "intact records all survive");
         let torn = torn.expect("torn tail reported");
-        assert_eq!(torn.line, 7);
+        assert_eq!(torn.line, 8);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -25,11 +25,25 @@
 //! index behind a crash-loop breaker, and a write-ahead job journal
 //! ([`journal`]) lets `fastmm fleet --resume` rebuild counters, the
 //! idempotency map, and the in-flight set after a SIGKILL.
+//!
+//! The gray-failure layer (PR 10) covers the failures probes cannot
+//! see: a seeded chaos link layer perturbs shard replies
+//! (delay/stall/garble) so tests can *produce* gray failures, a
+//! latency-outlier detector ([`outlier`]) ejects shards that answer
+//! probes but crawl, and hedged requests — budgeted by a fleet-wide
+//! retry token bucket — recompute stragglers on a second shard, with
+//! their own conservation law:
+//!
+//! ```text
+//! hedges_launched == hedges_won + hedges_lost + hedges_cancelled
+//! ```
 
 pub mod journal;
+pub mod outlier;
 pub mod ring;
 pub mod router;
 
 pub use journal::{load_lenient, replay, Journal, Replay, TornTail};
+pub use outlier::OutlierDetector;
 pub use ring::{spec_hash, Ring, VNODES};
 pub use router::{FleetSnapshot, RouterConfig, RouterHandle, ShardSpawner, StartOptions};

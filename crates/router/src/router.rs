@@ -50,9 +50,11 @@
 //!   status replayed — the conservation law closes across the crash.
 
 use crate::journal::{Journal, Record, Replay};
+use crate::outlier::OutlierDetector;
 use crate::ring::{spec_hash, Ring};
-use fmm_faults::{backoff_micros, splitmix64, CancelReason, CancelToken};
+use fmm_faults::{backoff_micros, splitmix64, CancelReason, CancelToken, LinkChaosSpec};
 use fmm_obs::span::SpanRecord;
+use fmm_obs::Histogram;
 use fmm_serve::jobs::JobSpec;
 use fmm_serve::proto::{read_bounded_line, Kind, Request, Response, Status};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
@@ -98,6 +100,27 @@ pub struct RouterConfig {
     /// Honour the `kill-router` chaos verb (the fleet *binary* enables
     /// this; in-process routers must never SIGKILL their host).
     pub allow_kill_router: bool,
+    /// Seeded link-chaos layer wrapped around every shard reply
+    /// connection (`None` = clean links). Also a prerequisite for the
+    /// `stall-shard` chaos verb.
+    pub chaos_link: Option<LinkChaosSpec>,
+    /// Hedged-request delay: `Some(0)` disables hedging, `Some(ms)` is
+    /// a fixed delay, `None` is auto — the per-kind observed p95 of the
+    /// router's own settle latency (50ms until 16 samples exist).
+    pub hedge_ms: Option<u64>,
+    /// Retry budget: hedges and re-dispatches together may spend at
+    /// most this percentage of accepted jobs (plus a small floor), so a
+    /// brown-out can never amplify into a retry storm. `0` disables
+    /// all hedging and re-dispatching beyond first attempts.
+    pub retry_budget_pct: u32,
+    /// Outlier ejection threshold: a shard whose settle-latency (or
+    /// probe-RTT) EWMA exceeds this multiple of the fleet median for
+    /// [`crate::outlier::STRIKE_WINDOW`] consecutive prober ticks is
+    /// ejected.
+    pub eject_k: f64,
+    /// How long an ejected shard sits out before a successful probe
+    /// re-admits it.
+    pub eject_probation_ms: u64,
 }
 
 impl Default for RouterConfig {
@@ -115,23 +138,35 @@ impl Default for RouterConfig {
             breaker_window_ms: 30_000,
             journal_path: None,
             allow_kill_router: false,
+            chaos_link: None,
+            hedge_ms: Some(0),
+            retry_budget_pct: 10,
+            eject_k: 4.0,
+            eject_probation_ms: 1_000,
         }
     }
 }
 
-/// Shard health states (stored in an `AtomicU8`).
+/// Shard health states (stored in an `AtomicU8`). The numeric order is
+/// load-bearing: `<= DEGRADED` is routable, `>= DRAINING` is out of the
+/// routing and probing rotation's fast path, `>= DEAD` is gone.
 const HEALTHY: u8 = 0;
 const DEGRADED: u8 = 1;
-const DRAINING: u8 = 2;
-const DEAD: u8 = 3;
+/// Latency outlier: alive and probed (gray failures answer probes —
+/// that is what makes them gray) but routed around like a quarantine,
+/// until probation ends and a successful probe re-admits it.
+const EJECTED: u8 = 2;
+const DRAINING: u8 = 3;
+const DEAD: u8 = 4;
 /// Crash-loop breaker open: like dead, but the supervisor must never
 /// respawn it and nothing may downgrade it back.
-const QUARANTINED: u8 = 4;
+const QUARANTINED: u8 = 5;
 
 fn state_name(state: u8) -> &'static str {
     match state {
         HEALTHY => "healthy",
         DEGRADED => "degraded",
+        EJECTED => "ejected",
         DRAINING => "draining",
         QUARANTINED => "quarantined",
         _ => "dead",
@@ -159,6 +194,9 @@ struct Shard {
     /// Connection generation, bumped at every respawn; a reply reader
     /// only marks the shard down if its generation is still current.
     epoch: AtomicU64,
+    /// When the outlier detector ejected this shard (state `EJECTED`);
+    /// probation runs from here.
+    ejected_at: Mutex<Option<Instant>>,
 }
 
 impl Shard {
@@ -219,13 +257,32 @@ struct JobState {
     kind: Kind,
     hash: u64,
     idem: IdemKey,
-    /// Dispatch attempts so far (first dispatch counts).
+    /// Dispatch attempts so far (first dispatch counts, hedges count).
     attempts: u32,
-    /// Current shard assignment (`usize::MAX` before first dispatch).
+    /// Current primary shard assignment (`usize::MAX` before first
+    /// dispatch). Hedges do not move it.
     shard: usize,
+    /// Where the *first* dispatch went (`usize::MAX` before it): the
+    /// shard whose slowness the job's settle latency is attributed to
+    /// by the outlier detector, however the job actually finished.
+    first_shard: usize,
     /// Every envelope seq ever sent for this job; all are purged from
     /// `pending` at settle.
     envelopes: Vec<u64>,
+    /// The hedge envelope, when one was launched (at most one per job).
+    hedge_env: Option<u64>,
+    /// Shard the hedge went to (`usize::MAX` without one).
+    hedge_shard: usize,
+    /// Pre-allocated id of the `hedge.<kind>` span (0 = no telemetry).
+    hedge_span: u64,
+    /// When the hedge launched (span timing).
+    hedge_launched: Option<Instant>,
+    /// The hedge's outcome (won/lost/cancelled) has been counted;
+    /// exactly-once accounting for the hedge conservation law.
+    hedge_done: bool,
+    /// Never (re-)hedge this job: budget denied it, or its hedge was
+    /// already spent.
+    hedge_denied: bool,
     settled: bool,
     trace: u64,
     /// Pre-allocated id of the `route.<kind>` span (0 when telemetry is
@@ -258,6 +315,15 @@ struct Counters {
     breaker_open: AtomicU64,
     journal_replayed: AtomicU64,
     resumed_inflight: AtomicU64,
+    ejections: AtomicU64,
+    readmissions: AtomicU64,
+    hedges_launched: AtomicU64,
+    hedges_won: AtomicU64,
+    hedges_lost: AtomicU64,
+    hedges_cancelled: AtomicU64,
+    retry_budget_exhausted: AtomicU64,
+    /// Retry-budget tokens spent (hedges + re-dispatches).
+    retry_spent: AtomicU64,
 }
 
 fn bump(which: &AtomicU64, obs_name: &str) {
@@ -292,12 +358,32 @@ pub struct FleetSnapshot {
     pub journal_replayed: u64,
     /// Unsettled admissions rebuilt from the journal and re-dispatched.
     pub resumed_inflight: u64,
+    /// Shards ejected by the latency outlier detector (cumulative).
+    pub ejections: u64,
+    /// Ejected shards re-admitted after probation (cumulative).
+    pub readmissions: u64,
+    /// Hedged duplicate dispatches launched. At drain,
+    /// `hedges_launched == hedges_won + hedges_lost + hedges_cancelled`.
+    pub hedges_launched: u64,
+    /// Hedges whose reply settled the job (the primary was slower).
+    pub hedges_won: u64,
+    /// Hedges beaten by the primary (or otherwise out of the race).
+    pub hedges_lost: u64,
+    /// Hedges voided because their job was refused before any terminal
+    /// reply.
+    pub hedges_cancelled: u64,
+    /// Hedges or re-dispatches denied by the retry budget.
+    pub retry_budget_exhausted: u64,
+    /// Retry-budget tokens spent (hedges + re-dispatches).
+    pub retry_spent: u64,
     /// Fleet size (fixed).
     pub shards: usize,
     /// Shards currently marked dead.
     pub shards_dead: usize,
     /// Shards quarantined by the crash-loop breaker.
     pub shards_quarantined: usize,
+    /// Shards currently ejected by the outlier detector.
+    pub shards_ejected: usize,
     /// Final counters per shard from its shutdown ack; `None` for a
     /// shard that died unacknowledged (e.g. SIGKILLed).
     pub shard_acks: Vec<Option<BTreeMap<String, String>>>,
@@ -315,6 +401,13 @@ impl FleetSnapshot {
     /// no matter how many shards saw an envelope for it.
     pub fn balanced(&self) -> bool {
         self.accepted == self.terminal()
+    }
+
+    /// The hedge conservation law: every launched hedge got exactly one
+    /// outcome. Holds whenever no job is in flight (always after a
+    /// drain).
+    pub fn hedges_balanced(&self) -> bool {
+        self.hedges_launched == self.hedges_won + self.hedges_lost + self.hedges_cancelled
     }
 
     /// Sum a counter across the shard acks that were collected.
@@ -374,6 +467,20 @@ impl FleetSnapshot {
         m.insert("breaker_open".into(), self.breaker_open.to_string());
         m.insert("journal_replayed".into(), self.journal_replayed.to_string());
         m.insert("resumed_inflight".into(), self.resumed_inflight.to_string());
+        m.insert("ejections".into(), self.ejections.to_string());
+        m.insert("readmissions".into(), self.readmissions.to_string());
+        m.insert("hedges_launched".into(), self.hedges_launched.to_string());
+        m.insert("hedges_won".into(), self.hedges_won.to_string());
+        m.insert("hedges_lost".into(), self.hedges_lost.to_string());
+        m.insert(
+            "hedges_cancelled".into(),
+            self.hedges_cancelled.to_string(),
+        );
+        m.insert(
+            "retry_budget_exhausted".into(),
+            self.retry_budget_exhausted.to_string(),
+        );
+        m.insert("retry_spent".into(), self.retry_spent.to_string());
         m.insert("shards".into(), self.shards.to_string());
         m.insert(
             "shards_live".into(),
@@ -384,8 +491,29 @@ impl FleetSnapshot {
             "shards_quarantined".into(),
             self.shards_quarantined.to_string(),
         );
+        m.insert("shards_ejected".into(), self.shards_ejected.to_string());
         m
     }
+}
+
+/// Per-shard runtime state of the chaos link layer.
+struct LinkState {
+    /// Replies read from this shard so far (the `seq` of the garble
+    /// oracle and the trigger counter for `stall-after`).
+    seq: AtomicU64,
+    /// The link delivers nothing until this instant (dynamic
+    /// `stall-shard` verb, or an engaged `stall-after`).
+    stall_until: Mutex<Option<Instant>>,
+    /// The one-shot `stall-after` trigger already fired.
+    stall_engaged: AtomicBool,
+}
+
+/// The chaos link layer: a seeded adversary between the router and its
+/// shards' reply streams. Decisions are pure functions of
+/// `(seed, shard, seq)`; the runtime state here only carries them out.
+struct LinkChaos {
+    spec: LinkChaosSpec,
+    links: Vec<LinkState>,
 }
 
 struct SharedRouter {
@@ -409,6 +537,14 @@ struct SharedRouter {
     )>,
     /// Write-ahead job journal (`None` when journaling is off).
     journal: Option<Journal>,
+    /// Chaos link layer (`None` = clean links).
+    chaos: Option<LinkChaos>,
+    /// Latency-outlier ejection state, fed by settles and probes,
+    /// evaluated once per prober tick.
+    outliers: Mutex<OutlierDetector>,
+    /// Router-side settle latency per job kind, in µs — the source of
+    /// the auto (p95) hedge delay.
+    latency: Mutex<BTreeMap<&'static str, Histogram>>,
     draining: AtomicBool,
     shutdown: AtomicBool,
     /// The shard shutdown sequence ran (guards double-drain).
@@ -447,6 +583,14 @@ impl SharedRouter {
             breaker_open: c.breaker_open.load(Ordering::SeqCst),
             journal_replayed: c.journal_replayed.load(Ordering::SeqCst),
             resumed_inflight: c.resumed_inflight.load(Ordering::SeqCst),
+            ejections: c.ejections.load(Ordering::SeqCst),
+            readmissions: c.readmissions.load(Ordering::SeqCst),
+            hedges_launched: c.hedges_launched.load(Ordering::SeqCst),
+            hedges_won: c.hedges_won.load(Ordering::SeqCst),
+            hedges_lost: c.hedges_lost.load(Ordering::SeqCst),
+            hedges_cancelled: c.hedges_cancelled.load(Ordering::SeqCst),
+            retry_budget_exhausted: c.retry_budget_exhausted.load(Ordering::SeqCst),
+            retry_spent: c.retry_spent.load(Ordering::SeqCst),
             shards: self.shards.len(),
             shards_dead: self
                 .shards
@@ -458,8 +602,52 @@ impl SharedRouter {
                 .iter()
                 .filter(|s| s.state.load(Ordering::SeqCst) == QUARANTINED)
                 .count(),
+            shards_ejected: self
+                .shards
+                .iter()
+                .filter(|s| s.state.load(Ordering::SeqCst) == EJECTED)
+                .count(),
             shard_acks: self.shard_acks.lock().unwrap().clone(),
         }
+    }
+
+    /// Spend one retry-budget token (a hedge or a re-dispatch). The
+    /// budget is `retry_budget_pct`% of accepted jobs plus a small
+    /// floor (so a cold fleet can still recover its very first jobs);
+    /// `retry_budget_pct = 0` means no tokens, ever.
+    fn take_retry_token(&self) -> bool {
+        let pct = self.cfg.retry_budget_pct as u64;
+        let allowed = if pct == 0 {
+            0
+        } else {
+            (self.counters.accepted.load(Ordering::SeqCst))
+                .saturating_mul(pct)
+                / 100
+                + 4
+        };
+        let took = self
+            .counters
+            .retry_spent
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |spent| {
+                (spent < allowed).then_some(spent + 1)
+            })
+            .is_ok();
+        if !took {
+            bump(
+                &self.counters.retry_budget_exhausted,
+                "router_retry_budget_exhausted",
+            );
+        }
+        took
+    }
+
+    /// Refund a token taken for a hedge that never made it onto the
+    /// wire (write failure): it bought nothing, it costs nothing.
+    fn refund_retry_token(&self) {
+        let _ = self
+            .counters
+            .retry_spent
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |s| s.checked_sub(1));
     }
 
     /// Remember a settled key (bounded), optionally with its terminal
@@ -560,10 +748,22 @@ impl RouterHandle {
                 crashes: Mutex::new(crashes),
                 retired: AtomicBool::new(false),
                 epoch: AtomicU64::new(0),
+                ejected_at: Mutex::new(None),
             });
         }
         let ring = Ring::build(shards.len());
         let n = shards.len();
+        let chaos = cfg.chaos_link.clone().map(|spec| LinkChaos {
+            spec,
+            links: (0..n)
+                .map(|_| LinkState {
+                    seq: AtomicU64::new(0),
+                    stall_until: Mutex::new(None),
+                    stall_engaged: AtomicBool::new(false),
+                })
+                .collect(),
+        });
+        let outliers = Mutex::new(OutlierDetector::new(n, cfg.eject_k));
         let shared = Arc::new(SharedRouter {
             cfg,
             ring,
@@ -573,6 +773,9 @@ impl RouterHandle {
             idem_live: Mutex::new(HashMap::new()),
             settled_recently: Mutex::new((VecDeque::new(), HashMap::new())),
             journal,
+            chaos,
+            outliers,
+            latency: Mutex::new(BTreeMap::new()),
             draining: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
             shards_shut: AtomicBool::new(false),
@@ -597,6 +800,12 @@ impl RouterHandle {
             let _ = std::thread::Builder::new()
                 .name("router-health".to_string())
                 .spawn(move || health_poller(&shared));
+        }
+        if shared.cfg.hedge_ms != Some(0) {
+            let shared = Arc::clone(&shared);
+            let _ = std::thread::Builder::new()
+                .name("router-hedge".to_string())
+                .spawn(move || hedger(&shared));
         }
         if shared.cfg.supervise {
             if let Some(spawner) = opts.spawner {
@@ -718,6 +927,9 @@ fn dispatch(shared: &Arc<SharedRouter>, job: &SharedJob) {
             }
             st.attempts += 1;
             st.shard = idx;
+            if st.first_shard == usize::MAX {
+                st.first_shard = idx;
+            }
             st.envelopes.push(env);
             (fwd.to_line(), env, idx)
         };
@@ -749,6 +961,11 @@ fn dispatch(shared: &Arc<SharedRouter>, job: &SharedJob) {
             refuse(shared, job, None);
             return;
         }
+        if !shared.take_retry_token() {
+            let shed = Response::new("", Status::Shed).with_reason("retry-budget-exhausted");
+            refuse(shared, job, Some(shed));
+            return;
+        }
         bump(&shared.counters.redispatched, "router_redispatched");
         std::thread::sleep(Duration::from_micros(backoff_micros(attempts)));
     }
@@ -772,6 +989,7 @@ fn redispatch(shared: &Arc<SharedRouter>, job: &SharedJob, last: Option<Response
                 job,
                 Response::new("", Status::DeadlineExceeded)
                     .with_reason("expired during re-dispatch"),
+                None,
             );
             return;
         }
@@ -781,14 +999,24 @@ fn redispatch(shared: &Arc<SharedRouter>, job: &SharedJob, last: Option<Response
         refuse(shared, job, last);
         return;
     }
+    // Re-dispatches spend the same budget hedges do: a brown-out that
+    // sheds jobs back en masse must not amplify into a retry storm.
+    if !shared.take_retry_token() {
+        let shed = Response::new("", Status::Shed).with_reason("retry-budget-exhausted");
+        refuse(shared, job, Some(shed));
+        return;
+    }
     bump(&shared.counters.redispatched, "router_redispatched");
     std::thread::sleep(Duration::from_micros(backoff_micros(attempts)));
     dispatch(shared, job);
 }
 
 /// Forward a terminal reply to the client and count it — exactly once.
-fn settle(shared: &Arc<SharedRouter>, job: &SharedJob, mut resp: Response) {
-    let (envs, idem, reply, resumed) = {
+/// `via_env` is the envelope that carried the terminal reply (`None`
+/// when the router settled the job itself, e.g. an expired deadline):
+/// it decides which side of a hedge race won.
+fn settle(shared: &Arc<SharedRouter>, job: &SharedJob, mut resp: Response, via_env: Option<u64>) {
+    let (envs, idem, reply, resumed, kind, first_shard, total_ns, loser) = {
         let mut st = job.lock().unwrap();
         if st.settled {
             bump(&shared.counters.dup_suppressed, "router_dup_suppressed");
@@ -806,6 +1034,47 @@ fn settle(shared: &Arc<SharedRouter>, job: &SharedJob, mut resp: Response) {
         }
         let total_ns = st.admitted.elapsed().as_nanos() as u64;
         fmm_obs::observe("router_latency_us", &[], total_ns / 1_000);
+        // Close the hedge race: the envelope that settled decides, and
+        // the loser's shard gets a best-effort cancel so it stops
+        // computing an answer nobody will read.
+        let mut loser: Option<(usize, u64)> = None;
+        if let Some(henv) = st.hedge_env {
+            if !st.hedge_done {
+                st.hedge_done = true;
+                let won = via_env == Some(henv);
+                if won {
+                    bump(&shared.counters.hedges_won, "router_hedges_won");
+                    resp.result.insert("hedged".into(), "1".into());
+                    loser = st
+                        .envelopes
+                        .iter()
+                        .rev()
+                        .find(|&&e| e != henv)
+                        .map(|&e| (st.shard, e));
+                    st.shard = st.hedge_shard;
+                } else {
+                    bump(&shared.counters.hedges_lost, "router_hedges_lost");
+                    loser = Some((st.hedge_shard, henv));
+                }
+                if st.hedge_span != 0 && fmm_obs::detailed() {
+                    if let Some(at) = st.hedge_launched {
+                        let ns = at.elapsed().as_nanos() as u64;
+                        fmm_obs::global().record_span(SpanRecord {
+                            trace: st.trace,
+                            id: st.hedge_span,
+                            parent: st.route_span,
+                            name: hedge_span_name(st.kind),
+                            total_ns: ns,
+                            self_ns: ns,
+                            fields: vec![
+                                ("shard", st.hedge_shard as u64),
+                                ("won", won as u64),
+                            ],
+                        });
+                    }
+                }
+            }
+        }
         if st.route_span != 0 && fmm_obs::detailed() {
             // The route span crosses threads (opened at admission,
             // closed here), so it is recorded by hand rather than RAII.
@@ -831,8 +1100,33 @@ fn settle(shared: &Arc<SharedRouter>, job: &SharedJob, mut resp: Response) {
             st.idem.clone(),
             st.reply.clone(),
             st.resumed,
+            st.kind,
+            st.first_shard,
+            total_ns,
+            loser,
         )
     };
+    // Feed the hedger's per-kind p95 and the outlier detector; settle
+    // latency is attributed to the *first* shard the job was sent to —
+    // a hedge that rescued a slow primary is evidence against the
+    // primary, not for the rescuer.
+    shared
+        .latency
+        .lock()
+        .unwrap()
+        .entry(kind.as_str())
+        .or_default()
+        .observe(total_ns / 1_000);
+    if first_shard != usize::MAX {
+        shared
+            .outliers
+            .lock()
+            .unwrap()
+            .record_settle(first_shard, total_ns / 1_000);
+    }
+    if let Some((shard, env)) = loser {
+        cancel_envelope(shared, shard, env);
+    }
     // Journal the settle *before* the reply leaves: a SIGKILL between
     // the two re-settles (and replays) rather than double-counts.
     if let Some(j) = &shared.journal {
@@ -869,6 +1163,12 @@ fn refuse(shared: &Arc<SharedRouter>, job: &SharedJob, last: Option<Response>) {
             return;
         }
         st.settled = true;
+        // A refused job never reaches a terminal reply, so a hedge it
+        // launched is voided — the third leg of the conservation law.
+        if st.hedge_env.is_some() && !st.hedge_done {
+            st.hedge_done = true;
+            bump(&shared.counters.hedges_cancelled, "router_hedges_cancelled");
+        }
         (st.idem.clone(), st.reply.clone(), st.client_id.clone())
     };
     shared.counters.accepted.fetch_sub(1, Ordering::SeqCst);
@@ -903,10 +1203,184 @@ fn refuse(shared: &Arc<SharedRouter>, job: &SharedJob, last: Option<Response>) {
 }
 
 // ---------------------------------------------------------------------
+// Hedged requests
+// ---------------------------------------------------------------------
+
+fn hedge_span_name(kind: Kind) -> &'static str {
+    match kind {
+        Kind::Io => "hedge.io",
+        Kind::Bounds => "hedge.bounds",
+        Kind::Faults => "hedge.faults",
+        Kind::SweepCell => "hedge.sweep-cell",
+        Kind::Kernel => "hedge.kernel",
+        _ => "hedge.control",
+    }
+}
+
+/// Best-effort cancel of one in-flight envelope on its shard (the
+/// losing side of a settled hedge race). Fire-and-forget on a detached
+/// thread: the job is already settled, nothing waits on this.
+fn cancel_envelope(shared: &Arc<SharedRouter>, shard: usize, env: u64) {
+    if shard >= shared.shards.len() || !shared.shards[shard].routable() {
+        return;
+    }
+    let addr = shared.shards[shard].addr();
+    let max_line_bytes = shared.cfg.max_line_bytes;
+    let _ = std::thread::Builder::new()
+        .name("router-cancel".to_string())
+        .spawn(move || {
+            let mut req = Request::new("hc", Kind::Cancel);
+            req.params.insert("target".into(), format!("f{env:x}"));
+            let _ = control_roundtrip(&addr, &req, Duration::from_secs(2), max_line_bytes);
+        });
+}
+
+/// The hedge delay for one job kind: fixed when configured, otherwise
+/// the router's own observed p95 settle latency for that kind (with a
+/// 50ms floor until enough samples exist to trust the tail).
+fn hedge_delay(shared: &SharedRouter, kind: Kind) -> Duration {
+    if let Some(ms) = shared.cfg.hedge_ms {
+        return Duration::from_millis(ms);
+    }
+    let latency = shared.latency.lock().unwrap();
+    let p95_us = latency
+        .get(kind.as_str())
+        .filter(|h| h.count >= 16)
+        .map(|h| h.p95());
+    match p95_us {
+        Some(us) => Duration::from_micros(us.max(50_000)),
+        None => Duration::from_millis(50),
+    }
+}
+
+/// Scan the in-flight set and launch hedges for jobs that have
+/// out-waited their kind's hedge delay. At most one hedge per job; the
+/// duplicate goes to the next alive ring shard (primary masked) under
+/// the *same* idempotency key, so whichever reply loses the race is a
+/// dup-suppressed late duplicate, not a double count.
+fn hedger(shared: &Arc<SharedRouter>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(5));
+        let jobs: Vec<SharedJob> = {
+            let pending = shared.pending.lock().unwrap();
+            let mut seen: HashSet<*const Mutex<JobState>> = HashSet::new();
+            pending
+                .values()
+                .filter(|j| seen.insert(Arc::as_ptr(j)))
+                .cloned()
+                .collect()
+        };
+        for job in jobs {
+            let due = {
+                let st = job.lock().unwrap();
+                if st.settled
+                    || st.hedge_env.is_some()
+                    || st.hedge_denied
+                    || st.shard == usize::MAX
+                {
+                    continue;
+                }
+                st.admitted.elapsed() >= hedge_delay(shared, st.kind)
+            };
+            if due {
+                launch_hedge(shared, &job);
+            }
+        }
+    }
+}
+
+/// Launch the (single) hedge for one overdue job.
+fn launch_hedge(shared: &Arc<SharedRouter>, job: &SharedJob) {
+    // Pick the target before spending budget: with nowhere to send a
+    // hedge (single live shard), the job just keeps waiting for free.
+    let mut alive = shared.alive_mask();
+    let (line, env, idx) = {
+        let st = job.lock().unwrap();
+        if st.settled || st.hedge_env.is_some() || st.hedge_denied {
+            return;
+        }
+        if st.shard < alive.len() {
+            alive[st.shard] = false;
+        }
+        let Some(idx) = shared.ring.route(st.hash, &alive) else {
+            return;
+        };
+        drop(st);
+        if !shared.take_retry_token() {
+            job.lock().unwrap().hedge_denied = true;
+            return;
+        }
+        let mut st = job.lock().unwrap();
+        if st.settled || st.hedge_env.is_some() {
+            shared.refund_retry_token();
+            return;
+        }
+        let env = shared.env_seq.fetch_add(1, Ordering::SeqCst);
+        let mut fwd = st.req.clone();
+        fwd.id = format!("f{env:x}");
+        fwd.params.remove("client_tag");
+        fwd.params
+            .insert("trace_id".into(), format!("{:016x}", st.trace));
+        st.hedge_span = if fmm_obs::detailed() {
+            fmm_obs::span::next_span_id()
+        } else {
+            0
+        };
+        if st.hedge_span != 0 {
+            fwd.params
+                .insert("parent_span".into(), st.hedge_span.to_string());
+        }
+        st.attempts += 1;
+        st.hedge_env = Some(env);
+        st.hedge_shard = idx;
+        st.hedge_launched = Some(Instant::now());
+        st.envelopes.push(env);
+        (fwd.to_line(), env, idx)
+    };
+    shared.pending.lock().unwrap().insert(env, Arc::clone(job));
+    let wrote = {
+        let conn = shared.shards[idx].conn.lock().unwrap();
+        match conn.as_ref() {
+            Some(s) => {
+                let mut w = s;
+                writeln!(w, "{line}").and_then(|_| w.flush()).is_ok()
+            }
+            None => false,
+        }
+    };
+    if !wrote {
+        // The hedge never made it onto the wire: unwind it entirely —
+        // refund the token, clear the fields, and let the primary (or
+        // a later hedge attempt) carry the job.
+        shared.pending.lock().unwrap().remove(&env);
+        let mut st = job.lock().unwrap();
+        st.hedge_env = None;
+        st.hedge_shard = usize::MAX;
+        st.hedge_launched = None;
+        st.attempts = st.attempts.saturating_sub(1);
+        if let Some(pos) = st.envelopes.iter().rposition(|&e| e == env) {
+            st.envelopes.remove(pos);
+        }
+        drop(st);
+        shared.refund_retry_token();
+        on_shard_down(shared, idx);
+        return;
+    }
+    bump(&shared.counters.hedges_launched, "router_hedges_launched");
+    if let Some(j) = &shared.journal {
+        let idem = job.lock().unwrap().idem.clone();
+        j.append(&Record::Hedge {
+            key: idem,
+            shard: idx,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
 // Shard side: reply reader, death sweep, health poller
 // ---------------------------------------------------------------------
 
-fn shard_reader(shared: &Arc<SharedRouter>, stream: TcpStream) {
+fn shard_reader(shared: &Arc<SharedRouter>, idx: usize, stream: TcpStream) {
     let mut reader = BufReader::new(stream);
     let mut buf = Vec::new();
     let mut oversized = false;
@@ -930,6 +1404,55 @@ fn shard_reader(shared: &Arc<SharedRouter>, stream: TcpStream) {
         let line = line.trim();
         if line.is_empty() {
             continue;
+        }
+        // The chaos link layer sits here, on the read path only: the
+        // write already flowed and the shard already computed — only
+        // the *reply* arrives late, not at all for a while, or mangled.
+        // Exactly the gray failure where recomputing elsewhere (a
+        // hedge) beats waiting.
+        if let Some(chaos) = &shared.chaos {
+            let link = &chaos.links[idx];
+            let seq = link.seq.fetch_add(1, Ordering::SeqCst);
+            if !link.stall_engaged.load(Ordering::SeqCst) {
+                if let Some(after) = chaos.spec.stall_after_for(idx) {
+                    if seq + 1 == after && !link.stall_engaged.swap(true, Ordering::SeqCst) {
+                        let until = Instant::now() + Duration::from_millis(chaos.spec.stall_ms);
+                        *link.stall_until.lock().unwrap() = Some(until);
+                        eprintln!(
+                            "fleet: chaos link to shard {idx} stalling for {}ms \
+                             (stall-after={after} hit)",
+                            chaos.spec.stall_ms
+                        );
+                    }
+                }
+            }
+            // Wait out an active stall in small slices so router
+            // shutdown is never held hostage by a chaos plan.
+            loop {
+                let until = *link.stall_until.lock().unwrap();
+                let Some(until) = until else { break };
+                let now = Instant::now();
+                if now >= until {
+                    *link.stall_until.lock().unwrap() = None;
+                    break;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep((until - now).min(Duration::from_millis(20)));
+            }
+            if let Some(ms) = chaos.spec.delay_for(idx) {
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+            if chaos.spec.garbles(idx, seq) {
+                // Corrupted in flight: indistinguishable from a line
+                // that fails to parse, so count it exactly like one.
+                bump(
+                    &shared.counters.malformed_shard_replies,
+                    "router_malformed_shard_replies",
+                );
+                continue;
+            }
         }
         // A malformed or unknown-status line from a shard must never
         // wedge or panic the router: count it, skip it, keep reading.
@@ -973,8 +1496,24 @@ fn handle_shard_reply(shared: &Arc<SharedRouter>, resp: Response) {
         return;
     };
     if resp.is_terminal_job_reply() {
-        settle(shared, &job, resp);
+        settle(shared, &job, resp, Some(env));
     } else {
+        // A *hedge* envelope shed back (its shard was draining or
+        // full) simply drops out of the race: the primary is still in
+        // flight, so nothing re-dispatches — the hedge just lost.
+        let hedge_out = {
+            let mut st = job.lock().unwrap();
+            if !st.settled && st.hedge_env == Some(env) && !st.hedge_done {
+                st.hedge_done = true;
+                true
+            } else {
+                false
+            }
+        };
+        if hedge_out {
+            bump(&shared.counters.hedges_lost, "router_hedges_lost");
+            return;
+        }
         // Shed (draining / queue-full), a pre-admission rejection the
         // router's own validation should have caught, or a nonsense
         // `ok`: the envelope went unhonoured — re-dispatch.
@@ -1035,7 +1574,7 @@ fn spawn_shard_reader(shared: &Arc<SharedRouter>, idx: usize, stream: TcpStream)
     let _ = std::thread::Builder::new()
         .name(format!("router-shard-{idx}"))
         .spawn(move || {
-            shard_reader(&shared, stream);
+            shard_reader(&shared, idx, stream);
             if shared.shards[idx].epoch.load(Ordering::SeqCst) == epoch {
                 on_shard_down(&shared, idx);
             }
@@ -1173,7 +1712,14 @@ fn apply_replay(shared: &Arc<SharedRouter>, replay: Replay) -> Vec<SharedJob> {
             idem: idem.clone(),
             attempts: 0,
             shard: usize::MAX,
+            first_shard: usize::MAX,
             envelopes: Vec::new(),
+            hedge_env: None,
+            hedge_shard: usize::MAX,
+            hedge_span: 0,
+            hedge_launched: None,
+            hedge_done: false,
+            hedge_denied: false,
             settled: false,
             trace,
             route_span: 0,
@@ -1192,25 +1738,23 @@ fn apply_replay(shared: &Arc<SharedRouter>, replay: Replay) -> Vec<SharedJob> {
     jobs
 }
 
-fn probe_health(addr: &str, timeout: Duration, max_line_bytes: usize) -> bool {
-    let Ok(sock_addr) = addr.parse::<SocketAddr>() else {
-        return false;
-    };
-    let Ok(stream) = TcpStream::connect_timeout(&sock_addr, timeout) else {
-        return false;
-    };
+/// One health probe round-trip; `Some(rtt)` on an `ok` answer. The RTT
+/// feeds the outlier detector — a gray shard answers probes (that is
+/// what makes it gray), but often answers them *slowly*.
+fn probe_health(addr: &str, timeout: Duration, max_line_bytes: usize) -> Option<Duration> {
+    let started = Instant::now();
+    let sock_addr = addr.parse::<SocketAddr>().ok()?;
+    let stream = TcpStream::connect_timeout(&sock_addr, timeout).ok()?;
     let _ = stream.set_read_timeout(Some(timeout));
     let _ = stream.set_write_timeout(Some(timeout));
     let mut w = &stream;
-    if writeln!(w, "{}", Request::new("hp", Kind::Health).to_line()).is_err() {
-        return false;
-    }
+    writeln!(w, "{}", Request::new("hp", Kind::Health).to_line()).ok()?;
     let _ = w.flush();
     let mut reader = BufReader::new(&stream);
     let mut buf = Vec::new();
     let mut oversized = false;
     if !read_bounded_line(&mut reader, &mut buf, max_line_bytes, &mut oversized) || oversized {
-        return false;
+        return None;
     }
     let line = String::from_utf8_lossy(&buf);
     matches!(
@@ -1220,10 +1764,12 @@ fn probe_health(addr: &str, timeout: Duration, max_line_bytes: usize) -> bool {
             ..
         })
     )
+    .then(|| started.elapsed())
 }
 
 fn health_poller(shared: &Arc<SharedRouter>) {
     let poll = Duration::from_millis(shared.cfg.poll_ms.max(10));
+    let probation = Duration::from_millis(shared.cfg.eject_probation_ms);
     while !shared.shutdown.load(Ordering::SeqCst) {
         for shard in &shared.shards {
             let state = shard.state.load(Ordering::SeqCst);
@@ -1242,37 +1788,112 @@ fn health_poller(shared: &Arc<SharedRouter>) {
                 on_shard_down(shared, shard.idx);
                 continue;
             }
-            if probe_health(
+            match probe_health(
                 &shard.addr(),
                 poll.max(Duration::from_millis(50)),
                 shared.cfg.max_line_bytes,
             ) {
-                shard.misses.store(0, Ordering::SeqCst);
-                let _ = shard.state.compare_exchange(
-                    DEGRADED,
-                    HEALTHY,
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
-                );
-            } else {
-                let misses = shard.misses.fetch_add(1, Ordering::SeqCst) + 1;
-                if misses == 1 {
-                    if shard
-                        .state
-                        .compare_exchange(HEALTHY, DEGRADED, Ordering::SeqCst, Ordering::SeqCst)
-                        .is_ok()
+                Some(rtt) => {
+                    shard.misses.store(0, Ordering::SeqCst);
+                    shared
+                        .outliers
+                        .lock()
+                        .unwrap()
+                        .record_rtt(shard.idx, rtt.as_micros() as u64);
+                    let _ = shard.state.compare_exchange(
+                        DEGRADED,
+                        HEALTHY,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    );
+                    // An ejected shard that has served its probation
+                    // *and* still answers probes rejoins the ring; its
+                    // detector state restarts from scratch so stale
+                    // slowness cannot re-eject it on the next tick.
+                    let served = shard
+                        .ejected_at
+                        .lock()
+                        .unwrap()
+                        .is_some_and(|at| at.elapsed() >= probation);
+                    if served
+                        && shard
+                            .state
+                            .compare_exchange(EJECTED, HEALTHY, Ordering::SeqCst, Ordering::SeqCst)
+                            .is_ok()
                     {
-                        fmm_obs::add("router_shard_degraded", &[], 1);
+                        *shard.ejected_at.lock().unwrap() = None;
+                        shared.outliers.lock().unwrap().reset(shard.idx);
+                        bump(&shared.counters.readmissions, "router_readmissions");
+                        eprintln!(
+                            "fleet: shard {} re-admitted after {}ms probation",
+                            shard.idx, shared.cfg.eject_probation_ms
+                        );
                     }
-                } else {
-                    // Two consecutive misses: dead. The reply reader's
-                    // EOF usually beats us here for a killed process;
-                    // this path catches wedged-but-connected shards.
-                    on_shard_down(shared, shard.idx);
+                }
+                None => {
+                    let misses = shard.misses.fetch_add(1, Ordering::SeqCst) + 1;
+                    if misses == 1 {
+                        if shard
+                            .state
+                            .compare_exchange(HEALTHY, DEGRADED, Ordering::SeqCst, Ordering::SeqCst)
+                            .is_ok()
+                        {
+                            fmm_obs::add("router_shard_degraded", &[], 1);
+                        }
+                    } else {
+                        // Two consecutive misses: dead. The reply reader's
+                        // EOF usually beats us here for a killed process;
+                        // this path catches wedged-but-connected shards.
+                        on_shard_down(shared, shard.idx);
+                    }
                 }
             }
         }
+        eject_outliers(shared);
         std::thread::sleep(poll);
+    }
+}
+
+/// One outlier-detector tick: shards whose latency EWMA has been over
+/// `eject_k`× the fleet median for [`crate::outlier::STRIKE_WINDOW`]
+/// consecutive ticks are ejected — routed around while staying probed —
+/// unless doing so would leave fewer than two routable shards.
+fn eject_outliers(shared: &Arc<SharedRouter>) {
+    let eligible: Vec<bool> = shared
+        .shards
+        .iter()
+        .map(|s| s.state.load(Ordering::SeqCst) <= DEGRADED)
+        .collect();
+    let flagged = shared.outliers.lock().unwrap().tick(&eligible);
+    for idx in flagged {
+        let routable = shared.shards.iter().filter(|s| s.routable()).count();
+        if routable <= 2 {
+            // Ejecting would leave the ring too thin to hedge at all;
+            // keep the slow shard and let hedges paper over it.
+            return;
+        }
+        let shard = &shared.shards[idx];
+        let moved = shard
+            .state
+            .compare_exchange(HEALTHY, EJECTED, Ordering::SeqCst, Ordering::SeqCst)
+            .or_else(|_| {
+                shard
+                    .state
+                    .compare_exchange(DEGRADED, EJECTED, Ordering::SeqCst, Ordering::SeqCst)
+            })
+            .is_ok();
+        if moved {
+            *shard.ejected_at.lock().unwrap() = Some(Instant::now());
+            bump(&shared.counters.ejections, "router_ejections");
+            eprintln!(
+                "fleet: shard {idx} ejected as a latency outlier \
+                 (EWMA > {:.1}x fleet median); probation {}ms",
+                shared.cfg.eject_k, shared.cfg.eject_probation_ms
+            );
+            // Jobs already on the ejected shard stay there (it is slow,
+            // not gone); new work routes around it, and the hedger
+            // rescues whatever the slow link strands.
+        }
     }
 }
 
@@ -1563,7 +2184,14 @@ fn admit(shared: &Arc<SharedRouter>, reply: &Reply, mut req: Request, conn_seria
         idem: idem.clone(),
         attempts: 0,
         shard: usize::MAX,
+        first_shard: usize::MAX,
         envelopes: Vec::new(),
+        hedge_env: None,
+        hedge_shard: usize::MAX,
+        hedge_span: 0,
+        hedge_launched: None,
+        hedge_done: false,
+        hedge_denied: false,
         settled: false,
         trace,
         route_span,
@@ -1653,10 +2281,14 @@ fn handle_control(shared: &Arc<SharedRouter>, reply: &Reply, req: &Request) -> b
             // shells; die abruptly regardless.
             std::process::abort();
         }
-        Kind::Pause | Kind::Resume => {
+        Kind::StallShard => {
+            stall_shard(shared, reply, req);
+            true
+        }
+        Kind::Pause | Kind::Resume | Kind::Cancel => {
             bump(&shared.counters.rejected, "router_rejected");
             reply.send(&Response::new(&req.id, Status::Error).with_reason(
-                "rejected: pause/resume are per-shard verbs (send them to a shard directly)",
+                "rejected: pause/resume/cancel are per-shard verbs (send them to a shard directly)",
             ));
             true
         }
@@ -1751,6 +2383,60 @@ fn drain_shard(shared: &Arc<SharedRouter>, reply: &Reply, req: &Request) {
             )));
         }
     }
+}
+
+/// `stall-shard`: chaos verb. Freeze the *link* to a live shard — the
+/// one named by `params.shard`, or a seeded choice — for the chaos
+/// plan's `stall-ms`. The shard keeps executing; its replies just stop
+/// arriving, which is exactly the gray failure the outlier detector
+/// and the hedger exist for. Requires the chaos link layer: a clean
+/// fleet has no machinery to hold replies with.
+fn stall_shard(shared: &Arc<SharedRouter>, reply: &Reply, req: &Request) {
+    let Some(chaos) = &shared.chaos else {
+        bump(&shared.counters.rejected, "router_rejected");
+        reply.send(&Response::new(&req.id, Status::Error).with_reason(
+            "rejected: stall-shard requires a fleet started with --chaos-link",
+        ));
+        return;
+    };
+    let seed = req
+        .params
+        .get("seed")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(shared.cfg.seed);
+    let victims: Vec<usize> = shared
+        .shards
+        .iter()
+        .filter(|s| s.state.load(Ordering::SeqCst) < DRAINING)
+        .map(|s| s.idx)
+        .collect();
+    if victims.is_empty() {
+        bump(&shared.counters.rejected, "router_rejected");
+        reply.send(
+            &Response::new(&req.id, Status::Error).with_reason("rejected: no live shards to stall"),
+        );
+        return;
+    }
+    let victim = match req.params.get("shard").map(|v| v.parse::<usize>()) {
+        None => victims[(splitmix64(seed) % victims.len() as u64) as usize],
+        Some(Ok(idx)) if victims.contains(&idx) => idx,
+        Some(_) => {
+            bump(&shared.counters.rejected, "router_rejected");
+            reply.send(
+                &Response::new(&req.id, Status::Error)
+                    .with_reason("rejected: params.shard must name a live shard"),
+            );
+            return;
+        }
+    };
+    let stall_ms = chaos.spec.stall_ms;
+    *chaos.links[victim].stall_until.lock().unwrap() =
+        Some(Instant::now() + Duration::from_millis(stall_ms));
+    eprintln!("fleet: chaos link to shard {victim} stalled for {stall_ms}ms (stall-shard verb)");
+    let mut m = BTreeMap::new();
+    m.insert("victim".into(), victim.to_string());
+    m.insert("stall_ms".into(), stall_ms.to_string());
+    reply.send(&Response::new(&req.id, Status::Ok).with_result(m));
 }
 
 /// `kill-shard`: chaos verb. SIGKILL a spawned live shard — the one

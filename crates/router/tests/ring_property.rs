@@ -66,6 +66,64 @@ proptest! {
         prop_assert!(before == restored, "respawn at the same index must be a no-op");
     }
 
+    /// Ejection is, to the ring, the same mask bit as death — so
+    /// ejecting a latency outlier moves only the outlier's own keys,
+    /// every one of them to a still-routable shard.
+    #[test]
+    fn ejecting_one_shard_moves_only_its_keys(
+        shards in 3usize..8,
+        outlier_pick in 0usize..8,
+        keys in collection::vec(0u64..=u64::MAX, 1..300),
+    ) {
+        let outlier = outlier_pick % shards;
+        let ring = Ring::build(shards);
+        let hashes: Vec<u64> = keys.iter().map(|k| fnv1a(&k.to_le_bytes())).collect();
+        let all = vec![true; shards];
+        let mut ejected = all.clone();
+        ejected[outlier] = false;
+
+        let before = placements(&ring, &hashes, &all);
+        let during = placements(&ring, &hashes, &ejected);
+        for (b, d) in before.iter().zip(&during) {
+            let b = b.expect("all-alive routing always succeeds");
+            let d = d.expect("n-1 routable shards still route");
+            prop_assert!(d != outlier, "routed to the ejected shard");
+            if b != d {
+                prop_assert!(b == outlier, "a healthy shard's key moved on ejection");
+            }
+        }
+    }
+
+    /// Re-admission after probation restores the pre-ejection
+    /// assignment exactly — sticky routing survives an eject/readmit
+    /// cycle even with an unrelated shard dead the whole time.
+    #[test]
+    fn readmission_restores_the_exact_assignment(
+        shards in 3usize..8,
+        picks in (0usize..8, 0usize..8),
+        keys in collection::vec(0u64..=u64::MAX, 1..300),
+    ) {
+        let outlier = picks.0 % shards;
+        let dead = {
+            let c = picks.1 % shards;
+            if c == outlier { (c + 1) % shards } else { c }
+        };
+        let ring = Ring::build(shards);
+        let hashes: Vec<u64> = keys.iter().map(|k| fnv1a(&k.to_le_bytes())).collect();
+        let mut base = vec![true; shards];
+        base[dead] = false;
+
+        let before = placements(&ring, &hashes, &base);
+        let mut ejected = base.clone();
+        ejected[outlier] = false;
+        let _ = placements(&ring, &hashes, &ejected);
+        let readmitted = placements(&ring, &hashes, &base);
+        prop_assert!(
+            before == readmitted,
+            "readmission must be a routing no-op for every key"
+        );
+    }
+
     /// Two *successive* deaths never disturb keys owned by the
     /// survivors: disruption composes, it doesn't cascade.
     #[test]

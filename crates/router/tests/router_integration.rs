@@ -4,6 +4,8 @@
 //! conservation law: `accepted == completed + errored + cancelled +
 //! deadline_exceeded`, with shed/rejected strictly pre-admission.
 
+use fmm_faults::LinkChaosSpec;
+use fmm_router::ring::{spec_hash, Ring};
 use fmm_router::{RouterConfig, RouterHandle};
 use fmm_serve::proto::{Kind, Request, Response, Status};
 use fmm_serve::server::{ServerConfig, ServerHandle};
@@ -12,7 +14,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::process::Child;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn start_shard(id: u64) -> ServerHandle {
     ServerHandle::start(ServerConfig {
@@ -369,6 +371,213 @@ fn dead_fleet_sheds_instead_of_losing_jobs() {
     assert_eq!(snap.accepted, 0, "shed jobs must roll accepted back");
     assert_eq!(snap.shed, 1);
     assert_eq!(snap.shards_dead, 1);
+}
+
+/// Pick an order `n` whose bounds-job spec routes to `want` on an
+/// all-alive fleet of `shards` — lets a test aim a job at the shard it
+/// has wrapped in link chaos.
+fn bounds_n_routed_to(shards: usize, want: usize) -> usize {
+    let ring = Ring::build(shards);
+    let alive = vec![true; shards];
+    for n in 64..512 {
+        let mut params = BTreeMap::new();
+        params.insert("n".to_string(), n.to_string());
+        params.insert("m".to_string(), "512".to_string());
+        params.insert("seed".to_string(), n.to_string());
+        if ring.route(spec_hash(Kind::Bounds, &params), &alive) == Some(want) {
+            return n;
+        }
+    }
+    unreachable!("some order in 64..512 must land on shard {want}");
+}
+
+#[test]
+fn hedge_wins_when_the_primary_link_is_delayed() {
+    // Shard 0's reply link eats a 600ms delay; the job itself finishes
+    // in microseconds. A 40ms hedge to shard 1 must win the race, tag
+    // the reply `hedged=1`, and leave both conservation laws balanced.
+    let shards: Vec<ServerHandle> = (0..2).map(|i| start_shard(i as u64)).collect();
+    let n = bounds_n_routed_to(2, 0);
+    let router = RouterHandle::start(
+        RouterConfig {
+            shard_addrs: shards.iter().map(|h| h.addr().to_string()).collect(),
+            seed: 21,
+            chaos_link: Some(LinkChaosSpec::parse("seed=21,delay-ms=600@shard0").unwrap()),
+            hedge_ms: Some(40),
+            poll_ms: 60_000,
+            ..RouterConfig::default()
+        },
+        vec![None, None],
+    )
+    .expect("start router");
+
+    let mut client = Client::connect(&router.addr().to_string());
+    let t0 = Instant::now();
+    let resp = client.roundtrip(&bounds_job("hedged", n));
+    assert_eq!(resp.status, Status::Completed, "reason: {}", resp.reason);
+    assert_eq!(
+        resp.result.get("hedged").map(String::as_str),
+        Some("1"),
+        "the winning attempt must be marked as a hedge: {resp:?}"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_millis(550),
+        "the hedge must beat the 600ms link delay, took {:?}",
+        t0.elapsed()
+    );
+
+    // Give the delayed primary reply time to surface (it becomes a
+    // dup-suppressed late reply, never a second settle).
+    thread::sleep(Duration::from_millis(700));
+    drop(client);
+    let snap = router.shutdown_and_wait();
+    assert!(snap.balanced(), "fleet conservation law: {snap:?}");
+    assert!(snap.hedges_balanced(), "hedge conservation law: {snap:?}");
+    assert_eq!(snap.accepted, 1);
+    assert_eq!(snap.completed, 1);
+    assert_eq!(snap.hedges_launched, 1);
+    assert_eq!(snap.hedges_won, 1);
+    for shard in shards {
+        assert!(shard.wait().balanced(), "shard conservation law");
+    }
+}
+
+#[test]
+fn hedge_loses_when_the_primary_answers_first() {
+    // Clean links, a 150ms job, a 30ms hedge: the primary still answers
+    // first, so the hedge is recorded as lost and its duplicate attempt
+    // is cancelled on the other shard — exactly-once settle regardless.
+    let shards: Vec<ServerHandle> = (0..2).map(|i| start_shard(i as u64)).collect();
+    let router = RouterHandle::start(
+        RouterConfig {
+            shard_addrs: shards.iter().map(|h| h.addr().to_string()).collect(),
+            seed: 22,
+            hedge_ms: Some(30),
+            poll_ms: 60_000,
+            ..RouterConfig::default()
+        },
+        vec![None, None],
+    )
+    .expect("start router");
+
+    let mut client = Client::connect(&router.addr().to_string());
+    let resp = client.roundtrip(
+        &Request::new("slowpoke", Kind::Io)
+            .with_param("sleep_ms", "150")
+            .with_param("seed", "1"),
+    );
+    assert_eq!(resp.status, Status::Completed, "reason: {}", resp.reason);
+    assert_eq!(
+        resp.result.get("hedged"),
+        None,
+        "a primary win must not be marked hedged: {resp:?}"
+    );
+
+    // Let the losing hedge's cancel (or its late terminal reply) land.
+    thread::sleep(Duration::from_millis(400));
+    drop(client);
+    let snap = router.shutdown_and_wait();
+    assert!(snap.balanced(), "fleet conservation law: {snap:?}");
+    assert!(snap.hedges_balanced(), "hedge conservation law: {snap:?}");
+    assert_eq!(snap.accepted, 1);
+    assert_eq!(snap.completed, 1);
+    assert_eq!(snap.hedges_launched, 1);
+    assert_eq!(snap.hedges_lost, 1);
+    for shard in shards {
+        shard.wait();
+    }
+}
+
+#[test]
+fn delayed_shard_is_ejected_then_readmitted() {
+    // Three shards, one slow link: enough settles on either side of the
+    // median must strike the slow shard out, and after probation a
+    // clean probe must bring it back. Hedging stays off so every settle
+    // latency is the genuine link-delayed one.
+    let shards: Vec<ServerHandle> = (0..3).map(|i| start_shard(i as u64)).collect();
+    let slow = 0usize;
+    let router = RouterHandle::start(
+        RouterConfig {
+            shard_addrs: shards.iter().map(|h| h.addr().to_string()).collect(),
+            seed: 23,
+            chaos_link: Some(LinkChaosSpec::parse("seed=23,delay-ms=60@shard0").unwrap()),
+            poll_ms: 25,
+            eject_probation_ms: 250,
+            ..RouterConfig::default()
+        },
+        vec![None, None, None],
+    )
+    .expect("start router");
+    let addr = router.addr().to_string();
+
+    // Closed-loop driver: distinct specs so work spreads over all three
+    // shards, fresh seeds per round so dup-suppression never bites.
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let (ejections, readmissions) = thread::scope(|scope| {
+        let driver = scope.spawn(|| {
+            let mut client = Client::connect(&addr);
+            let mut round = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                for i in 0..12 {
+                    let id = format!("r{round}-{i}");
+                    let resp = client.roundtrip(
+                        &Request::new(&id, Kind::Bounds)
+                            .with_param("n", &(64 + i).to_string())
+                            .with_param("m", "512")
+                            .with_param("seed", &format!("{round}:{i}")),
+                    );
+                    assert!(
+                        resp.is_terminal_job_reply(),
+                        "driver reply must settle: {resp:?}"
+                    );
+                }
+                round += 1;
+            }
+        });
+
+        let mut control = Client::connect(&addr);
+        let fetch = |control: &mut Client, key: &str| -> u64 {
+            let resp = control.roundtrip(&Request::new("fs", Kind::FleetStats));
+            assert_eq!(resp.status, Status::Ok, "fleet-stats: {resp:?}");
+            resp.result
+                .get(key)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0)
+        };
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while fetch(&mut control, "ejections") == 0 {
+            assert!(
+                Instant::now() < deadline,
+                "shard {slow} was never ejected despite its 60ms link delay"
+            );
+            thread::sleep(Duration::from_millis(25));
+        }
+        // Stop the load so the slow shard goes quiet; probation plus a
+        // clean probe must re-admit it.
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        driver.join().expect("driver thread");
+        while fetch(&mut control, "readmissions") == 0 {
+            assert!(
+                Instant::now() < deadline,
+                "ejected shard was never re-admitted after probation"
+            );
+            thread::sleep(Duration::from_millis(25));
+        }
+        (
+            fetch(&mut control, "ejections"),
+            fetch(&mut control, "readmissions"),
+        )
+    });
+    assert!(ejections >= 1 && readmissions >= 1);
+
+    let snap = router.shutdown_and_wait();
+    assert!(snap.balanced(), "fleet conservation law: {snap:?}");
+    assert!(snap.hedges_balanced(), "hedge conservation law: {snap:?}");
+    assert!(snap.ejections >= 1, "{snap:?}");
+    assert!(snap.readmissions >= 1, "{snap:?}");
+    for shard in shards {
+        assert!(shard.wait().balanced(), "shard conservation law");
+    }
 }
 
 /// Kernel jobs ride the same spec-hash ring as the simulators: the same

@@ -67,6 +67,13 @@ pub struct LoadgenConfig {
     /// resumes it from its journal, and the reconnecting workers must
     /// still settle every request exactly once.
     pub kill_router_after: Option<usize>,
+    /// Gray-failure chaos: once this many requests have been sent, send
+    /// one `stall-shard` verb — the router freezes a seeded-chosen
+    /// shard's reply link for its configured stall window. The shard
+    /// stays alive (probes pass), so only the latency-outlier detector
+    /// and hedging can route around it. Requires a fleet started with
+    /// `--chaos-link`.
+    pub stall_shard_after: Option<usize>,
 }
 
 impl Default for LoadgenConfig {
@@ -88,6 +95,7 @@ impl Default for LoadgenConfig {
             kill_shard_after: None,
             reconnect: 0,
             kill_router_after: None,
+            stall_shard_after: None,
         }
     }
 }
@@ -117,10 +125,28 @@ pub struct Summary {
     /// verb is never acknowledged — the router dies instead; the hangup
     /// is the confirmation.
     pub router_killed: u64,
+    /// Acknowledged `stall-shard` verbs (deterministic: 1 when
+    /// `stall_shard_after` was set, else 0).
+    pub stalled: u64,
     /// Requests re-sent after a reconnect. Timing-dependent (how many
     /// were in flight when the connection died), so excluded from the
     /// equality contract and the JSON line; reported on stderr.
     pub resent: u64,
+    /// Replies whose winning attempt was a hedge (the router marks them
+    /// `hedged=1`). Timing-dependent — whether the hedge or the primary
+    /// wins the race varies run to run — so in the JSON line for
+    /// operators but excluded from the equality contract, like `resent`.
+    pub hedged: u64,
+    /// The fleet's `ejections` counter at shutdown (0 for a single
+    /// server). Timing-dependent: excluded from the equality contract.
+    pub ejected_observed: u64,
+    /// The fleet's `retry_budget_exhausted` counter at shutdown.
+    /// Timing-dependent: excluded from the equality contract.
+    pub retry_budget_exhausted: u64,
+    /// Client-observed request latency (µs), send to settle. Wall-clock,
+    /// so excluded from the equality contract and the JSON line;
+    /// reported on stderr so hedged and unhedged runs can be compared.
+    pub latency: fmm_obs::Histogram,
     /// The server's own final counters from the shutdown ack, when
     /// `shutdown` was requested.
     pub server_counters: BTreeMap<String, String>,
@@ -132,6 +158,12 @@ pub struct Summary {
 /// Equality ignores `trace_ids`: which trace id lands on which terminal
 /// status depends on worker scheduling, so trace ids are excluded from
 /// the same-seed reproducibility contract (and from the JSON line).
+/// `resent`, `hedged`, `ejected_observed`, `retry_budget_exhausted`, and
+/// `latency` are likewise timing-dependent and excluded from equality.
+/// The three gray-failure counters do appear in the JSON line (operators
+/// want them even when two same-seed runs disagree on the exact counts;
+/// same-seed diffs must strip them first), while `resent` and the
+/// latency histogram stay on stderr.
 impl PartialEq for Summary {
     fn eq(&self, other: &Summary) -> bool {
         self.sent == other.sent
@@ -146,6 +178,7 @@ impl PartialEq for Summary {
             && self.burst_shed == other.burst_shed
             && self.killed == other.killed
             && self.router_killed == other.router_killed
+            && self.stalled == other.stalled
             && self.server_counters == other.server_counters
     }
 }
@@ -166,7 +199,12 @@ impl Summary {
         self.burst_shed += other.burst_shed;
         self.killed += other.killed;
         self.router_killed += other.router_killed;
+        self.stalled += other.stalled;
         self.resent += other.resent;
+        self.hedged += other.hedged;
+        self.ejected_observed += other.ejected_observed;
+        self.retry_budget_exhausted += other.retry_budget_exhausted;
+        self.latency.merge(&other.latency);
         self.trace_ids.extend(other.trace_ids.iter().cloned());
         self.trace_ids.sort();
     }
@@ -179,6 +217,9 @@ impl Summary {
             if let Some(trace) = resp.result.get("trace_id") {
                 self.trace_ids.push(trace.clone());
             }
+        }
+        if resp.result.get("hedged").map(String::as_str) == Some("1") {
+            self.hedged += 1;
         }
         match resp.status {
             Status::Completed => self.completed += 1,
@@ -225,7 +266,8 @@ impl Summary {
         let mut out = format!(
             "{{\"sent\":{},\"completed\":{},\"shed\":{},\"errored\":{},\"cancelled\":{},\
              \"deadline_exceeded\":{},\"rejected\":{},\"lost\":{},\"mismatched\":{},\
-             \"burst_shed\":{},\"killed\":{},\"router_killed\":{},\"ok\":{}",
+             \"burst_shed\":{},\"killed\":{},\"router_killed\":{},\"stalled\":{},\
+             \"hedged\":{},\"ejected_observed\":{},\"retry_budget_exhausted\":{},\"ok\":{}",
             self.sent,
             self.completed,
             self.shed,
@@ -238,6 +280,10 @@ impl Summary {
             self.burst_shed,
             self.killed,
             self.router_killed,
+            self.stalled,
+            self.hedged,
+            self.ejected_observed,
+            self.retry_budget_exhausted,
             // 1/0 rather than true/false: stays inside the value shapes
             // fmm_obs::json::parse_line understands.
             u64::from(self.ok())
@@ -389,6 +435,7 @@ fn conn_worker(cfg: &LoadgenConfig, conn_idx: usize, sent: &AtomicU64) -> Result
                 .insert("client_tag".into(), format!("lg-c{conn_idx}"));
         }
         let mut counted = false;
+        let t0 = std::time::Instant::now();
         loop {
             let outcome = match conn.send(&req) {
                 Ok(()) => {
@@ -403,6 +450,7 @@ fn conn_worker(cfg: &LoadgenConfig, conn_idx: usize, sent: &AtomicU64) -> Result
             };
             match outcome {
                 Ok(Some(resp)) => {
+                    s.latency.observe(t0.elapsed().as_micros() as u64);
                     s.classify(&req.id, &resp);
                     break;
                 }
@@ -491,8 +539,29 @@ fn burst_phase(cfg: &LoadgenConfig, burst: usize) -> Result<Summary, String> {
 /// Graceful-stop phase: the ack carries the server's final counters.
 /// Opens with the reconnect budget — after router-kill chaos the resumed
 /// router may still be coming up when the workers finish.
+///
+/// Against a fleet, a `fleet-stats` query goes out first (every job has
+/// settled by now, so the gray-failure counters are quiescent) and the
+/// timing-dependent tallies — ejections, retry-budget denials — land in
+/// the summary outside the equality contract.
 fn shutdown_phase(cfg: &LoadgenConfig, summary: &mut Summary) -> Result<(), String> {
     let mut conn = open_with_retry(cfg)?;
+    if cfg.fleet {
+        conn.send(&Request::new("gray-stats", Kind::FleetStats))?;
+        match conn.recv()? {
+            Some(resp) if resp.status == Status::Ok => {
+                let num = |k: &str| {
+                    resp.result
+                        .get(k)
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .unwrap_or(0)
+                };
+                summary.ejected_observed = num("ejections");
+                summary.retry_budget_exhausted = num("retry_budget_exhausted");
+            }
+            other => return Err(format!("fleet-stats not acknowledged: {other:?}")),
+        }
+    }
     conn.send(&Request::new("stop", Kind::Shutdown))?;
     match conn.recv()? {
         Some(resp) if resp.status == Status::Ok => {
@@ -528,6 +597,32 @@ fn kill_shard_phase(
     }
 }
 
+/// Gray-failure watcher: wait for the send threshold, then ask the
+/// router to stall one seeded-chosen shard's reply link. Unlike
+/// `kill-shard`, the victim stays up and keeps answering probes — the
+/// ack is immediate, and the damage is pure latency.
+fn stall_shard_phase(
+    cfg: &LoadgenConfig,
+    after: usize,
+    sent: &AtomicU64,
+    done: &AtomicBool,
+) -> Result<Summary, String> {
+    while (sent.load(Ordering::Relaxed) as usize) < after && !done.load(Ordering::Relaxed) {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let mut conn = Conn::open(&cfg.addr)?;
+    conn.send(
+        &Request::new("chaos-stall", Kind::StallShard).with_param("seed", &cfg.seed.to_string()),
+    )?;
+    match conn.recv()? {
+        Some(resp) if resp.status == Status::Ok => Ok(Summary {
+            stalled: 1,
+            ..Summary::default()
+        }),
+        other => Err(format!("stall-shard not acknowledged: {other:?}")),
+    }
+}
+
 /// Chaos watcher for the router itself: wait for the send threshold,
 /// then deliver `kill-router`. No ack ever comes — the router SIGKILLs
 /// itself mid-verb — so the *hangup* is the success signal; an explicit
@@ -559,7 +654,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Summary, String> {
     let mut summary = Summary::default();
     let sent = AtomicU64::new(0);
     let done = AtomicBool::new(false);
-    let (results, kill_result, router_kill_result) = std::thread::scope(|scope| {
+    let (results, kill_result, router_kill_result, stall_result) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.conns)
             .map(|c| {
                 let sent = &sent;
@@ -573,6 +668,10 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Summary, String> {
         let router_killer = cfg.kill_router_after.map(|after| {
             let (sent, done) = (&sent, &done);
             scope.spawn(move || kill_router_phase(cfg, after, sent, done))
+        });
+        let staller = cfg.stall_shard_after.map(|after| {
+            let (sent, done) = (&sent, &done);
+            scope.spawn(move || stall_shard_phase(cfg, after, sent, done))
         });
         let results: Vec<Result<Summary, String>> = handles
             .into_iter()
@@ -590,7 +689,11 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Summary, String> {
             h.join()
                 .unwrap_or_else(|_| Err("loadgen kill-router thread panicked".to_string()))
         });
-        (results, kill_result, router_kill_result)
+        let stall_result = staller.map(|h| {
+            h.join()
+                .unwrap_or_else(|_| Err("loadgen stall-shard thread panicked".to_string()))
+        });
+        (results, kill_result, router_kill_result, stall_result)
     });
     for r in results {
         summary.absorb(&r?);
@@ -599,6 +702,9 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Summary, String> {
         summary.absorb(&r?);
     }
     if let Some(r) = router_kill_result {
+        summary.absorb(&r?);
+    }
+    if let Some(r) = stall_result {
         summary.absorb(&r?);
     }
     if let Some(burst) = cfg.burst {

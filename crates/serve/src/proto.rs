@@ -53,6 +53,15 @@ pub enum Kind {
     /// drain and no reply — the journal is all that survives (fleet
     /// only, and only when the fleet was started with a journal).
     KillRouter,
+    /// Chaos verb: stall one shard's reply link for the configured
+    /// stall window (fleet only, and only when the fleet was started
+    /// with `--chaos-link` — a gray failure needs a chaos layer to
+    /// live in).
+    StallShard,
+    /// Cancel one in-flight job by its server-side envelope id: the
+    /// router's cancel-on-lost-hedge path. The reply reports whether a
+    /// live token was found.
+    Cancel,
 }
 
 impl Kind {
@@ -72,6 +81,8 @@ impl Kind {
             "drain-shard" => Kind::DrainShard,
             "kill-shard" => Kind::KillShard,
             "kill-router" => Kind::KillRouter,
+            "stall-shard" => Kind::StallShard,
+            "cancel" => Kind::Cancel,
             _ => return None,
         })
     }
@@ -92,6 +103,8 @@ impl Kind {
             Kind::DrainShard => "drain-shard",
             Kind::KillShard => "kill-shard",
             Kind::KillRouter => "kill-router",
+            Kind::StallShard => "stall-shard",
+            Kind::Cancel => "cancel",
         }
     }
 
@@ -443,6 +456,8 @@ mod tests {
             Kind::DrainShard,
             Kind::KillShard,
             Kind::KillRouter,
+            Kind::StallShard,
+            Kind::Cancel,
         ] {
             assert_eq!(Kind::parse(kind.as_str()), Some(kind));
             assert_eq!(

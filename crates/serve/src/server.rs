@@ -201,6 +201,10 @@ struct Shared {
     queue_hwm: AtomicU64,
     /// Admission-to-terminal-reply latency per job kind, in µs.
     latency: Mutex<BTreeMap<&'static str, Histogram>>,
+    /// Live cancel tokens by request id, for the `cancel` control verb
+    /// (the router's cancel-on-lost-hedge path). Entries live from
+    /// admission to terminal reply.
+    cancels: Mutex<std::collections::HashMap<String, CancelToken>>,
 }
 
 impl Shared {
@@ -244,6 +248,7 @@ impl ServerHandle {
             job_seq: AtomicU64::new(0),
             queue_hwm: AtomicU64::new(0),
             latency: Mutex::new(BTreeMap::new()),
+            cancels: Mutex::new(std::collections::HashMap::new()),
         });
         let worker_handles: Vec<JoinHandle<()>> = (0..workers)
             .map(|i| {
@@ -466,6 +471,9 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
     if !reason.is_empty() {
         resp = resp.with_reason(&reason);
     }
+    // The job is terminal: its token can no longer be cancelled to any
+    // effect, so drop it from the cancel-verb registry.
+    shared.cancels.lock().unwrap().remove(&id);
     reply.send(&resp);
 }
 
@@ -565,6 +573,13 @@ fn admit_job(shared: &Arc<Shared>, reply: &Reply, req: Request) {
         trace,
         parent_span,
     };
+    // Register the token *before* the push: a worker may pop and finish
+    // the job (removing the entry) the instant it lands in the queue.
+    shared
+        .cancels
+        .lock()
+        .unwrap()
+        .insert(req.id.clone(), job.token.clone());
     // Count acceptance *before* the push (and roll back on refusal) so
     // the drain condition `accepted == terminal` can never observe a
     // completed job ahead of its own acceptance.
@@ -576,11 +591,13 @@ fn admit_job(shared: &Arc<Shared>, reply: &Reply, req: Request) {
             fmm_obs::gauge("serve_queue_depth", &[], depth as f64);
         }
         Err(PushError::Full(_)) => {
+            shared.cancels.lock().unwrap().remove(&req.id);
             shared.stats.accepted.fetch_sub(1, Ordering::SeqCst);
             shared.stats.bump(&shared.stats.shed, "serve_shed");
             reply.send(&Response::new(&req.id, Status::Shed).with_reason("queue-full"));
         }
         Err(PushError::Closed(_)) => {
+            shared.cancels.lock().unwrap().remove(&req.id);
             shared.stats.accepted.fetch_sub(1, Ordering::SeqCst);
             shared.stats.bump(&shared.stats.shed, "serve_shed");
             reply.send(&Response::new(&req.id, Status::Shed).with_reason("draining"));
@@ -636,6 +653,7 @@ fn handle_control(shared: &Arc<Shared>, reply: &Reply, req: &Request) -> bool {
                 m.insert(format!("latency_{kind}_count"), h.count.to_string());
                 m.insert(format!("latency_{kind}_p50_us"), h.p50().to_string());
                 m.insert(format!("latency_{kind}_p95_us"), h.p95().to_string());
+                m.insert(format!("latency_{kind}_p99_us"), h.p99().to_string());
             }
             reply.send(&Response::new(&req.id, Status::Ok).with_result(m));
             true
@@ -666,7 +684,34 @@ fn handle_control(shared: &Arc<Shared>, reply: &Reply, req: &Request) -> bool {
             shared.shutdown.store(true, Ordering::SeqCst);
             false
         }
-        Kind::FleetStats | Kind::DrainShard | Kind::KillShard => {
+        Kind::Cancel => {
+            // Cancel one in-flight job by id — the router's
+            // cancel-on-lost-hedge path. Best-effort: a job already at
+            // its terminal reply simply isn't found.
+            let target = req.params.get("target").cloned().unwrap_or_default();
+            if target.is_empty() {
+                shared.stats.bump(&shared.stats.rejected, "serve_rejected");
+                reply.send(
+                    &Response::new(&req.id, Status::Error)
+                        .with_reason("rejected: cancel needs a 'target' param"),
+                );
+                return true;
+            }
+            let token = shared.cancels.lock().unwrap().get(&target).cloned();
+            let mut m = BTreeMap::new();
+            match token {
+                Some(t) => {
+                    t.cancel();
+                    m.insert("cancelled".into(), "1".to_string());
+                }
+                None => {
+                    m.insert("cancelled".into(), "0".to_string());
+                }
+            }
+            reply.send(&Response::new(&req.id, Status::Ok).with_result(m));
+            true
+        }
+        Kind::FleetStats | Kind::DrainShard | Kind::KillShard | Kind::StallShard => {
             // Fleet verbs exist in the shared protocol so the router can
             // parse them, but a single shard must answer — not wedge, not
             // panic — when one arrives directly.

@@ -104,6 +104,48 @@ fn paused_queue_sheds_exactly_the_overflow_deterministically() {
 }
 
 #[test]
+fn cancel_verb_cancels_a_running_job_by_id() {
+    // The router's cancel-on-lost-hedge path, driven directly: a slow
+    // job on one connection, a `cancel` naming its id on another. The
+    // victim must settle as `cancelled` (not hang, not complete), and a
+    // cancel for an unknown id must be a polite no-op.
+    let server = small_server(8, 2);
+    let mut jobs = Client::connect(&server);
+    jobs.send(
+        &Request::new("victim", Kind::Io)
+            .with_deadline(30_000)
+            .with_param("sleep_ms", "5000"),
+    );
+    // Let the worker pick it up so the cancel lands mid-run, which is
+    // the racy case worth pinning (queued cancels are covered by the
+    // deadline tests).
+    std::thread::sleep(std::time::Duration::from_millis(100));
+
+    let mut control = Client::connect(&server);
+    let miss =
+        control.round_trip(&Request::new("c0", Kind::Cancel).with_param("target", "no-such-job"));
+    assert_eq!(miss.status, Status::Ok);
+    assert_eq!(miss.result.get("cancelled").map(String::as_str), Some("0"));
+
+    let hit = control.round_trip(&Request::new("c1", Kind::Cancel).with_param("target", "victim"));
+    assert_eq!(hit.status, Status::Ok);
+    assert_eq!(hit.result.get("cancelled").map(String::as_str), Some("1"));
+
+    let resp = jobs.recv();
+    assert_eq!(resp.id, "victim");
+    assert_eq!(resp.status, Status::Cancelled, "reply: {resp:?}");
+
+    // A cancel without a target is a rejection, not a wedge.
+    let bad = control.round_trip(&Request::new("c2", Kind::Cancel));
+    assert_eq!(bad.status, Status::Error);
+    assert!(bad.reason.starts_with("rejected:"), "{}", bad.reason);
+
+    let stats = server.shutdown_and_wait();
+    assert!(stats.balanced());
+    assert_eq!(stats.cancelled, 1);
+}
+
+#[test]
 fn tiny_deadline_job_is_cancelled_not_abandoned() {
     let server = small_server(8, 1);
     let mut client = Client::connect(&server);
@@ -221,7 +263,8 @@ fn health_and_stats_report_live_state() {
     assert_eq!(stats.result["latency_io_count"], "1");
     let p50: u64 = stats.result["latency_io_p50_us"].parse().unwrap();
     let p95: u64 = stats.result["latency_io_p95_us"].parse().unwrap();
-    assert!(p50 > 0 && p50 <= p95);
+    let p99: u64 = stats.result["latency_io_p99_us"].parse().unwrap();
+    assert!(p50 > 0 && p50 <= p95 && p95 <= p99);
     assert!(!stats.result.keys().any(|k| k.starts_with("latency_sweep")));
     // Every terminal job reply carries its trace id (16 hex digits).
     let done = client.round_trip(&cheap_io("traced"));

@@ -21,8 +21,9 @@
 //! fastmm sweep    diff --base a.jsonl --cand b.jsonl [--tol 0.01]
 //! fastmm serve    [--addr 127.0.0.1:0] [--queue-depth 32] [--workers 2] [--shard-id <i>]
 //! fastmm fleet    [--shards 3] [--addr 127.0.0.1:0] [--seed 0] [--attach a:p,b:p]
+//! fastmm fleet    --chaos-link "seed=7,stall-after=40@shard1" [--hedge-ms 50] [--retry-budget-pct 10]
 //! fastmm loadgen  --addr HOST:PORT [--conns 4] [--requests 250] [--seed 1] [--burst 64] [--shutdown]
-//! fastmm loadgen  --addr HOST:PORT --fleet [--kill-shard-after 40] [--shutdown]
+//! fastmm loadgen  --addr HOST:PORT --fleet [--kill-shard-after 40] [--stall-shard-after 40] [--shutdown]
 //! ```
 //!
 //! Every command accepts a global `--metrics <path>` flag that enables
@@ -95,6 +96,8 @@ const FLEET_USAGE: &str =
        [--probe-interval-ms 100] [--max-attempts 5] [--attach host:port,...]\n\
        [--shard-metrics-dir <dir>] [--supervise] [--breaker-k 3]\n\
        [--breaker-window-ms 30000] [--journal <path>] [--resume <path>]\n\
+       [--chaos-link \"seed=7,delay-ms=200@shard2,stall-after=40@shard1,garble=0.01\"]\n\
+       [--hedge-ms <ms>] [--retry-budget-pct 10] [--eject-k 4] [--eject-probation-ms 1000]\n\
        Spawns N `fastmm serve` shard processes (or attaches to --attach\n\
        addresses), routes jobs to shards by spec hash, prints\n\
        'fastmm fleet listening on HOST:PORT (N shards)', serves until a client\n\
@@ -104,9 +107,17 @@ const FLEET_USAGE: &str =
        --breaker-window-ms quarantines the shard instead). --journal writes a\n\
        write-ahead job journal; --resume <journal> rebuilds counters, the\n\
        idempotency map, and the in-flight set after a router SIGKILL,\n\
-       reattaching to the journal's recorded shard addresses. Fleet-only\n\
-       verbs: fleet-stats, drain-shard (params.shard), kill-shard (chaos\n\
-       SIGKILL, params.seed or params.shard), kill-router (journaled fleets).";
+       reattaching to the journal's recorded shard addresses. --chaos-link\n\
+       wraps every shard reply connection in a seeded gray-failure adversary\n\
+       (delay/stall/garble; also enables the stall-shard verb and turns\n\
+       hedging on with an auto p95 delay). --hedge-ms sets a fixed hedge\n\
+       delay (0 = off); hedges and re-dispatches spend a shared budget of\n\
+       --retry-budget-pct% of accepted jobs. A shard whose latency EWMA\n\
+       exceeds --eject-k x the fleet median is ejected, then re-admitted\n\
+       after --eject-probation-ms. Fleet-only verbs: fleet-stats, drain-shard\n\
+       (params.shard), kill-shard (chaos SIGKILL, params.seed or\n\
+       params.shard), kill-router (journaled fleets), stall-shard\n\
+       (chaos-link fleets).";
 
 const POLL_MS_DEFAULT: u64 = 100;
 
@@ -114,17 +125,20 @@ const LOADGEN_USAGE: &str =
     "usage: fastmm loadgen --addr <host:port> [--conns 4] [--requests 250]\n\
        [--seed 1] [--poison-pct 10] [--oversized-pct 5] [--tiny-deadline-pct 5]\n\
        [--expensive-pct 10] [--deadline-ms 10000] [--burst <n>] [--shutdown]\n\
-       [--fleet] [--kill-shard-after <n>] [--reconnect <n>] [--kill-router-after <n>]\n\
+       [--fleet] [--kill-shard-after <n>] [--stall-shard-after <n>]\n\
+       [--reconnect <n>] [--kill-router-after <n>]\n\
        Drives a seeded chaos mix and prints a one-line JSON summary; exits\n\
        nonzero if any request was lost or the server counters don't balance.\n\
        --fleet targets a `fastmm fleet` router; --kill-shard-after N (fleet\n\
        only) SIGKILLs one seeded-chosen shard once N requests are in flight\n\
-       and still demands zero lost replies. --reconnect N survives a vanished\n\
-       server with up to N seeded-backoff reconnects per connection, re-sending\n\
-       unsettled requests under the same client_tag (0 = old fail-fast\n\
-       behaviour); --kill-router-after N (fleet only, needs --reconnect)\n\
-       SIGKILLs the router itself mid-run — resume it from its journal and\n\
-       the run must still lose nothing.";
+       and still demands zero lost replies; --stall-shard-after N (fleet only,\n\
+       router must run with --chaos-link) freezes one seeded-chosen shard's\n\
+       reply link mid-run — a gray failure the fleet must hedge around.\n\
+       --reconnect N survives a vanished server with up to N seeded-backoff\n\
+       reconnects per connection, re-sending unsettled requests under the same\n\
+       client_tag (0 = old fail-fast behaviour); --kill-router-after N (fleet\n\
+       only, needs --reconnect) SIGKILLs the router itself mid-run — resume it\n\
+       from its journal and the run must still lose nothing.";
 
 const SWEEP_USAGE: &str = "usage: fastmm sweep <run|resume|report|diff|specs> [flags]\n\
        run    --spec <name> [--out <file>] [--seed <u64>] [--jobs <n>] [--max-cells <k>]\n\
@@ -1187,6 +1201,9 @@ fn cmd_loadgen(flags: &HashMap<String, String>) -> ExitCode {
         kill_shard_after: flags
             .get("kill-shard-after")
             .map(|_| get_usize(flags, "kill-shard-after", 0)),
+        stall_shard_after: flags
+            .get("stall-shard-after")
+            .map(|_| get_usize(flags, "stall-shard-after", 0)),
         reconnect: get_usize(flags, "reconnect", 0) as u32,
         kill_router_after: flags
             .get("kill-router-after")
@@ -1195,6 +1212,12 @@ fn cmd_loadgen(flags: &HashMap<String, String>) -> ExitCode {
     if cfg.kill_shard_after.is_some() && !cfg.fleet {
         die(
             "--kill-shard-after is a fleet chaos flag; add --fleet",
+            LOADGEN_USAGE,
+        );
+    }
+    if cfg.stall_shard_after.is_some() && !cfg.fleet {
+        die(
+            "--stall-shard-after is a fleet chaos flag; add --fleet",
             LOADGEN_USAGE,
         );
     }
@@ -1225,6 +1248,17 @@ fn cmd_loadgen(flags: &HashMap<String, String>) -> ExitCode {
                 eprintln!(
                     "loadgen: {} request(s) re-sent across reconnects (dup-suppressed server-side)",
                     summary.resent
+                );
+            }
+            if summary.latency.count > 0 {
+                // Wall-clock, hence stderr: the stdout JSON line is the
+                // same-seed reproducibility contract.
+                eprintln!(
+                    "loadgen latency: p50_us={} p95_us={} p99_us={} max_us={}",
+                    summary.latency.p50(),
+                    summary.latency.p95(),
+                    summary.latency.p99(),
+                    summary.latency.max
                 );
             }
             if summary.ok() {
@@ -1350,6 +1384,42 @@ fn cmd_fleet(flags: &HashMap<String, String>) -> ExitCode {
         Some((_, header, _)) => get_u64(flags, "seed", header.seed),
         None => get_u64(flags, "seed", 0),
     };
+    // Gray-failure flags are validated BEFORE any shard is spawned: a
+    // die() below this point would orphan shard children still holding
+    // our stderr pipe, wedging callers that wait on it.
+    let chaos_link = match flags.get("chaos-link") {
+        Some(spec) => match fastmm::faults::LinkChaosSpec::parse(spec) {
+            Ok(s) => Some(s),
+            Err(e) => die(&format!("--chaos-link: {e}"), FLEET_USAGE),
+        },
+        None => None,
+    };
+    // Hedging defaults on (auto p95 delay) exactly when the chaos link
+    // layer is active — gray failures are what hedges exist for — and
+    // off otherwise, keeping clean-fleet runs byte-stable. --hedge-ms
+    // overrides either way (0 = off, N = fixed delay).
+    let hedge_ms = match flags.get("hedge-ms") {
+        Some(_) => Some(get_u64(flags, "hedge-ms", 0)),
+        None if chaos_link.is_some() => None,
+        None => Some(0),
+    };
+    let retry_budget_pct = get_u64(flags, "retry-budget-pct", 10);
+    if retry_budget_pct > 100 {
+        die(
+            &format!("--retry-budget-pct must be 0..=100, got {retry_budget_pct}"),
+            FLEET_USAGE,
+        );
+    }
+    let eject_k = match flags.get("eject-k") {
+        Some(v) => match v.parse::<f64>() {
+            Ok(k) if k > 1.0 => k,
+            _ => die(
+                &format!("--eject-k must be a multiplier greater than 1, got '{v}'"),
+                FLEET_USAGE,
+            ),
+        },
+        None => 4.0,
+    };
     let (shard_addrs, procs): (Vec<String>, Vec<Option<std::process::Child>>) =
         if let Some((_, header, _)) = &resume {
             let procs = header.shard_addrs.iter().map(|_| None).collect();
@@ -1435,6 +1505,11 @@ fn cmd_fleet(flags: &HashMap<String, String>) -> ExitCode {
             .cloned()
             .or_else(|| resume.as_ref().map(|(path, _, _)| path.clone())),
         allow_kill_router: true,
+        chaos_link,
+        hedge_ms,
+        retry_budget_pct: retry_budget_pct as u32,
+        eject_k,
+        eject_probation_ms: get_u64(flags, "eject-probation-ms", 1_000).max(1),
     };
     let opts = StartOptions {
         procs,
@@ -1474,6 +1549,17 @@ fn cmd_fleet(flags: &HashMap<String, String>) -> ExitCode {
         snap.journal_replayed,
         snap.resumed_inflight
     );
+    println!(
+        "fastmm fleet hedging: hedges_launched={} hedges_won={} hedges_lost={} \
+         hedges_cancelled={} ejections={} readmissions={} retry_budget_exhausted={}",
+        snap.hedges_launched,
+        snap.hedges_won,
+        snap.hedges_lost,
+        snap.hedges_cancelled,
+        snap.ejections,
+        snap.readmissions,
+        snap.retry_budget_exhausted
+    );
     let acked = snap.shard_acks.iter().flatten().count();
     println!(
         "fastmm fleet shards: acked={acked}/{} accepted_sum={} completed_sum={}",
@@ -1483,6 +1569,10 @@ fn cmd_fleet(flags: &HashMap<String, String>) -> ExitCode {
     );
     if !snap.balanced() {
         eprintln!("fleet: router counters do not balance after drain");
+        return ExitCode::FAILURE;
+    }
+    if !snap.hedges_balanced() {
+        eprintln!("fleet: hedge counters do not balance after drain");
         return ExitCode::FAILURE;
     }
     if !snap.shards_balanced() {
@@ -1596,6 +1686,11 @@ fn main() -> ExitCode {
                 "breaker-window-ms",
                 "journal",
                 "resume",
+                "chaos-link",
+                "hedge-ms",
+                "retry-budget-pct",
+                "eject-k",
+                "eject-probation-ms",
             ],
             FLEET_USAGE,
         ),
@@ -1614,6 +1709,7 @@ fn main() -> ExitCode {
                 "shutdown",
                 "fleet",
                 "kill-shard-after",
+                "stall-shard-after",
                 "reconnect",
                 "kill-router-after",
             ],
